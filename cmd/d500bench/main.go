@@ -1,0 +1,156 @@
+// Command d500bench regenerates every table and figure of the Deep500
+// paper's evaluation (§V) on the Deep500-Go reproduction stack.
+//
+// Usage:
+//
+//	d500bench -experiment all            # everything (paper-scale)
+//	d500bench -experiment fig6conv -quick
+//	d500bench -list
+//
+// Experiments: tables, fig2, fig6conv, fig6gemm, fig6acc, fig7, overhead,
+// fig8, table3, fig9, fig10, fig11, fig12strong, fig12weak, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"deep500/internal/core"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "experiment id (or 'all')")
+	quick := flag.Bool("quick", false, "scaled-down problem sizes and re-runs")
+	seed := flag.Uint64("seed", 500, "global RNG seed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	ids := []string{"tables", "fig2", "fig6conv", "fig6gemm", "fig6acc", "fig7",
+		"overhead", "fig8", "table3", "fig9", "fig10", "fig11", "fig12strong",
+		"fig12weak", "validate"}
+	if *list {
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	o := core.Options{Quick: *quick, Seed: *seed}
+	out := os.Stdout
+	run := func(id string) error {
+		switch id {
+		case "tables":
+			core.RenderTableI().Render(out)
+			core.RenderTableII().Render(out)
+		case "fig2":
+			core.RenderFig2().Render(out)
+		case "fig6conv":
+			core.RenderFig6(core.RunFig6Conv(o)).Render(out)
+		case "fig6gemm":
+			core.RenderFig6(core.RunFig6Gemm(o)).Render(out)
+		case "fig6acc":
+			t := &core.Table{Title: "§V-B: operator correctness vs fp32 direct reference",
+				Headers: []string{"Algorithm(backend)", "Median l-inf"}}
+			for _, r := range core.RunFig6Accuracy(o) {
+				t.AddRow(r.Backend, fmt.Sprintf("%.3g", r.MedianLInf))
+			}
+			t.AddNote("paper reports ≈7e-4 median l-inf between Deep500 and frameworks")
+			t.Render(out)
+		case "fig7":
+			res, err := core.RunFig7(o)
+			if err != nil {
+				return err
+			}
+			core.RenderFig7(res).Render(out)
+		case "overhead":
+			res, err := core.RunOverhead(o)
+			if err != nil {
+				return err
+			}
+			core.RenderOverhead(res).Render(out)
+		case "fig8":
+			dir, cleanup, err := core.TempWorkDir()
+			if err != nil {
+				return err
+			}
+			defer cleanup()
+			res, err := core.RunFig8(o, dir)
+			if err != nil {
+				return err
+			}
+			core.RenderFig8(res).Render(out)
+		case "table3":
+			dir, cleanup, err := core.TempWorkDir()
+			if err != nil {
+				return err
+			}
+			defer cleanup()
+			rows, err := core.RunTable3(o, dir)
+			if err != nil {
+				return err
+			}
+			core.RenderTable3(rows).Render(out)
+		case "fig9":
+			curves, err := core.RunFig9(o)
+			if err != nil {
+				return err
+			}
+			core.RenderConvergence("Fig. 9: optimizer convergence (ResNet-8 scaled, synthetic CIFAR-10)", curves).Render(out)
+		case "fig10":
+			curves, err := core.RunFig10(o)
+			if err != nil {
+				return err
+			}
+			core.RenderConvergence("Fig. 10: Adam across backends, native vs Deep500 reference", curves).Render(out)
+		case "fig11":
+			points, err := core.RunFig11(o)
+			if err != nil {
+				return err
+			}
+			core.RenderFig11(points).Render(out)
+		case "fig12strong":
+			rows, err := core.RunFig12Strong(o)
+			if err != nil {
+				return err
+			}
+			core.RenderFig12("Fig. 12 (left): strong scaling, ResNet-50, global B=1024", rows).Render(out)
+		case "fig12weak":
+			rows, err := core.RunFig12Weak(o)
+			if err != nil {
+				return err
+			}
+			core.RenderFig12("Fig. 12 (right): weak scaling, ResNet-50", rows).Render(out)
+		case "validate":
+			results, err := core.RunValidationSuite(o)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, "\n== validation suite (paper §III-E / §IV) ==")
+			failed := 0
+			for _, r := range results {
+				fmt.Fprintln(out, " ", r)
+				if !r.Passed {
+					failed++
+				}
+			}
+			if failed > 0 {
+				return fmt.Errorf("%d validation checks failed", failed)
+			}
+		default:
+			return fmt.Errorf("unknown experiment %q (use -list)", id)
+		}
+		return nil
+	}
+
+	targets := []string{*experiment}
+	if *experiment == "all" {
+		targets = ids
+	}
+	for _, id := range targets {
+		if err := run(id); err != nil {
+			fmt.Fprintf(os.Stderr, "d500bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Command d500data generates, packs and inspects the synthetic dataset
+// containers of Deep500-Go (raw binary, record shards, indexed tar).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"deep500/internal/datasets"
+)
+
+func specByName(name string) (datasets.Spec, bool) {
+	for _, s := range []datasets.Spec{datasets.MNIST, datasets.FashionMNIST,
+		datasets.CIFAR10, datasets.CIFAR100, datasets.ImageNet} {
+		if strings.EqualFold(s.Name, name) {
+			return s, true
+		}
+	}
+	return datasets.Spec{}, false
+}
+
+func main() {
+	format := flag.String("format", "record", "container: raw, record, tar")
+	spec := flag.String("spec", "cifar-10", "dataset spec: mnist, fashion-mnist, cifar-10, cifar-100, imagenet")
+	n := flag.Int("n", 256, "number of samples")
+	shards := flag.Int("shards", 1, "record shards")
+	out := flag.String("out", "dataset", "output path (prefix for record shards)")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	inspectTar := flag.String("inspect-tar", "", "print the index of an existing tar dataset")
+	flag.Parse()
+
+	if *inspectTar != "" {
+		s, ok := specByName(*spec)
+		if !ok {
+			fatal(fmt.Errorf("unknown spec %q", *spec))
+		}
+		it, err := datasets.OpenIndexedTar(*inspectTar, s)
+		fatalIfErr(err)
+		defer it.Close()
+		fmt.Printf("%s: %d samples of %dx%dx%d\n", *inspectTar, it.Len(), s.H, s.W, s.C)
+		show := it.Len()
+		if show > 10 {
+			show = 10
+		}
+		for i := 0; i < show; i++ {
+			jp, label, err := it.ReadSample(i)
+			fatalIfErr(err)
+			fmt.Printf("  sample %3d: label=%-4d jpeg=%d bytes\n", i, label, len(jp))
+		}
+		return
+	}
+
+	s, ok := specByName(*spec)
+	if !ok {
+		fatal(fmt.Errorf("unknown spec %q", *spec))
+	}
+	switch *format {
+	case "raw":
+		fatalIfErr(datasets.WriteRawBinary(*out, s, *n, *seed))
+		fmt.Printf("wrote %d raw samples (%s) to %s\n", *n, s.Name, *out)
+	case "record":
+		paths, err := datasets.WriteRecordDataset(*out, s, *n, *shards, *seed)
+		fatalIfErr(err)
+		fmt.Printf("wrote %d JPEG records (%s) across %d shard(s):\n", *n, s.Name, len(paths))
+		for _, p := range paths {
+			st, _ := os.Stat(p)
+			fmt.Printf("  %s (%d bytes)\n", p, st.Size())
+		}
+	case "tar":
+		fatalIfErr(datasets.WriteIndexedTar(*out, s, *n, *seed))
+		fmt.Printf("wrote %d JPEG samples (%s) to indexed tar %s\n", *n, s.Name, *out)
+	default:
+		fatal(fmt.Errorf("unknown format %q", *format))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "d500data:", err)
+	os.Exit(1)
+}
+
+func fatalIfErr(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+// Command d500info prints the Deep500-Go surveys and registries: the
+// paper's Table I (framework features), Table II (benchmark features),
+// Fig. 2 (nodes-over-time survey), the registered operator set, the model
+// zoo, and the emulated framework backends.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"deep500/internal/core"
+	"deep500/internal/frameworks"
+	"deep500/internal/graph"
+	"deep500/internal/models"
+	"deep500/internal/ops"
+)
+
+func main() {
+	table := flag.Int("table", 0, "print survey table 1 or 2")
+	fig := flag.Int("fig", 0, "print survey figure 2")
+	showOps := flag.Bool("ops", false, "list registered operators")
+	showModels := flag.Bool("models", false, "list the model zoo")
+	showBackends := flag.Bool("backends", false, "list emulated framework backends")
+	flag.Parse()
+
+	any := false
+	if *table == 1 {
+		core.RenderTableI().Render(os.Stdout)
+		any = true
+	}
+	if *table == 2 {
+		core.RenderTableII().Render(os.Stdout)
+		any = true
+	}
+	if *fig == 2 {
+		core.RenderFig2().Render(os.Stdout)
+		any = true
+	}
+	if *showOps {
+		fmt.Println("\nRegistered operators (Level 0 builders):")
+		for _, name := range ops.RegisteredOps() {
+			schema, _ := graph.LookupSchema(name)
+			domain := schema.Domain
+			if domain == "" {
+				domain = "standard"
+			}
+			fmt.Printf("  %-22s domain=%s inputs=[%d,%d]\n", name, domain, schema.MinInputs, schema.MaxInputs)
+		}
+		any = true
+	}
+	if *showModels {
+		fmt.Println("\nModel zoo (D5NX builders):")
+		cfg := models.Config{Classes: 10, Channels: 3, Height: 32, Width: 32, Seed: 1}
+		for _, m := range []*graph.Model{
+			models.LeNet(models.Config{Classes: 10, Channels: 1, Height: 28, Width: 28, Seed: 1}),
+			models.AlexNet(models.Config{Classes: 1000, Channels: 3, Height: 224, Width: 224, Seed: 1}),
+			models.ResNet(18, cfg),
+			models.ResNet(50, cfg),
+			models.WideResNet(16, 4, cfg),
+			models.MLP(models.Config{Classes: 10, Channels: 1, Height: 28, Width: 28, Seed: 1}, 512, 256),
+		} {
+			fmt.Printf("  %-12s nodes=%-4d params=%d\n", m.Name, len(m.Nodes), m.ParamCount())
+		}
+		any = true
+	}
+	if *showBackends {
+		fmt.Println("\nEmulated framework backends:")
+		for _, p := range frameworks.All() {
+			fmt.Printf("  %-10s %-22s dispatch=%v fused-opt=%v eager=%v\n",
+				p.Name, p.DisplayName, p.OpOverhead, p.FusedOptimizers, p.Eager)
+		}
+		any = true
+	}
+	if !any {
+		core.RenderTableI().Render(os.Stdout)
+		core.RenderTableII().Render(os.Stdout)
+		core.RenderFig2().Render(os.Stdout)
+	}
+}

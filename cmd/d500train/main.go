@@ -1,0 +1,132 @@
+// Command d500train trains a model-zoo network on a synthetic dataset with
+// a chosen optimizer and backend, reporting the Level 2 metrics
+// (training/test accuracy, loss curve, time-to-accuracy) — a runnable
+// version of the paper's training-loop manager.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"deep500/internal/executor"
+	"deep500/internal/frameworks"
+	"deep500/internal/graph"
+	"deep500/internal/metrics"
+	"deep500/internal/models"
+	"deep500/internal/training"
+)
+
+func buildModel(name string, cfg models.Config) (*graph.Model, error) {
+	switch strings.ToLower(name) {
+	case "mlp":
+		return models.MLP(cfg, 256, 128), nil
+	case "lenet":
+		return models.LeNet(cfg), nil
+	case "resnet8":
+		return models.ResNet(8, cfg), nil
+	case "resnet18":
+		return models.ResNet(18, cfg), nil
+	case "wrn16":
+		return models.WideResNet(16, 2, cfg), nil
+	default:
+		return nil, fmt.Errorf("unknown model %q (mlp, lenet, resnet8, resnet18, wrn16)", name)
+	}
+}
+
+func buildOptimizer(name string, lr float64) (training.ThreeStep, error) {
+	switch strings.ToLower(name) {
+	case "sgd":
+		return training.NewGradientDescent(float32(lr)), nil
+	case "momentum":
+		return training.NewMomentum(float32(lr), 0.9), nil
+	case "nesterov":
+		return training.NewNesterov(float32(lr), 0.9), nil
+	case "adagrad":
+		return training.NewAdaGrad(float32(lr)), nil
+	case "rmsprop":
+		return training.NewRMSProp(float32(lr), 0.9), nil
+	case "adam":
+		return training.NewAdam(float32(lr)), nil
+	case "adam-fused":
+		return training.NewFusedAdam(float32(lr)), nil
+	case "accelegrad":
+		return training.NewAcceleGrad(float32(lr), 1, 1), nil
+	default:
+		return nil, fmt.Errorf("unknown optimizer %q", name)
+	}
+}
+
+func main() {
+	model := flag.String("model", "lenet", "model: mlp, lenet, resnet8, resnet18, wrn16")
+	opt := flag.String("optimizer", "momentum", "optimizer: sgd, momentum, nesterov, adagrad, rmsprop, adam, adam-fused, accelegrad")
+	backend := flag.String("backend", "reference", "backend: reference, tfgo, torchgo, cf2go")
+	epochs := flag.Int("epochs", 5, "training epochs")
+	batch := flag.Int("batch", 64, "minibatch size")
+	lr := flag.Float64("lr", 0.02, "learning rate")
+	samples := flag.Int("samples", 2048, "synthetic training samples")
+	seed := flag.Uint64("seed", 42, "seed")
+	target := flag.Float64("target", 0.9, "time-to-accuracy target")
+	save := flag.String("save", "", "save the trained model as D5NX to this path")
+	flag.Parse()
+
+	cfg := models.Config{Classes: 10, Channels: 3, Height: 16, Width: 16,
+		WithHead: true, Seed: *seed, WidthScale: 0.5}
+	if *model == "mlp" || *model == "lenet" {
+		cfg.Channels, cfg.Height, cfg.Width = 1, 28, 28
+		cfg.WidthScale = 1
+	}
+	m, err := buildModel(*model, cfg)
+	fatalIf(err)
+
+	var exec *executor.Executor
+	if *backend == "reference" {
+		exec, err = executor.New(m)
+	} else {
+		prof, ok := frameworks.ByName(*backend)
+		if !ok {
+			fatalIf(fmt.Errorf("unknown backend %q", *backend))
+		}
+		exec, err = prof.NewExecutor(m)
+	}
+	fatalIf(err)
+	exec.SetTraining(true)
+
+	ts, err := buildOptimizer(*opt, *lr)
+	fatalIf(err)
+
+	shape := []int{cfg.Channels, cfg.Height, cfg.Width}
+	train, test := training.SyntheticSplit(*samples, *samples/4, cfg.Classes, shape, 0.3, *seed)
+	r := training.NewRunner(
+		training.NewDriver(exec, ts),
+		training.NewShuffleSampler(train, *batch, *seed),
+		training.NewSequentialSampler(test, *batch))
+	r.TTA = metrics.NewTimeToAccuracy("tta", *target)
+	r.TTA.Start()
+	r.AfterEpoch = func(epoch int, testAcc float64) {
+		fmt.Printf("epoch %2d  test accuracy %.4f  last loss %.4f\n",
+			epoch, testAcc, r.LossCurve.Last())
+	}
+	fmt.Printf("training %s (%d params) with %s on %s backend, B=%d, lr=%g\n",
+		m.Name, m.ParamCount(), *opt, *backend, *batch, *lr)
+	fatalIf(r.RunEpochs(*epochs))
+
+	fmt.Printf("\nfinal test accuracy: %.4f (best %.4f)\n", r.TestAcc.Last(), r.TestAcc.Best())
+	if ok, when := r.TTA.Reached(); ok {
+		fmt.Printf("time to %.0f%% accuracy: %v\n", *target*100, when)
+	} else {
+		fmt.Printf("target accuracy %.0f%% not reached\n", *target*100)
+	}
+	if *save != "" {
+		fatalIf(graph.Save(m, *save))
+		fmt.Printf("model saved to %s\n", *save)
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "d500train:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,10 @@
+// Package deep500 is the root of Deep500-Go, a from-scratch Go reproduction
+// of "A Modular Benchmarking Infrastructure for High-Performance and
+// Reproducible Deep Learning" (Ben-Nun et al., IPDPS 2019). See README.md
+// for the architecture overview, DESIGN.md for the system inventory and
+// substitutions, and EXPERIMENTS.md for paper-vs-measured results.
+//
+// The root package carries only the repository-level benchmark harness
+// (bench_test.go): one benchmark per paper table/figure plus ablations of
+// the design choices called out in DESIGN.md §5.
+package deep500

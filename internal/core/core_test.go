@@ -1,0 +1,335 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+var quick = Options{Quick: true, Seed: 7}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{Title: "x", Headers: []string{"a", "b"}}
+	tbl.AddRow("1", "2")
+	tbl.AddNote("n")
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"== x ==", "a", "1", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestCapabilityTables(t *testing.T) {
+	t1 := RenderTableI()
+	if len(t1.Rows) != len(TableI) {
+		t.Fatal("table I rows")
+	}
+	// Deep500 row must be full across all columns
+	last := TableI[len(TableI)-1]
+	if !strings.Contains(last.Name, "Deep500") {
+		t.Fatal("Deep500 row missing")
+	}
+	for _, c := range TableIColumns {
+		if last.Caps[c] != Full {
+			t.Fatalf("Deep500 missing capability %s", c)
+		}
+	}
+	t2 := RenderTableII()
+	if len(t2.Rows) != len(TableII) {
+		t.Fatal("table II rows")
+	}
+	f2 := RenderFig2()
+	if len(f2.Rows) != len(Fig2Survey) {
+		t.Fatal("fig 2 rows")
+	}
+	// survey medians must be nondecreasing over time
+	for i := 1; i < len(Fig2Survey); i++ {
+		if Fig2Survey[i].Med < Fig2Survey[i-1].Med {
+			t.Fatal("node counts should grow over time")
+		}
+	}
+}
+
+func TestFig6ConvShapes(t *testing.T) {
+	res := RunFig6Conv(quick)
+	if len(res.All) == 0 {
+		t.Fatal("no rows")
+	}
+	medians := map[string]float64{}
+	for _, r := range res.All {
+		medians[r.Backend+"/"+r.Mode] = r.Summary.Median
+	}
+	// DeepBench must beat tfgo; Deep500 wrapping must stay within 25% of
+	// native even at quick scale (paper: within CIs).
+	if medians["deepbench/native"] >= medians["tfgo/native"] {
+		t.Fatalf("deepbench %v not faster than tfgo %v", medians["deepbench/native"], medians["tfgo/native"])
+	}
+	for _, backend := range []string{"tfgo", "torchgo", "cf2go"} {
+		n, d := medians[backend+"/native"], medians[backend+"/deep500"]
+		if d > n*1.5 {
+			t.Fatalf("%s instrumented %v vs native %v: overhead too large", backend, d, n)
+		}
+	}
+	tbl := RenderFig6(res)
+	if len(tbl.Rows) != len(res.All) {
+		t.Fatal("render mismatch")
+	}
+}
+
+func TestFig6GemmRuns(t *testing.T) {
+	res := RunFig6Gemm(quick)
+	if len(res.All) != 7 { // 3 backends × 2 modes + deepbench native
+		t.Fatalf("rows = %d", len(res.All))
+	}
+	for _, r := range res.All {
+		if r.Summary.Median <= 0 {
+			t.Fatalf("%s/%s: non-positive median", r.Backend, r.Mode)
+		}
+	}
+}
+
+func TestFig6Accuracy(t *testing.T) {
+	rows := RunFig6Accuracy(quick)
+	if len(rows) != 2 {
+		t.Fatal("rows")
+	}
+	anyNonzero := false
+	for _, r := range rows {
+		if r.MedianLInf < 0 || r.MedianLInf > 1e-2 {
+			t.Fatalf("%s: linf %g outside plausible fp32 band", r.Backend, r.MedianLInf)
+		}
+		if r.MedianLInf > 0 {
+			anyNonzero = true
+		}
+	}
+	// at least the Winograd path must differ from direct convolution
+	if !anyNonzero {
+		t.Fatal("all algorithms bitwise identical to reference — measurement vacuous")
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	res, err := RunFig7(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := map[string]Fig7Cell{}
+	for _, c := range res.Cells {
+		cells[c.Backend+"/"+c.Variant] = c
+	}
+	if !cells["torchgo/original"].OOM {
+		t.Fatal("torchgo original should OOM")
+	}
+	if cells["torchgo/microbatched"].OOM {
+		t.Fatal("torchgo microbatched should fit")
+	}
+	if cells["tfgo/original"].OOM || cells["tfgo/microbatched"].OOM {
+		t.Fatal("tfgo should fit both variants")
+	}
+	if cells["tfgo/microbatched"].TimeSeconds <= cells["tfgo/original"].TimeSeconds {
+		t.Logf("note: tfgo microbatched (%v) not slower than original (%v) at quick scale",
+			cells["tfgo/microbatched"].TimeSeconds, cells["tfgo/original"].TimeSeconds)
+	}
+	if res.Transformed == 0 {
+		t.Fatal("no conv nodes transformed")
+	}
+	RenderFig7(res)
+}
+
+func TestOverheadSmall(t *testing.T) {
+	res, err := RunOverhead(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NativeEpoch.Median <= 0 {
+		t.Fatal("no timing")
+	}
+	// The paper reports <1%; allow slack for quick-mode noise but the
+	// instrumentation must not be catastrophic.
+	if res.OverheadFraction > 0.15 {
+		t.Fatalf("instrumentation overhead %v too large", res.OverheadFraction)
+	}
+	RenderOverhead(res)
+}
+
+func TestFig8Shapes(t *testing.T) {
+	dir := t.TempDir()
+	res, err := RunFig8(quick, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Small) != 8 {
+		t.Fatalf("small rows %d", len(res.Small))
+	}
+	byName := map[string]float64{}
+	for _, r := range append(res.Small, res.Large...) {
+		byName[r.Dataset+"/"+r.Generator] = r.Summary.Median
+	}
+	// ImageNet real loading (JPEG decode) must be much slower than synth.
+	synth := byName["imagenet/synth"]
+	oneNode := 0.0
+	for _, r := range res.Large {
+		if strings.Contains(r.Generator, "files+1nodes") {
+			oneNode = r.Summary.Median
+			break
+		}
+	}
+	if oneNode <= synth {
+		t.Fatalf("imagenet real %v not slower than synth %v", oneNode, synth)
+	}
+	RenderFig8(res)
+}
+
+func TestTable3Shapes(t *testing.T) {
+	dir := t.TempDir()
+	rows, err := RunTable3(quick, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	cell := func(kind, pipe string) float64 {
+		for _, r := range rows {
+			if strings.Contains(r.DataKind, kind) && r.Pipeline == pipe {
+				return r.Seconds
+			}
+		}
+		t.Fatalf("missing cell %s/%s", kind, pipe)
+		return 0
+	}
+	// turbo must beat basic on full batches
+	basic := cell("images (sequential)", "tar+basic(PIL)")
+	turbo := cell("images (sequential)", "tar+turbo")
+	if turbo >= basic {
+		t.Fatalf("turbo %v not faster than basic %v on batch", turbo, basic)
+	}
+	RenderTable3(rows)
+}
+
+func TestFig9Convergence(t *testing.T) {
+	curves, err := RunFig9(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 9 {
+		t.Fatalf("curves %d", len(curves))
+	}
+	for _, c := range curves {
+		if len(c.TestAcc) == 0 || len(c.LossCurve) == 0 {
+			t.Fatalf("%s: empty curves", c.Name)
+		}
+	}
+	RenderConvergence("fig9", curves)
+}
+
+func TestFig10Convergence(t *testing.T) {
+	curves, err := RunFig10(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 4 {
+		t.Fatalf("curves %d", len(curves))
+	}
+}
+
+func TestFig11DivergenceGrows(t *testing.T) {
+	points, err := RunFig11(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 5 {
+		t.Fatalf("points %d", len(points))
+	}
+	first, last := points[0], points[len(points)-1]
+	if last.TotalL2 <= first.TotalL2 {
+		t.Fatalf("divergence did not grow: %g -> %g", first.TotalL2, last.TotalL2)
+	}
+	RenderFig11(points)
+}
+
+func TestFig12StrongShapes(t *testing.T) {
+	rows, err := RunFig12Strong(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tput := map[string]map[int]float64{}
+	vol := map[string]map[int]float64{}
+	for _, r := range rows {
+		if tput[r.Scheme] == nil {
+			tput[r.Scheme] = map[int]float64{}
+			vol[r.Scheme] = map[int]float64{}
+		}
+		tput[r.Scheme][r.Nodes] = r.Throughput
+		vol[r.Scheme][r.Nodes] = r.PerNodeGB
+	}
+	maxNodes := 8
+	// CDSGD must beat the Python-profile reference DSGD at scale.
+	if tput["CDSGD"][maxNodes] <= tput["REF-dsgd"][maxNodes] {
+		t.Fatalf("CDSGD %v not faster than REF-dsgd %v",
+			tput["CDSGD"][maxNodes], tput["REF-dsgd"][maxNodes])
+	}
+	// DSGD and CDSGD exhibit the same per-node communication volume.
+	if d := vol["CDSGD"][maxNodes] - vol["REF-dsgd"][maxNodes]; d > 0.01 || d < -0.01 {
+		t.Fatalf("CDSGD volume %v != REF-dsgd volume %v", vol["CDSGD"][maxNodes], vol["REF-dsgd"][maxNodes])
+	}
+	// SparCML ships fewer bytes than dense DSGD at small scale.
+	if vol["SparCML"][4] >= vol["CDSGD"][4] {
+		t.Fatalf("SparCML volume %v not below CDSGD %v", vol["SparCML"][4], vol["CDSGD"][4])
+	}
+	RenderFig12("strong", rows)
+}
+
+func TestFig12WeakShapes(t *testing.T) {
+	rows, err := RunFig12Weak(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tput := map[string]map[int]float64{}
+	for _, r := range rows {
+		if tput[r.Scheme] == nil {
+			tput[r.Scheme] = map[int]float64{}
+		}
+		tput[r.Scheme][r.Nodes] = r.Throughput
+	}
+	// weak scaling: CDSGD throughput must grow with node count
+	if tput["CDSGD"][16] <= tput["CDSGD"][1] {
+		t.Fatalf("CDSGD weak scaling flat: %v", tput["CDSGD"])
+	}
+	// decentralized allreduce must out-scale the parameter server
+	if tput["CDSGD"][16] <= tput["TF-PS"][16] {
+		t.Fatalf("CDSGD %v not above TF-PS %v at 16 nodes", tput["CDSGD"][16], tput["TF-PS"][16])
+	}
+}
+
+func TestFig12FailureEmulation(t *testing.T) {
+	o := Options{Quick: false, Seed: 3}
+	// run only the failing points: craft a direct call
+	rows, err := runFig12(o, []int{256}, func(int) int { return 1 }, 1, []string{"TF-PS", "Horovod"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Failed == "" {
+			t.Fatalf("%s at 256 should report the paper-observed failure", r.Scheme)
+		}
+	}
+}
+
+func TestValidationSuiteAllPass(t *testing.T) {
+	results, err := RunValidationSuite(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) < 9 {
+		t.Fatalf("only %d validation checks ran", len(results))
+	}
+	for _, r := range results {
+		if !r.Passed {
+			t.Errorf("%v", r)
+		}
+	}
+}

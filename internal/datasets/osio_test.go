@@ -1,0 +1,6 @@
+package datasets
+
+import "os"
+
+func osReadFile(path string) ([]byte, error)  { return os.ReadFile(path) }
+func osWriteFile(path string, b []byte) error { return os.WriteFile(path, b, 0o644) }

@@ -1,0 +1,235 @@
+package datasets
+
+import (
+	"errors"
+	"io"
+	"runtime"
+	"sync"
+
+	"deep500/internal/tensor"
+)
+
+// Decoder turns JPEG byte slices into HWC pixel buffers.
+type Decoder interface {
+	Name() string
+	// DecodeBatch decodes all inputs (order-preserving).
+	DecodeBatch(spec Spec, jpegs [][]byte) ([][]uint8, error)
+}
+
+// BasicDecoder decodes sequentially, one image at a time — the PIL
+// stand-in of Table III.
+type BasicDecoder struct{}
+
+// Name returns "basic".
+func (BasicDecoder) Name() string { return "basic" }
+
+// DecodeBatch decodes inputs one after another.
+func (BasicDecoder) DecodeBatch(spec Spec, jpegs [][]byte) ([][]uint8, error) {
+	out := make([][]uint8, len(jpegs))
+	for i, j := range jpegs {
+		px, err := DecodeJPEG(spec, j)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = px
+	}
+	return out, nil
+}
+
+// TurboDecoder decodes with a parallel worker pool — the libjpeg-turbo
+// stand-in of Table III (and the "parallel decoding" the paper attributes
+// to TensorFlow's native pipeline).
+type TurboDecoder struct {
+	// Workers overrides the pool size (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Name returns "turbo".
+func (TurboDecoder) Name() string { return "turbo" }
+
+// DecodeBatch decodes inputs concurrently.
+func (d TurboDecoder) DecodeBatch(spec Spec, jpegs [][]byte) ([][]uint8, error) {
+	workers := d.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jpegs) {
+		workers = len(jpegs)
+	}
+	out := make([][]uint8, len(jpegs))
+	errs := make([]error, len(jpegs))
+	var wg sync.WaitGroup
+	next := make(chan int, len(jpegs))
+	for i := range jpegs {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i], errs[i] = DecodeJPEG(spec, jpegs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// TarBatch loads the given sample indices from an indexed tar through the
+// decoder and assembles an NCHW minibatch — the tar pipelines of Table
+// III. Sequential access passes sorted indices; shuffled access passes a
+// random permutation slice.
+func TarBatch(t *IndexedTar, indices []int, dec Decoder) (*tensor.Tensor, []int, error) {
+	jpegs := make([][]byte, len(indices))
+	labels := make([]int, len(indices))
+	for i, idx := range indices {
+		j, label, err := t.ReadSample(idx)
+		if err != nil {
+			return nil, nil, err
+		}
+		jpegs[i] = j
+		labels[i] = label
+	}
+	imgs, err := dec.DecodeBatch(t.Spec, jpegs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return assembleBatch(t.Spec, imgs), labels, nil
+}
+
+func assembleBatch(spec Spec, imgs [][]uint8) *tensor.Tensor {
+	batch := len(imgs)
+	x := tensor.New(batch, spec.C, spec.H, spec.W)
+	hw := spec.H * spec.W
+	for n, img := range imgs {
+		base := n * spec.C * hw
+		for p := 0; p < hw; p++ {
+			for c := 0; c < spec.C; c++ {
+				x.Data()[base+c*hw+p] = float32(img[p*spec.C+c]) / 255
+			}
+		}
+	}
+	return x
+}
+
+// RecordPipeline streams record shards through a shuffle buffer and a
+// parallel decoder — the "native decoder" pipeline of Table III. The
+// shuffle buffer implements the paper's pseudo-shuffling: a window of
+// records is held in memory and emitted in random order, trading
+// stochasticity for sequential file I/O.
+type RecordPipeline struct {
+	Spec       Spec
+	BufferSize int
+	Shuffle    bool
+	Decoder    Decoder
+	rng        *tensor.RNG
+
+	paths   []string
+	shard   int
+	reader  *RecordReader
+	buf     [][]byte // raw payloads in the shuffle window
+	drained bool
+}
+
+// NewRecordPipeline opens shard paths for streaming.
+func NewRecordPipeline(paths []string, spec Spec, bufferSize int, shuffle bool, seed uint64) (*RecordPipeline, error) {
+	p := &RecordPipeline{
+		Spec: spec, BufferSize: bufferSize, Shuffle: shuffle,
+		Decoder: TurboDecoder{}, rng: tensor.NewRNG(seed), paths: paths,
+	}
+	if bufferSize < 1 {
+		p.BufferSize = 1
+	}
+	return p, p.openShard(0)
+}
+
+func (p *RecordPipeline) openShard(i int) error {
+	if p.reader != nil {
+		p.reader.Close()
+		p.reader = nil
+	}
+	if i >= len(p.paths) {
+		p.drained = true
+		return nil
+	}
+	r, err := OpenRecord(p.paths[i])
+	if err != nil {
+		return err
+	}
+	p.shard = i
+	p.reader = r
+	return nil
+}
+
+// fill tops up the shuffle buffer from the shards.
+func (p *RecordPipeline) fill() error {
+	for len(p.buf) < p.BufferSize && !p.drained {
+		payload, err := p.reader.Next()
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			if err2 := p.openShard(p.shard + 1); err2 != nil {
+				return err2
+			}
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		p.buf = append(p.buf, payload)
+	}
+	return nil
+}
+
+// NextBatch returns the next decoded minibatch, or (nil, nil, nil) when the
+// epoch is exhausted.
+func (p *RecordPipeline) NextBatch(batch int) (*tensor.Tensor, []int, error) {
+	if err := p.fill(); err != nil {
+		return nil, nil, err
+	}
+	if len(p.buf) == 0 {
+		return nil, nil, nil
+	}
+	n := batch
+	if n > len(p.buf) {
+		n = len(p.buf)
+	}
+	jpegs := make([][]byte, n)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		pick := 0
+		if p.Shuffle {
+			pick = p.rng.Intn(len(p.buf))
+		}
+		payload := p.buf[pick]
+		p.buf[pick] = p.buf[len(p.buf)-1]
+		p.buf = p.buf[:len(p.buf)-1]
+		label, jp, err := DecodeSample(payload)
+		if err != nil {
+			return nil, nil, err
+		}
+		jpegs[i] = jp
+		labels[i] = label
+		if err := p.fill(); err != nil {
+			return nil, nil, err
+		}
+	}
+	imgs, err := p.Decoder.DecodeBatch(p.Spec, jpegs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return assembleBatch(p.Spec, imgs), labels, nil
+}
+
+// Close releases the open shard.
+func (p *RecordPipeline) Close() error {
+	if p.reader != nil {
+		return p.reader.Close()
+	}
+	return nil
+}

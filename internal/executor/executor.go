@@ -1,0 +1,329 @@
+package executor
+
+import (
+	"fmt"
+	"time"
+
+	"deep500/internal/graph"
+	"deep500/internal/kernels"
+	"deep500/internal/ops"
+	"deep500/internal/tensor"
+)
+
+// GraphExecutor controls DNN execution: inference, and inference combined
+// with backpropagation (paper §IV-D). Implementations include the reference
+// executor in this package and the emulated framework backends in
+// internal/frameworks.
+type GraphExecutor interface {
+	// Network returns the executed network.
+	Network() *Network
+	// Inference runs a forward pass with the given input feeds and returns
+	// the model's declared outputs.
+	Inference(feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error)
+	// InferenceAndBackprop runs forward and backward from the named loss
+	// tensor; parameter gradients are afterwards available on the Network.
+	InferenceAndBackprop(feeds map[string]*tensor.Tensor, loss string) (map[string]*tensor.Tensor, error)
+	// SetTraining switches training-dependent operators (dropout, batch
+	// normalization) between training and inference behaviour.
+	SetTraining(training bool)
+}
+
+// Executor is the Deep500 reference graph executor: a topological-order
+// interpreter over Level 0 operators. It is intentionally simple (the paper
+// positions reference code as "verified yet slow") but supports the full
+// event, memory-model and instrumentation surface.
+type Executor struct {
+	net     *Network
+	order   []*graph.Node
+	nodeOps map[*graph.Node]ops.Operator
+
+	// Events receives hook callbacks; nil disables instrumentation.
+	Events *Events
+	// Memory, when non-nil, enforces a device-memory capacity.
+	Memory *MemoryModel
+	// OpOverhead adds a fixed dispatch cost per operator invocation; the
+	// framework emulation layer uses it to model runtime dispatch costs.
+	OpOverhead time.Duration
+
+	training bool
+	// last forward pass state
+	values   map[string]*tensor.Tensor
+	nodeIns  map[*graph.Node][]*tensor.Tensor
+	nodeOuts map[*graph.Node][]*tensor.Tensor
+	// LastForwardFLOPs is the operator-reported FLOP total of the most
+	// recent forward pass.
+	LastForwardFLOPs int64
+	// lastActivationBytes is the activation memory charged to the memory
+	// model by the most recent forward pass, released by freeActivations.
+	lastActivationBytes int64
+}
+
+// New builds a reference executor for the model. It validates the graph,
+// instantiates one operator per node and fails on unknown op types.
+func New(m *graph.Model) (*Executor, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := m.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	e := &Executor{
+		net:     NewNetwork(m),
+		order:   order,
+		nodeOps: make(map[*graph.Node]ops.Operator, len(order)),
+	}
+	for _, n := range order {
+		op, err := ops.FromNode(n)
+		if err != nil {
+			return nil, err
+		}
+		e.nodeOps[n] = op
+	}
+	return e, nil
+}
+
+// MustNew is New, panicking on error; for tests and examples.
+func MustNew(m *graph.Model) *Executor {
+	e, err := New(m)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Network returns the live network.
+func (e *Executor) Network() *Network { return e.net }
+
+// SetTraining propagates the training flag to all training-aware operators.
+func (e *Executor) SetTraining(training bool) {
+	e.training = training
+	for _, op := range e.nodeOps {
+		if ta, ok := op.(ops.TrainingAware); ok {
+			ta.SetTraining(training)
+		}
+	}
+}
+
+// Op returns the operator instance bound to a node (used by transforms and
+// ablation benchmarks to tweak per-node algorithms).
+func (e *Executor) Op(n *graph.Node) ops.Operator { return e.nodeOps[n] }
+
+// SetOp replaces the operator bound to a node. The framework emulation
+// layer uses this (via the graph visitor) to install backend-specific
+// operator implementations, mirroring the paper's visitor-based network
+// construction (Fig. 4).
+func (e *Executor) SetOp(n *graph.Node, op ops.Operator) { e.nodeOps[n] = op }
+
+// LastValue returns an activation tensor from the most recent pass.
+func (e *Executor) LastValue(name string) (*tensor.Tensor, bool) {
+	t, ok := e.values[name]
+	return t, ok
+}
+
+func (e *Executor) spinOverhead() {
+	if e.OpOverhead <= 0 {
+		return
+	}
+	deadline := time.Now().Add(e.OpOverhead)
+	for time.Now().Before(deadline) {
+	}
+}
+
+// forward runs the forward pass, populating e.values/nodeIns/nodeOuts.
+func (e *Executor) forward(feeds map[string]*tensor.Tensor) error {
+	ev := e.Events
+	if ev != nil && ev.BeforeInference != nil {
+		ev.BeforeInference()
+	}
+	start := time.Now()
+
+	e.values = make(map[string]*tensor.Tensor, len(e.order)*2)
+	e.nodeIns = make(map[*graph.Node][]*tensor.Tensor, len(e.order))
+	e.nodeOuts = make(map[*graph.Node][]*tensor.Tensor, len(e.order))
+	e.LastForwardFLOPs = 0
+	e.lastActivationBytes = 0
+
+	for name, t := range feeds {
+		e.values[name] = t
+	}
+	for name, t := range e.net.values {
+		e.values[name] = t
+	}
+
+	for _, n := range e.order {
+		if ev != nil && ev.Stop != nil && ev.Stop() {
+			break
+		}
+		op := e.nodeOps[n]
+		ins := make([]*tensor.Tensor, len(n.Inputs))
+		for i, name := range n.Inputs {
+			if name == "" {
+				continue
+			}
+			t, ok := e.values[name]
+			if !ok {
+				return fmt.Errorf("executor: node %q input %q not available (missing feed?)", n.Name, name)
+			}
+			ins[i] = t
+		}
+		// Workspace accounting for convolutions.
+		var workspace int64
+		if conv, ok := op.(*ops.Conv2DOp); ok && e.Memory != nil {
+			x, w := ins[0], ins[1]
+			cs := kernels.ConvShape{N: x.Dim(0), C: x.Dim(1), H: x.Dim(2), W: x.Dim(3),
+				M: w.Dim(0), KH: w.Dim(2), KW: w.Dim(3),
+				StrideH: conv.StrideH, StrideW: conv.StrideW, PadH: conv.PadH, PadW: conv.PadW}
+			workspace = cs.WorkspaceBytes(conv.Algo)
+			if err := e.Memory.Alloc(workspace); err != nil {
+				return err
+			}
+		}
+		if ev != nil && ev.BeforeOp != nil {
+			ev.BeforeOp(n)
+		}
+		opStart := time.Now()
+		e.spinOverhead()
+		outs := op.Forward(ins)
+		opDur := time.Since(opStart)
+		if ev != nil && ev.AfterOp != nil {
+			ev.AfterOp(n, opDur)
+		}
+		if workspace > 0 {
+			e.Memory.Free(workspace)
+		}
+		e.LastForwardFLOPs += op.FLOPs(ins)
+		for i, name := range n.Outputs {
+			if i >= len(outs) {
+				break
+			}
+			if e.Memory != nil {
+				if err := e.Memory.Alloc(outs[i].Bytes()); err != nil {
+					return err
+				}
+				e.lastActivationBytes += outs[i].Bytes()
+			}
+			e.values[name] = outs[i]
+		}
+		e.nodeIns[n] = ins
+		e.nodeOuts[n] = outs
+	}
+	if ev != nil && ev.AfterInference != nil {
+		ev.AfterInference(time.Since(start))
+	}
+	// Activations are released at the end of the enclosing pass by the
+	// caller via freeActivations.
+	return nil
+}
+
+func (e *Executor) freeActivations() {
+	if e.Memory != nil {
+		e.Memory.Free(e.lastActivationBytes)
+		e.lastActivationBytes = 0
+	}
+}
+
+// Inference runs a forward pass and returns the model's declared outputs.
+func (e *Executor) Inference(feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	if err := e.forward(feeds); err != nil {
+		e.freeActivations()
+		return nil, err
+	}
+	out := e.collectOutputs()
+	e.freeActivations()
+	return out, nil
+}
+
+func (e *Executor) collectOutputs() map[string]*tensor.Tensor {
+	out := make(map[string]*tensor.Tensor, len(e.net.Model.Outputs))
+	for _, name := range e.net.Model.Outputs {
+		if t, ok := e.values[name]; ok {
+			out[name] = t
+		}
+	}
+	return out
+}
+
+// InferenceAndBackprop runs forward then backpropagates from the named loss
+// tensor. Parameter gradients become available via Network().Gradients().
+func (e *Executor) InferenceAndBackprop(feeds map[string]*tensor.Tensor, loss string) (map[string]*tensor.Tensor, error) {
+	if err := e.forward(feeds); err != nil {
+		e.freeActivations()
+		return nil, err
+	}
+	defer e.freeActivations()
+
+	lossT, ok := e.values[loss]
+	if !ok {
+		return nil, fmt.Errorf("executor: loss tensor %q not produced by forward pass", loss)
+	}
+	ev := e.Events
+	if ev != nil && ev.BeforeBackprop != nil {
+		ev.BeforeBackprop()
+	}
+	start := time.Now()
+
+	gradOf := make(map[string]*tensor.Tensor)
+	gradOf[loss] = tensor.Full(1, lossT.Shape()...)
+
+	e.net.ClearGradients()
+	for i := len(e.order) - 1; i >= 0; i-- {
+		n := e.order[i]
+		if ev != nil && ev.Stop != nil && ev.Stop() {
+			break
+		}
+		outs := e.nodeOuts[n]
+		if outs == nil {
+			continue // node skipped in forward (early exit)
+		}
+		gradOuts := make([]*tensor.Tensor, len(outs))
+		any := false
+		for j, name := range n.Outputs {
+			if j >= len(outs) {
+				break
+			}
+			if g, ok := gradOf[name]; ok {
+				gradOuts[j] = g
+				any = true
+			}
+		}
+		if !any {
+			continue // node not on the loss path
+		}
+		for j := range gradOuts {
+			if gradOuts[j] == nil {
+				gradOuts[j] = tensor.New(outs[j].Shape()...)
+			}
+		}
+		op := e.nodeOps[n]
+		if ev != nil && ev.BeforeBackwardOp != nil {
+			ev.BeforeBackwardOp(n)
+		}
+		opStart := time.Now()
+		e.spinOverhead()
+		gradIns := op.Backward(gradOuts, e.nodeIns[n], outs)
+		opDur := time.Since(opStart)
+		if ev != nil && ev.AfterBackwardOp != nil {
+			ev.AfterBackwardOp(n, opDur)
+		}
+		for j, name := range n.Inputs {
+			if name == "" || j >= len(gradIns) || gradIns[j] == nil {
+				continue
+			}
+			if prev, ok := gradOf[name]; ok {
+				prev.AddInPlace(gradIns[j])
+			} else {
+				gradOf[name] = gradIns[j]
+			}
+		}
+	}
+	for _, name := range e.net.Params() {
+		if g, ok := gradOf[name]; ok {
+			e.net.setGrad(name, g)
+		}
+	}
+	if ev != nil && ev.AfterBackprop != nil {
+		ev.AfterBackprop(time.Since(start))
+	}
+	return e.collectOutputs(), nil
+}

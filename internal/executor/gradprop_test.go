@@ -1,0 +1,140 @@
+package executor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"deep500/internal/graph"
+	"deep500/internal/tensor"
+)
+
+// TestPropEndToEndGradients is the repository's strongest correctness
+// property: for randomly shaped MLPs, the parameter gradients produced by
+// whole-graph backpropagation must match central finite differences of the
+// scalar loss. This covers the executor's gradient routing (accumulation
+// across consumers, loss seeding, parameter extraction) on top of the
+// per-operator checks in internal/ops.
+func TestPropEndToEndGradients(t *testing.T) {
+	f := func(seed uint16) bool {
+		rng := tensor.NewRNG(uint64(seed) + 1000)
+		hidden := rng.Intn(12) + 4
+		classes := rng.Intn(3) + 2
+		batch := rng.Intn(4) + 2
+		side := rng.Intn(3) + 2
+
+		// Build a smooth (tanh) MLP: ReLU kinks would poison the finite
+		// differences when a perturbation flips an activation.
+		feat := side * side
+		m := graph.NewModel("smooth-mlp")
+		m.AddInput("x", -1, 1, side, side)
+		m.AddInput("labels", -1)
+		wrng := tensor.NewRNG(uint64(seed) + 7)
+		m.AddInitializer("w1", tensor.XavierInit(wrng, feat, hidden, feat, hidden))
+		m.AddInitializer("b1", tensor.RandNormal(wrng, 0, 0.1, hidden))
+		m.AddInitializer("w2", tensor.XavierInit(wrng, hidden, classes, hidden, classes))
+		m.AddInitializer("b2", tensor.RandNormal(wrng, 0, 0.1, classes))
+		m.AddNode(graph.NewNode("Flatten", "fl", []string{"x"}, []string{"f"}, graph.IntAttr("axis", 1)))
+		m.AddNode(graph.NewNode("Gemm", "fc1", []string{"f", "w1", "b1"}, []string{"h1"}))
+		m.AddNode(graph.NewNode("Tanh", "act", []string{"h1"}, []string{"h2"}))
+		m.AddNode(graph.NewNode("Gemm", "fc2", []string{"h2", "w2", "b2"}, []string{"logits"}))
+		m.AddNode(graph.NewNode("SoftmaxCrossEntropy", "ce", []string{"logits", "labels"}, []string{"loss", "probs"}))
+		m.AddOutput("loss")
+		e := MustNew(m)
+		x := tensor.RandNormal(rng, 0, 1, batch, 1, side, side)
+		labels := tensor.New(batch)
+		for i := 0; i < batch; i++ {
+			labels.Data()[i] = float32(rng.Intn(classes))
+		}
+		feeds := map[string]*tensor.Tensor{"x": x, "labels": labels}
+
+		if _, err := e.InferenceAndBackprop(feeds, "loss"); err != nil {
+			t.Log(err)
+			return false
+		}
+		lossAt := func() float64 {
+			out, err := e.Inference(feeds)
+			if err != nil {
+				return math.NaN()
+			}
+			return float64(out["loss"].Data()[0])
+		}
+		const h = 1e-2
+		for _, pg := range e.Network().Gradients() {
+			data := pg.Param.Data()
+			// probe a few elements per parameter
+			stride := len(data)/4 + 1
+			for i := 0; i < len(data); i += stride {
+				orig := data[i]
+				data[i] = orig + h
+				lp := lossAt()
+				data[i] = orig - h
+				lm := lossAt()
+				data[i] = orig
+				num := (lp - lm) / (2 * h)
+				got := float64(pg.Grad.Data()[i])
+				diff := math.Abs(num - got)
+				scale := math.Max(math.Abs(num), math.Abs(got))
+				if diff > 5e-3 && diff > 0.08*scale {
+					t.Logf("seed %d param %s[%d]: analytic %g numeric %g", seed, pg.Name, i, got, num)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGradientAccumulationAcrossConsumers checks the executor adds
+// gradient contributions when one tensor feeds multiple nodes (the
+// residual-connection pattern).
+func TestGradientAccumulationAcrossConsumers(t *testing.T) {
+	m := graph.NewModel("fanout")
+	rng := tensor.NewRNG(3)
+	m.AddInput("x", -1, 4)
+	m.AddInitializer("w", tensor.RandNormal(rng, 0, 0.5, 4, 4))
+	// y = relu(x·w) + x·w  — w's gradient must combine both paths
+	m.AddNode(graph.NewNode("MatMul", "mm", []string{"x", "w"}, []string{"a"}))
+	m.AddNode(graph.NewNode("Relu", "r", []string{"a"}, []string{"b"}))
+	m.AddNode(graph.NewNode("Add", "add", []string{"b", "a"}, []string{"c"}))
+	m.AddNode(graph.NewNode("MeanSquaredError", "mse", []string{"c", "target"}, []string{"loss"}))
+	m.AddInput("target", -1, 4)
+	m.AddOutput("loss")
+	e := MustNew(m)
+	feeds := map[string]*tensor.Tensor{
+		"x":      tensor.RandNormal(rng, 0, 1, 3, 4),
+		"target": tensor.RandNormal(rng, 0, 1, 3, 4),
+	}
+	if _, err := e.InferenceAndBackprop(feeds, "loss"); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := e.Network().FetchTensor("w")
+	g := e.Network().Gradient("w")
+	if g == nil {
+		t.Fatal("no gradient for shared tensor")
+	}
+	const h = 1e-2
+	lossAt := func() float64 {
+		out, err := e.Inference(feeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(out["loss"].Data()[0])
+	}
+	for i := 0; i < w.Size(); i += 3 {
+		orig := w.Data()[i]
+		w.Data()[i] = orig + h
+		lp := lossAt()
+		w.Data()[i] = orig - h
+		lm := lossAt()
+		w.Data()[i] = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-float64(g.Data()[i])) > 6e-3 {
+			t.Fatalf("w[%d]: analytic %g numeric %g (fan-out accumulation broken?)",
+				i, g.Data()[i], num)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Package executor implements Deep500 Level 1: the Network abstraction over
+// a D5NX graph, graph executors that run inference and backpropagation, the
+// event ("hook") mechanism for fine-grained measurement and early exits, and
+// a device memory model used to study out-of-memory behaviour (paper §IV-D).
+package executor
+
+import (
+	"fmt"
+	"sort"
+
+	"deep500/internal/graph"
+	"deep500/internal/tensor"
+)
+
+// Network binds a graph.Model to live tensor state: current parameter
+// values and, after a backward pass, parameter gradients. It exposes the
+// fetch/feed tensor API the paper's Network class provides.
+type Network struct {
+	Model  *graph.Model
+	values map[string]*tensor.Tensor // parameters (initializers), mutable
+	grads  map[string]*tensor.Tensor // parameter gradients from last backprop
+}
+
+// NewNetwork wraps a model. Parameter tensors are referenced, not copied,
+// so external optimizers and the network observe the same state.
+func NewNetwork(m *graph.Model) *Network {
+	n := &Network{
+		Model:  m,
+		values: make(map[string]*tensor.Tensor, len(m.Initializers)),
+		grads:  make(map[string]*tensor.Tensor),
+	}
+	for name, t := range m.Initializers {
+		n.values[name] = t
+	}
+	return n
+}
+
+// FetchTensor returns the named parameter tensor.
+func (n *Network) FetchTensor(name string) (*tensor.Tensor, error) {
+	t, ok := n.values[name]
+	if !ok {
+		return nil, fmt.Errorf("executor: network has no tensor %q", name)
+	}
+	return t, nil
+}
+
+// FeedTensor replaces the named parameter tensor.
+func (n *Network) FeedTensor(name string, t *tensor.Tensor) {
+	n.values[name] = t
+	n.Model.Initializers[name] = t
+}
+
+// Params returns parameter names in deterministic order.
+func (n *Network) Params() []string {
+	names := make([]string, 0, len(n.values))
+	for name := range n.values {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Gradient returns the gradient of the named parameter from the last
+// backward pass (nil if none).
+func (n *Network) Gradient(name string) *tensor.Tensor { return n.grads[name] }
+
+// Gradients returns (param, grad) pairs for every parameter that received a
+// gradient, in deterministic order — the analogue of network.gradient() in
+// the paper's Listing 9.
+func (n *Network) Gradients() []ParamGrad {
+	var out []ParamGrad
+	for _, name := range n.Params() {
+		if g, ok := n.grads[name]; ok && g != nil {
+			out = append(out, ParamGrad{Name: name, Param: n.values[name], Grad: g})
+		}
+	}
+	return out
+}
+
+// ParamGrad pairs a parameter tensor with its gradient.
+type ParamGrad struct {
+	Name  string
+	Param *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+// setGrad stores a parameter gradient (executor internal).
+func (n *Network) setGrad(name string, g *tensor.Tensor) { n.grads[name] = g }
+
+// ClearGradients drops all stored gradients.
+func (n *Network) ClearGradients() { n.grads = make(map[string]*tensor.Tensor) }
+
+// ParamBytes returns the total parameter footprint in bytes.
+func (n *Network) ParamBytes() int64 {
+	var b int64
+	for _, t := range n.values {
+		b += t.Bytes()
+	}
+	return b
+}

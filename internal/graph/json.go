@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"deep500/internal/tensor"
+)
+
+// JSON form of D5NX: a human-readable interchange encoding, the analogue
+// of the textual protobuf forms ONNX tooling exchanges. The binary format
+// (serialize.go) is canonical; JSON is for inspection, diffing and
+// cross-language interop.
+
+type jsonModel struct {
+	Name         string                `json:"name"`
+	DocString    string                `json:"doc,omitempty"`
+	Inputs       []jsonTensorInfo      `json:"inputs"`
+	Outputs      []string              `json:"outputs"`
+	Initializers map[string]jsonTensor `json:"initializers"`
+	Nodes        []jsonNode            `json:"nodes"`
+}
+
+type jsonTensorInfo struct {
+	Name  string `json:"name"`
+	Shape []int  `json:"shape"`
+}
+
+type jsonTensor struct {
+	Shape []int     `json:"shape"`
+	Data  []float32 `json:"data"`
+}
+
+type jsonNode struct {
+	Name    string     `json:"name"`
+	OpType  string     `json:"op"`
+	Inputs  []string   `json:"inputs"`
+	Outputs []string   `json:"outputs"`
+	Attrs   []jsonAttr `json:"attrs,omitempty"`
+}
+
+type jsonAttr struct {
+	Name   string      `json:"name"`
+	Type   string      `json:"type"`
+	I      int64       `json:"i,omitempty"`
+	F      float64     `json:"f,omitempty"`
+	S      string      `json:"s,omitempty"`
+	Ints   []int64     `json:"ints,omitempty"`
+	Floats []float64   `json:"floats,omitempty"`
+	Tensor *jsonTensor `json:"tensor,omitempty"`
+}
+
+// EncodeJSON writes the model as indented JSON.
+func EncodeJSON(m *Model, w io.Writer) error {
+	jm := jsonModel{
+		Name:         m.Name,
+		DocString:    m.DocString,
+		Outputs:      m.Outputs,
+		Initializers: make(map[string]jsonTensor, len(m.Initializers)),
+	}
+	for _, in := range m.Inputs {
+		jm.Inputs = append(jm.Inputs, jsonTensorInfo{Name: in.Name, Shape: in.Shape})
+	}
+	for _, name := range m.ParamNames() {
+		t := m.Initializers[name]
+		jm.Initializers[name] = jsonTensor{Shape: t.Shape(), Data: t.Data()}
+	}
+	for _, n := range m.Nodes {
+		jn := jsonNode{Name: n.Name, OpType: n.OpType, Inputs: n.Inputs, Outputs: n.Outputs}
+		for _, a := range n.Attrs {
+			ja := jsonAttr{Name: a.Name, Type: a.Type.String()}
+			switch a.Type {
+			case AttrInt:
+				ja.I = a.I
+			case AttrFloat:
+				ja.F = a.F
+			case AttrString:
+				ja.S = a.S
+			case AttrInts:
+				ja.Ints = a.Ints
+			case AttrFloats:
+				ja.Floats = a.Floats
+			case AttrTensor:
+				ja.Tensor = &jsonTensor{Shape: a.T.Shape(), Data: a.T.Data()}
+			}
+			jn.Attrs = append(jn.Attrs, ja)
+		}
+		jm.Nodes = append(jm.Nodes, jn)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jm)
+}
+
+// DecodeJSON reads a model from its JSON form.
+func DecodeJSON(r io.Reader) (*Model, error) {
+	var jm jsonModel
+	if err := json.NewDecoder(r).Decode(&jm); err != nil {
+		return nil, err
+	}
+	m := NewModel(jm.Name)
+	m.DocString = jm.DocString
+	for _, in := range jm.Inputs {
+		m.AddInput(in.Name, in.Shape...)
+	}
+	m.Outputs = append(m.Outputs, jm.Outputs...)
+	for name, jt := range jm.Initializers {
+		m.Initializers[name] = tensor.From(jt.Data, jt.Shape...)
+	}
+	for _, jn := range jm.Nodes {
+		var attrs []Attribute
+		for _, ja := range jn.Attrs {
+			switch ja.Type {
+			case "int":
+				attrs = append(attrs, IntAttr(ja.Name, ja.I))
+			case "float":
+				attrs = append(attrs, FloatAttr(ja.Name, ja.F))
+			case "string":
+				attrs = append(attrs, StringAttr(ja.Name, ja.S))
+			case "ints":
+				attrs = append(attrs, IntsAttr(ja.Name, ja.Ints...))
+			case "floats":
+				attrs = append(attrs, FloatsAttr(ja.Name, ja.Floats...))
+			case "tensor":
+				if ja.Tensor == nil {
+					return nil, fmt.Errorf("graph: tensor attribute %q missing payload", ja.Name)
+				}
+				attrs = append(attrs, TensorAttr(ja.Name, tensor.From(ja.Tensor.Data, ja.Tensor.Shape...)))
+			default:
+				return nil, fmt.Errorf("graph: unknown attribute type %q", ja.Type)
+			}
+		}
+		m.AddNode(NewNode(jn.OpType, jn.Name, jn.Inputs, jn.Outputs, attrs...))
+	}
+	return m, nil
+}

@@ -1,0 +1,82 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"deep500/internal/tensor"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	m := smallMLP()
+	m.DocString = "json round trip"
+	m.FindNode("fc1").Attrs["alpha"] = FloatAttr("alpha", 2.5)
+	m.FindNode("fc1").Attrs["ks"] = IntsAttr("ks", 5, 5)
+	m.FindNode("prob").Attrs["v"] = TensorAttr("v", tensor.From([]float32{1, 2}, 2))
+
+	var buf bytes.Buffer
+	if err := EncodeJSON(m, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"op": "Gemm"`) {
+		t.Fatal("JSON not human-readable")
+	}
+	got, err := DecodeJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != m.Name || got.DocString != m.DocString {
+		t.Fatal("metadata lost")
+	}
+	if len(got.Nodes) != len(m.Nodes) {
+		t.Fatal("nodes lost")
+	}
+	if !tensor.AllClose(got.Initializers["w1"], m.Initializers["w1"], 0, 0) {
+		t.Fatal("weights corrupted")
+	}
+	fc1 := got.FindNode("fc1")
+	if fc1.AttrFloat("alpha", 0) != 2.5 || fc1.AttrInts("ks", nil)[0] != 5 {
+		t.Fatal("attributes lost")
+	}
+	v, ok := got.FindNode("prob").Attr("v")
+	if !ok || v.T == nil || v.T.Data()[1] != 2 {
+		t.Fatal("tensor attribute lost")
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONBinaryEquivalence(t *testing.T) {
+	// A model surviving JSON must serialize to the same binary bytes as the
+	// original (formats carry identical information).
+	m := smallMLP()
+	var jbuf bytes.Buffer
+	if err := EncodeJSON(m, &jbuf); err != nil {
+		t.Fatal(err)
+	}
+	viaJSON, err := DecodeJSON(&jbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b1, b2 bytes.Buffer
+	if err := Encode(m, &b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Encode(viaJSON, &b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("JSON round trip changed the canonical binary form")
+	}
+}
+
+func TestJSONRejectsGarbage(t *testing.T) {
+	if _, err := DecodeJSON(strings.NewReader("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := DecodeJSON(strings.NewReader(`{"nodes":[{"attrs":[{"type":"quux"}]}]}`)); err == nil {
+		t.Fatal("unknown attr type accepted")
+	}
+}

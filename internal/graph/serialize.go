@@ -1,0 +1,350 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"deep500/internal/tensor"
+)
+
+// D5NX binary format: a compact, versioned, deterministic encoding of a
+// Model. Layout (all integers are unsigned varints, strings are
+// length-prefixed UTF-8, float32 data is little-endian):
+//
+//	magic "D5NX" | version | name | docstring
+//	| nInputs  { name, rank, dims... }
+//	| nOutputs { name }
+//	| nInits   { name, tensor }
+//	| nNodes   { name, opType, nIn {name}, nOut {name}, nAttrs {attr} }
+//
+// Determinism matters for reproducibility (paper pillar 5): initializers
+// and attributes are written in sorted order so the same model always
+// serializes to the same bytes.
+
+const (
+	d5nxMagic   = "D5NX"
+	d5nxVersion = 1
+)
+
+var errBadMagic = errors.New("graph: not a D5NX stream")
+
+type writer struct {
+	w   *bufio.Writer
+	err error
+	buf [binary.MaxVarintLen64]byte
+}
+
+func (w *writer) uvarint(v uint64) {
+	if w.err != nil {
+		return
+	}
+	n := binary.PutUvarint(w.buf[:], v)
+	_, w.err = w.w.Write(w.buf[:n])
+}
+
+func (w *writer) varint(v int64) {
+	if w.err != nil {
+		return
+	}
+	n := binary.PutVarint(w.buf[:], v)
+	_, w.err = w.w.Write(w.buf[:n])
+}
+
+func (w *writer) str(s string) {
+	w.uvarint(uint64(len(s)))
+	if w.err == nil {
+		_, w.err = w.w.WriteString(s)
+	}
+}
+
+func (w *writer) f64(f float64) { w.uvarint(math.Float64bits(f)) }
+
+func (w *writer) tensor(t *tensor.Tensor) {
+	w.uvarint(uint64(t.Rank()))
+	for _, d := range t.Shape() {
+		w.uvarint(uint64(d))
+	}
+	if w.err != nil {
+		return
+	}
+	data := t.Data()
+	raw := make([]byte, 4*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(raw[i*4:], math.Float32bits(v))
+	}
+	_, w.err = w.w.Write(raw)
+}
+
+func (w *writer) attr(a Attribute) {
+	w.str(a.Name)
+	w.uvarint(uint64(a.Type))
+	switch a.Type {
+	case AttrInt:
+		w.varint(a.I)
+	case AttrFloat:
+		w.f64(a.F)
+	case AttrString:
+		w.str(a.S)
+	case AttrInts:
+		w.uvarint(uint64(len(a.Ints)))
+		for _, v := range a.Ints {
+			w.varint(v)
+		}
+	case AttrFloats:
+		w.uvarint(uint64(len(a.Floats)))
+		for _, v := range a.Floats {
+			w.f64(v)
+		}
+	case AttrTensor:
+		w.tensor(a.T)
+	}
+}
+
+// Encode writes the model in D5NX binary form.
+func Encode(m *Model, out io.Writer) error {
+	w := &writer{w: bufio.NewWriter(out)}
+	if _, err := w.w.WriteString(d5nxMagic); err != nil {
+		return err
+	}
+	w.uvarint(d5nxVersion)
+	w.str(m.Name)
+	w.str(m.DocString)
+
+	w.uvarint(uint64(len(m.Inputs)))
+	for _, in := range m.Inputs {
+		w.str(in.Name)
+		w.uvarint(uint64(len(in.Shape)))
+		for _, d := range in.Shape {
+			w.varint(int64(d))
+		}
+	}
+	w.uvarint(uint64(len(m.Outputs)))
+	for _, o := range m.Outputs {
+		w.str(o)
+	}
+	names := m.ParamNames()
+	w.uvarint(uint64(len(names)))
+	for _, name := range names {
+		w.str(name)
+		w.tensor(m.Initializers[name])
+	}
+	w.uvarint(uint64(len(m.Nodes)))
+	for _, n := range m.Nodes {
+		w.str(n.Name)
+		w.str(n.OpType)
+		w.uvarint(uint64(len(n.Inputs)))
+		for _, s := range n.Inputs {
+			w.str(s)
+		}
+		w.uvarint(uint64(len(n.Outputs)))
+		for _, s := range n.Outputs {
+			w.str(s)
+		}
+		attrNames := make([]string, 0, len(n.Attrs))
+		for a := range n.Attrs {
+			attrNames = append(attrNames, a)
+		}
+		sort.Strings(attrNames)
+		w.uvarint(uint64(len(attrNames)))
+		for _, a := range attrNames {
+			w.attr(n.Attrs[a])
+		}
+	}
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+type reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(r.r)
+	r.err = err
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(r.r)
+	r.err = err
+	return v
+}
+
+func (r *reader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > 1<<24 {
+		r.err = fmt.Errorf("graph: unreasonable string length %d", n)
+		return ""
+	}
+	buf := make([]byte, n)
+	_, r.err = io.ReadFull(r.r, buf)
+	return string(buf)
+}
+
+func (r *reader) f64() float64 { return math.Float64frombits(r.uvarint()) }
+
+func (r *reader) tensor() *tensor.Tensor {
+	rank := int(r.uvarint())
+	if r.err != nil || rank > 16 {
+		if rank > 16 {
+			r.err = fmt.Errorf("graph: unreasonable tensor rank %d", rank)
+		}
+		return nil
+	}
+	shape := make([]int, rank)
+	n := 1
+	for i := range shape {
+		shape[i] = int(r.uvarint())
+		n *= shape[i]
+	}
+	if r.err != nil {
+		return nil
+	}
+	raw := make([]byte, 4*n)
+	if _, r.err = io.ReadFull(r.r, raw); r.err != nil {
+		return nil
+	}
+	data := make([]float32, n)
+	for i := range data {
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
+	}
+	return tensor.From(data, shape...)
+}
+
+func (r *reader) attr() Attribute {
+	a := Attribute{Name: r.str(), Type: AttrType(r.uvarint())}
+	switch a.Type {
+	case AttrInt:
+		a.I = r.varint()
+	case AttrFloat:
+		a.F = r.f64()
+	case AttrString:
+		a.S = r.str()
+	case AttrInts:
+		n := int(r.uvarint())
+		a.Ints = make([]int64, n)
+		for i := range a.Ints {
+			a.Ints[i] = r.varint()
+		}
+	case AttrFloats:
+		n := int(r.uvarint())
+		a.Floats = make([]float64, n)
+		for i := range a.Floats {
+			a.Floats[i] = r.f64()
+		}
+	case AttrTensor:
+		a.T = r.tensor()
+	default:
+		if r.err == nil {
+			r.err = fmt.Errorf("graph: unknown attribute type %d", a.Type)
+		}
+	}
+	return a
+}
+
+// Decode reads a D5NX binary model.
+func Decode(in io.Reader) (*Model, error) {
+	r := &reader{r: bufio.NewReader(in)}
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r.r, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != d5nxMagic {
+		return nil, errBadMagic
+	}
+	if v := r.uvarint(); v != d5nxVersion {
+		return nil, fmt.Errorf("graph: unsupported D5NX version %d", v)
+	}
+	m := NewModel(r.str())
+	m.DocString = r.str()
+	nIn := int(r.uvarint())
+	for i := 0; i < nIn && r.err == nil; i++ {
+		name := r.str()
+		rank := int(r.uvarint())
+		shape := make([]int, rank)
+		for j := range shape {
+			shape[j] = int(r.varint())
+		}
+		m.Inputs = append(m.Inputs, TensorInfo{Name: name, Shape: shape})
+	}
+	nOut := int(r.uvarint())
+	for i := 0; i < nOut && r.err == nil; i++ {
+		m.Outputs = append(m.Outputs, r.str())
+	}
+	nInit := int(r.uvarint())
+	for i := 0; i < nInit && r.err == nil; i++ {
+		name := r.str()
+		t := r.tensor()
+		if r.err == nil {
+			m.Initializers[name] = t
+		}
+	}
+	nNodes := int(r.uvarint())
+	for i := 0; i < nNodes && r.err == nil; i++ {
+		name := r.str()
+		opType := r.str()
+		nI := int(r.uvarint())
+		inputs := make([]string, nI)
+		for j := range inputs {
+			inputs[j] = r.str()
+		}
+		nO := int(r.uvarint())
+		outputs := make([]string, nO)
+		for j := range outputs {
+			outputs[j] = r.str()
+		}
+		nA := int(r.uvarint())
+		attrs := make([]Attribute, nA)
+		for j := range attrs {
+			attrs[j] = r.attr()
+		}
+		if r.err == nil {
+			m.AddNode(NewNode(opType, name, inputs, outputs, attrs...))
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return m, nil
+}
+
+// Save writes the model to a file in D5NX binary form.
+func Save(m *Model, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Encode(m, f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a D5NX binary model from a file.
+func Load(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}

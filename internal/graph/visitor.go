@@ -1,0 +1,63 @@
+package graph
+
+import "fmt"
+
+// Visitor converts a model, node by node in topological order, into some
+// target representation — typically a framework-specific network, exactly
+// as the paper's ONNX visitors build TensorFlow or Caffe2 networks (Fig. 4,
+// Listing 6). Handlers are registered per op type; Default (if set) handles
+// any op without a dedicated handler.
+type Visitor struct {
+	// Handlers maps op type to handler.
+	Handlers map[string]func(*Model, *Node) error
+	// Default is called for op types without a handler; if nil, Walk fails
+	// on unhandled ops.
+	Default func(*Model, *Node) error
+	// Enter, if non-nil, runs before the node traversal (e.g. to declare
+	// graph inputs and parameters in the target network).
+	Enter func(*Model) error
+	// Leave, if non-nil, runs after the traversal.
+	Leave func(*Model) error
+}
+
+// NewVisitor returns a Visitor with an empty handler table.
+func NewVisitor() *Visitor {
+	return &Visitor{Handlers: make(map[string]func(*Model, *Node) error)}
+}
+
+// On registers a handler for the given op type and returns the visitor for
+// chaining.
+func (v *Visitor) On(opType string, h func(*Model, *Node) error) *Visitor {
+	v.Handlers[opType] = h
+	return v
+}
+
+// Walk visits the model's nodes in topological order, dispatching each to
+// its handler.
+func (v *Visitor) Walk(m *Model) error {
+	if v.Enter != nil {
+		if err := v.Enter(m); err != nil {
+			return err
+		}
+	}
+	order, err := m.TopoSort()
+	if err != nil {
+		return err
+	}
+	for _, n := range order {
+		h, ok := v.Handlers[n.OpType]
+		if !ok {
+			h = v.Default
+		}
+		if h == nil {
+			return fmt.Errorf("graph: visitor has no handler for op %q (node %q)", n.OpType, n.Name)
+		}
+		if err := h(m, n); err != nil {
+			return fmt.Errorf("graph: visiting node %q (%s): %w", n.Name, n.OpType, err)
+		}
+	}
+	if v.Leave != nil {
+		return v.Leave(m)
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+// Package ilp implements a small exact solver for bounded integer linear
+// programs via depth-first branch and bound. The Level 1 micro-batching
+// transformation (paper §V-C) uses it to choose micro-batch sizes and
+// per-micro-batch convolution algorithms that maximize performance subject
+// to memory-capacity constraints.
+//
+// The solver targets small problems (tens of variables with small bounds):
+// it enumerates variable assignments depth-first, pruning with constraint
+// feasibility bounds and an optimistic objective bound.
+package ilp
+
+import (
+	"errors"
+	"math"
+)
+
+// Relation is a constraint comparator.
+type Relation int
+
+const (
+	LE Relation = iota // Σ aᵢxᵢ ≤ b
+	GE                 // Σ aᵢxᵢ ≥ b
+	EQ                 // Σ aᵢxᵢ = b
+)
+
+// Constraint is one linear constraint over all variables.
+type Constraint struct {
+	Coef []float64
+	Rel  Relation
+	RHS  float64
+}
+
+// Problem is: minimize Cost·x subject to Constraints, Lo ≤ x ≤ Hi, x ∈ ℤ.
+type Problem struct {
+	Cost []float64
+	Lo   []int
+	Hi   []int
+	Cons []Constraint
+}
+
+// ErrInfeasible reports that no assignment satisfies the constraints.
+var ErrInfeasible = errors.New("ilp: infeasible")
+
+// Solve returns an optimal assignment and its objective value.
+func Solve(p Problem) ([]int, float64, error) {
+	n := len(p.Cost)
+	if len(p.Lo) != n || len(p.Hi) != n {
+		return nil, 0, errors.New("ilp: bounds length mismatch")
+	}
+	for _, c := range p.Cons {
+		if len(c.Coef) != n {
+			return nil, 0, errors.New("ilp: constraint length mismatch")
+		}
+	}
+	for i := 0; i < n; i++ {
+		if p.Lo[i] > p.Hi[i] {
+			return nil, 0, ErrInfeasible
+		}
+	}
+
+	s := &solver{p: p, n: n, x: make([]int, n), best: math.Inf(1)}
+	// Precompute per-constraint min/max contribution of each variable.
+	s.minContrib = make([][]float64, len(p.Cons))
+	s.maxContrib = make([][]float64, len(p.Cons))
+	for ci, c := range p.Cons {
+		s.minContrib[ci] = make([]float64, n)
+		s.maxContrib[ci] = make([]float64, n)
+		for i := 0; i < n; i++ {
+			a := c.Coef[i] * float64(p.Lo[i])
+			b := c.Coef[i] * float64(p.Hi[i])
+			s.minContrib[ci][i] = math.Min(a, b)
+			s.maxContrib[ci][i] = math.Max(a, b)
+		}
+	}
+	// Optimistic per-variable objective contribution.
+	s.minCost = make([]float64, n)
+	for i := 0; i < n; i++ {
+		s.minCost[i] = math.Min(p.Cost[i]*float64(p.Lo[i]), p.Cost[i]*float64(p.Hi[i]))
+	}
+	// The coverage bound is sound only when all coefficients and costs of a
+	// constraint's variables are nonnegative and lower bounds are zero.
+	s.coverable = make([]bool, len(p.Cons))
+	for ci, c := range p.Cons {
+		ok := true
+		for i := 0; i < n; i++ {
+			if c.Coef[i] < 0 || p.Cost[i] < 0 || p.Lo[i] != 0 {
+				ok = false
+				break
+			}
+		}
+		s.coverable[ci] = ok
+	}
+
+	s.dfs(0, 0)
+	if s.bestX == nil {
+		return nil, 0, ErrInfeasible
+	}
+	return s.bestX, s.best, nil
+}
+
+type solver struct {
+	p                      Problem
+	n                      int
+	x                      []int
+	best                   float64
+	bestX                  []int
+	minContrib, maxContrib [][]float64
+	minCost                []float64
+	coverable              []bool // constraints eligible for the coverage bound
+	nodes                  int
+}
+
+// MaxNodes bounds the search; exceeding it returns the best found so far.
+const MaxNodes = 5_000_000
+
+func (s *solver) dfs(idx int, cost float64) {
+	s.nodes++
+	if s.nodes > MaxNodes {
+		return
+	}
+	// objective bound
+	optimistic := cost
+	for i := idx; i < s.n; i++ {
+		optimistic += s.minCost[i]
+	}
+	if optimistic >= s.best {
+		return
+	}
+	// coverage bound: for ≥/= constraints with nonnegative coefficients and
+	// costs, the remaining right-hand side must be covered at at least the
+	// best cost-per-unit rate among the free variables (knapsack bound).
+	for ci, c := range s.p.Cons {
+		if c.Rel == LE || !s.coverable[ci] {
+			continue
+		}
+		var fixed float64
+		for i := 0; i < idx; i++ {
+			fixed += c.Coef[i] * float64(s.x[i])
+		}
+		remaining := c.RHS - fixed
+		if remaining <= 0 {
+			continue
+		}
+		rate := math.Inf(1)
+		for i := idx; i < s.n; i++ {
+			if c.Coef[i] > 0 {
+				if r := s.p.Cost[i] / c.Coef[i]; r < rate {
+					rate = r
+				}
+			}
+		}
+		if math.IsInf(rate, 1) {
+			continue
+		}
+		if cost+remaining*rate >= s.best {
+			return
+		}
+	}
+	// constraint feasibility bound
+	for ci, c := range s.p.Cons {
+		var fixed float64
+		for i := 0; i < idx; i++ {
+			fixed += c.Coef[i] * float64(s.x[i])
+		}
+		var minRest, maxRest float64
+		for i := idx; i < s.n; i++ {
+			minRest += s.minContrib[ci][i]
+			maxRest += s.maxContrib[ci][i]
+		}
+		switch c.Rel {
+		case LE:
+			if fixed+minRest > c.RHS+1e-9 {
+				return
+			}
+		case GE:
+			if fixed+maxRest < c.RHS-1e-9 {
+				return
+			}
+		case EQ:
+			if fixed+minRest > c.RHS+1e-9 || fixed+maxRest < c.RHS-1e-9 {
+				return
+			}
+		}
+	}
+	if idx == s.n {
+		// all constraints already verified by the bound checks with no
+		// remaining slack
+		if cost < s.best {
+			s.best = cost
+			s.bestX = append([]int(nil), s.x...)
+		}
+		return
+	}
+	// Iterate large values first: greedy incumbents (few large
+	// micro-batches) are found early and tighten the bounds.
+	for v := s.p.Hi[idx]; v >= s.p.Lo[idx]; v-- {
+		s.x[idx] = v
+		s.dfs(idx+1, cost+s.p.Cost[idx]*float64(v))
+	}
+	s.x[idx] = s.p.Lo[idx]
+}

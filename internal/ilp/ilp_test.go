@@ -1,0 +1,149 @@
+package ilp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"deep500/internal/tensor"
+)
+
+func TestSimpleKnapsack(t *testing.T) {
+	// minimize 3x + 2y s.t. x + y == 10, x ≥ 2
+	p := Problem{
+		Cost: []float64{3, 2},
+		Lo:   []int{2, 0},
+		Hi:   []int{10, 10},
+		Cons: []Constraint{{Coef: []float64{1, 1}, Rel: EQ, RHS: 10}},
+	}
+	x, obj, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 2 || x[1] != 8 || obj != 22 {
+		t.Fatalf("x=%v obj=%v", x, obj)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := Problem{
+		Cost: []float64{1},
+		Lo:   []int{0},
+		Hi:   []int{5},
+		Cons: []Constraint{{Coef: []float64{1}, Rel: GE, RHS: 6}},
+	}
+	if _, _, err := Solve(p); err != ErrInfeasible {
+		t.Fatalf("err = %v", err)
+	}
+	// contradictory bounds
+	p2 := Problem{Cost: []float64{1}, Lo: []int{3}, Hi: []int{2}}
+	if _, _, err := Solve(p2); err != ErrInfeasible {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInequalities(t *testing.T) {
+	// maximize x+y  (minimize -x-y) s.t. 2x+y ≤ 8, x+3y ≤ 9
+	p := Problem{
+		Cost: []float64{-1, -1},
+		Lo:   []int{0, 0},
+		Hi:   []int{10, 10},
+		Cons: []Constraint{
+			{Coef: []float64{2, 1}, Rel: LE, RHS: 8},
+			{Coef: []float64{1, 3}, Rel: LE, RHS: 9},
+		},
+	}
+	x, obj, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// integer optimum: (3,2) → 5
+	if obj != -5 {
+		t.Fatalf("x=%v obj=%v", x, obj)
+	}
+}
+
+func TestNegativeCosts(t *testing.T) {
+	p := Problem{
+		Cost: []float64{-2, 1},
+		Lo:   []int{0, 0},
+		Hi:   []int{3, 3},
+		Cons: []Constraint{{Coef: []float64{1, 1}, Rel: LE, RHS: 4}},
+	}
+	x, obj, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 3 || x[1] != 0 || obj != -6 {
+		t.Fatalf("x=%v obj=%v", x, obj)
+	}
+}
+
+func TestGEConstraint(t *testing.T) {
+	// min x s.t. x ≥ 7
+	p := Problem{Cost: []float64{1}, Lo: []int{0}, Hi: []int{20},
+		Cons: []Constraint{{Coef: []float64{1}, Rel: GE, RHS: 7}}}
+	x, _, err := Solve(p)
+	if err != nil || x[0] != 7 {
+		t.Fatalf("x=%v err=%v", x, err)
+	}
+}
+
+func TestLengthValidation(t *testing.T) {
+	if _, _, err := Solve(Problem{Cost: []float64{1}, Lo: []int{0}, Hi: []int{1, 2}}); err == nil {
+		t.Fatal("bounds mismatch accepted")
+	}
+	if _, _, err := Solve(Problem{Cost: []float64{1}, Lo: []int{0}, Hi: []int{1},
+		Cons: []Constraint{{Coef: []float64{1, 2}, Rel: LE, RHS: 1}}}); err == nil {
+		t.Fatal("constraint mismatch accepted")
+	}
+}
+
+// TestAgainstBruteForce checks the solver on random small problems against
+// exhaustive enumeration.
+func TestAgainstBruteForce(t *testing.T) {
+	f := func(seed uint16) bool {
+		rng := tensor.NewRNG(uint64(seed))
+		n := rng.Intn(3) + 1
+		p := Problem{Cost: make([]float64, n), Lo: make([]int, n), Hi: make([]int, n)}
+		for i := 0; i < n; i++ {
+			p.Cost[i] = float64(rng.Intn(11) - 5)
+			p.Lo[i] = 0
+			p.Hi[i] = rng.Intn(4) + 1
+		}
+		coef := make([]float64, n)
+		for i := range coef {
+			coef[i] = float64(rng.Intn(5))
+		}
+		p.Cons = []Constraint{{Coef: coef, Rel: LE, RHS: float64(rng.Intn(8))}}
+
+		// brute force
+		best := math.Inf(1)
+		var rec func(i int, x []int, cost, lhs float64)
+		rec = func(i int, x []int, cost, lhs float64) {
+			if i == n {
+				if lhs <= p.Cons[0].RHS+1e-9 && cost < best {
+					best = cost
+				}
+				return
+			}
+			for v := p.Lo[i]; v <= p.Hi[i]; v++ {
+				rec(i+1, x, cost+p.Cost[i]*float64(v), lhs+coef[i]*float64(v))
+			}
+		}
+		rec(0, make([]int, n), 0, 0)
+
+		x, obj, err := Solve(p)
+		if math.IsInf(best, 1) {
+			return err == ErrInfeasible
+		}
+		if err != nil {
+			return false
+		}
+		_ = x
+		return math.Abs(obj-best) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,185 @@
+package kernels
+
+import "math"
+
+// ReLU computes out[i] = max(0, in[i]).
+func ReLU(in, out []float32) {
+	for i, v := range in {
+		if v > 0 {
+			out[i] = v
+		} else {
+			out[i] = 0
+		}
+	}
+}
+
+// ReLUBackward computes gradIn[i] = gradOut[i] if fwdIn[i] > 0 else 0.
+func ReLUBackward(fwdIn, gradOut, gradIn []float32) {
+	for i, v := range fwdIn {
+		if v > 0 {
+			gradIn[i] = gradOut[i]
+		} else {
+			gradIn[i] = 0
+		}
+	}
+}
+
+// Sigmoid computes out[i] = 1/(1+e^(-in[i])).
+func Sigmoid(in, out []float32) {
+	for i, v := range in {
+		out[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+}
+
+// SigmoidBackward uses the forward output: grad = y·(1-y)·gradOut.
+func SigmoidBackward(fwdOut, gradOut, gradIn []float32) {
+	for i, y := range fwdOut {
+		gradIn[i] = gradOut[i] * y * (1 - y)
+	}
+}
+
+// Tanh computes out[i] = tanh(in[i]).
+func Tanh(in, out []float32) {
+	for i, v := range in {
+		out[i] = float32(math.Tanh(float64(v)))
+	}
+}
+
+// TanhBackward uses the forward output: grad = (1-y²)·gradOut.
+func TanhBackward(fwdOut, gradOut, gradIn []float32) {
+	for i, y := range fwdOut {
+		gradIn[i] = gradOut[i] * (1 - y*y)
+	}
+}
+
+// Softmax computes a numerically stable row-wise softmax over an n×m matrix.
+func Softmax(in, out []float32, n, m int) {
+	for r := 0; r < n; r++ {
+		row := in[r*m : (r+1)*m]
+		dst := out[r*m : (r+1)*m]
+		mx := float32(math.Inf(-1))
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+		var sum float64
+		for i, v := range row {
+			e := math.Exp(float64(v - mx))
+			dst[i] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for i := range dst {
+			dst[i] *= inv
+		}
+	}
+}
+
+// CrossEntropyForward computes mean cross-entropy loss of row-softmax
+// probabilities probs (n×m) against integer labels, and returns the loss.
+func CrossEntropyForward(probs []float32, labels []int, n, m int) float32 {
+	var loss float64
+	for r := 0; r < n; r++ {
+		p := float64(probs[r*m+labels[r]])
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+	}
+	return float32(loss / float64(n))
+}
+
+// SoftmaxCrossEntropyBackward computes the fused gradient
+// (probs - onehot(labels)) / n into gradIn.
+func SoftmaxCrossEntropyBackward(probs []float32, labels []int, gradIn []float32, n, m int) {
+	inv := 1 / float32(n)
+	for r := 0; r < n; r++ {
+		row := probs[r*m : (r+1)*m]
+		dst := gradIn[r*m : (r+1)*m]
+		for i, p := range row {
+			dst[i] = p * inv
+		}
+		dst[labels[r]] -= inv
+	}
+}
+
+// BatchNormForward normalizes an N×C×HW input per channel:
+// out = gamma·(x-μ)/sqrt(σ²+eps) + beta. It returns the per-channel batch
+// mean and variance (needed for backward), and updates running statistics
+// with the given momentum if runMean/runVar are non-nil.
+func BatchNormForward(n, c, hw int, in, gamma, beta, out []float32, eps float32,
+	runMean, runVar []float32, momentum float32) (mean, variance []float32) {
+	mean = make([]float32, c)
+	variance = make([]float32, c)
+	cnt := float64(n * hw)
+	for ch := 0; ch < c; ch++ {
+		var sum float64
+		for i := 0; i < n; i++ {
+			base := (i*c + ch) * hw
+			for j := 0; j < hw; j++ {
+				sum += float64(in[base+j])
+			}
+		}
+		mu := sum / cnt
+		var sq float64
+		for i := 0; i < n; i++ {
+			base := (i*c + ch) * hw
+			for j := 0; j < hw; j++ {
+				d := float64(in[base+j]) - mu
+				sq += d * d
+			}
+		}
+		v := sq / cnt
+		mean[ch] = float32(mu)
+		variance[ch] = float32(v)
+		inv := float32(1 / math.Sqrt(v+float64(eps)))
+		g, b := gamma[ch], beta[ch]
+		for i := 0; i < n; i++ {
+			base := (i*c + ch) * hw
+			for j := 0; j < hw; j++ {
+				out[base+j] = g*(in[base+j]-mean[ch])*inv + b
+			}
+		}
+		if runMean != nil {
+			runMean[ch] = (1-momentum)*runMean[ch] + momentum*mean[ch]
+			runVar[ch] = (1-momentum)*runVar[ch] + momentum*variance[ch]
+		}
+	}
+	return mean, variance
+}
+
+// BatchNormBackward computes input, gamma and beta gradients for
+// BatchNormForward given the saved batch statistics.
+func BatchNormBackward(n, c, hw int, in, gradOut, gamma, mean, variance []float32, eps float32,
+	gradIn, gradGamma, gradBeta []float32) {
+	cnt := float32(n * hw)
+	for ch := 0; ch < c; ch++ {
+		inv := float32(1 / math.Sqrt(float64(variance[ch])+float64(eps)))
+		var sumDy, sumDyXhat float32
+		for i := 0; i < n; i++ {
+			base := (i*c + ch) * hw
+			for j := 0; j < hw; j++ {
+				dy := gradOut[base+j]
+				xhat := (in[base+j] - mean[ch]) * inv
+				sumDy += dy
+				sumDyXhat += dy * xhat
+			}
+		}
+		if gradGamma != nil {
+			gradGamma[ch] = sumDyXhat
+		}
+		if gradBeta != nil {
+			gradBeta[ch] = sumDy
+		}
+		g := gamma[ch]
+		for i := 0; i < n; i++ {
+			base := (i*c + ch) * hw
+			for j := 0; j < hw; j++ {
+				dy := gradOut[base+j]
+				xhat := (in[base+j] - mean[ch]) * inv
+				gradIn[base+j] = g * inv * (dy - sumDy/cnt - xhat*sumDyXhat/cnt)
+			}
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package kernels
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ConvAlgo selects a 2D convolution implementation, mirroring the algorithm
+// choices (im2col, Winograd, direct) that the paper's Level 0 and the
+// micro-batching transformation (Fig. 7) reason about.
+type ConvAlgo int
+
+const (
+	// ConvDirect is the straightforward 7-loop convolution: no workspace,
+	// lowest memory, slowest for large channel counts.
+	ConvDirect ConvAlgo = iota
+	// ConvIm2Col lowers convolution to GEMM through an im2col buffer
+	// ("implicit precompute GEMM" in the paper's Fig. 7): fast, but the
+	// workspace grows with C·KH·KW·OH·OW per image.
+	ConvIm2Col
+	// ConvWinograd uses the F(2×2, 3×3) Winograd transform: fewer
+	// multiplications for 3×3/stride-1 convolutions, moderate workspace.
+	ConvWinograd
+)
+
+func (a ConvAlgo) String() string {
+	switch a {
+	case ConvDirect:
+		return "direct"
+	case ConvIm2Col:
+		return "im2col"
+	case ConvWinograd:
+		return "winograd"
+	}
+	return "unknown"
+}
+
+// ConvShape describes a 2D convolution problem in NCHW layout.
+type ConvShape struct {
+	N, C, H, W int // input: batch, channels, height, width
+	M          int // output channels (number of filters)
+	KH, KW     int // kernel size
+	StrideH    int
+	StrideW    int
+	PadH, PadW int
+}
+
+// OutDims returns the output spatial dimensions.
+func (s ConvShape) OutDims() (oh, ow int) {
+	oh = (s.H+2*s.PadH-s.KH)/s.StrideH + 1
+	ow = (s.W+2*s.PadW-s.KW)/s.StrideW + 1
+	return
+}
+
+// InputSize, WeightSize and OutputSize return element counts of the three
+// tensors involved.
+func (s ConvShape) InputSize() int  { return s.N * s.C * s.H * s.W }
+func (s ConvShape) WeightSize() int { return s.M * s.C * s.KH * s.KW }
+func (s ConvShape) OutputSize() int {
+	oh, ow := s.OutDims()
+	return s.N * s.M * oh * ow
+}
+
+// FLOPs returns the multiply-add count (×2) of the direct algorithm; the
+// standard figure of merit for convolution throughput.
+func (s ConvShape) FLOPs() int64 {
+	oh, ow := s.OutDims()
+	return 2 * int64(s.N) * int64(s.M) * int64(oh) * int64(ow) * int64(s.C) * int64(s.KH) * int64(s.KW)
+}
+
+// WorkspaceBytes returns the scratch memory (bytes) algo needs for a single
+// invocation at this shape. This drives the device memory model used by the
+// ILP micro-batching transformation: as on the paper's GPUs, the im2col
+// ("implicit precompute GEMM") workspace lowers the *whole* batch at once
+// and therefore grows linearly with N — the property micro-batching
+// exploits. (The CPU kernels in this package stream per image; the model
+// describes the emulated accelerator, not the host.)
+func (s ConvShape) WorkspaceBytes(algo ConvAlgo) int64 {
+	oh, ow := s.OutDims()
+	n := int64(s.N)
+	if n < 1 {
+		n = 1
+	}
+	switch algo {
+	case ConvDirect:
+		return 0
+	case ConvIm2Col:
+		return n * int64(s.C*s.KH*s.KW) * int64(oh*ow) * 4
+	case ConvWinograd:
+		// transformed weights (M×C×16) plus per-image tile buffers
+		tiles := ((oh + 1) / 2) * ((ow + 1) / 2)
+		return (int64(s.M*s.C)*16 + n*int64(tiles)*int64(s.C+s.M)*16) * 4
+	}
+	return 0
+}
+
+// SupportsWinograd reports whether the shape satisfies the F(2×2,3×3)
+// constraints (3×3 kernel, stride 1).
+func (s ConvShape) SupportsWinograd() bool {
+	return s.KH == 3 && s.KW == 3 && s.StrideH == 1 && s.StrideW == 1
+}
+
+func (s ConvShape) String() string {
+	return fmt.Sprintf("N%d C%d H%d W%d M%d K%dx%d s%d p%d", s.N, s.C, s.H, s.W, s.M, s.KH, s.KW, s.StrideH, s.PadH)
+}
+
+// Conv2D computes out = conv(in, w) + bias with the selected algorithm.
+// in is N×C×H×W, w is M×C×KH×KW, bias is length M (may be nil) and out is
+// N×M×OH×OW, all row-major.
+func Conv2D(algo ConvAlgo, s ConvShape, in, w, bias, out []float32) {
+	if len(in) < s.InputSize() || len(w) < s.WeightSize() || len(out) < s.OutputSize() {
+		panic("kernels: Conv2D buffer too small")
+	}
+	switch algo {
+	case ConvDirect:
+		conv2DDirect(s, in, w, out)
+	case ConvIm2Col:
+		conv2DIm2Col(s, in, w, out)
+	case ConvWinograd:
+		if !s.SupportsWinograd() {
+			panic("kernels: Winograd requires 3x3 kernel with stride 1")
+		}
+		conv2DWinograd(s, in, w, out)
+	default:
+		panic("kernels: unknown convolution algorithm")
+	}
+	if bias != nil {
+		addBiasNCHW(s, bias, out)
+	}
+}
+
+func addBiasNCHW(s ConvShape, bias, out []float32) {
+	oh, ow := s.OutDims()
+	plane := oh * ow
+	for n := 0; n < s.N; n++ {
+		for m := 0; m < s.M; m++ {
+			dst := out[(n*s.M+m)*plane : (n*s.M+m+1)*plane]
+			b := bias[m]
+			for i := range dst {
+				dst[i] += b
+			}
+		}
+	}
+}
+
+func conv2DDirect(s ConvShape, in, w, out []float32) {
+	oh, ow := s.OutDims()
+	for n := 0; n < s.N; n++ {
+		inImg := in[n*s.C*s.H*s.W:]
+		outImg := out[n*s.M*oh*ow:]
+		for m := 0; m < s.M; m++ {
+			wm := w[m*s.C*s.KH*s.KW:]
+			dst := outImg[m*oh*ow:]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var acc float32
+					iy0 := oy*s.StrideH - s.PadH
+					ix0 := ox*s.StrideW - s.PadW
+					for c := 0; c < s.C; c++ {
+						inC := inImg[c*s.H*s.W:]
+						wc := wm[c*s.KH*s.KW:]
+						for ky := 0; ky < s.KH; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= s.H {
+								continue
+							}
+							rowIn := inC[iy*s.W:]
+							rowW := wc[ky*s.KW:]
+							for kx := 0; kx < s.KW; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= s.W {
+									continue
+								}
+								acc += rowIn[ix] * rowW[kx]
+							}
+						}
+					}
+					dst[oy*ow+ox] = acc
+				}
+			}
+		}
+	}
+}
+
+// Im2Col lowers one image (C×H×W) into a (C·KH·KW)×(OH·OW) matrix.
+func Im2Col(s ConvShape, img, col []float32) {
+	oh, ow := s.OutDims()
+	idx := 0
+	for c := 0; c < s.C; c++ {
+		inC := img[c*s.H*s.W:]
+		for ky := 0; ky < s.KH; ky++ {
+			for kx := 0; kx < s.KW; kx++ {
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*s.StrideH - s.PadH + ky
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*s.StrideW - s.PadW + kx
+						if iy < 0 || iy >= s.H || ix < 0 || ix >= s.W {
+							col[idx] = 0
+						} else {
+							col[idx] = inC[iy*s.W+ix]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2Im scatters a (C·KH·KW)×(OH·OW) matrix back into a C×H×W image,
+// accumulating overlaps; used by convolution backward-data.
+func Col2Im(s ConvShape, col, img []float32) {
+	oh, ow := s.OutDims()
+	for i := range img[:s.C*s.H*s.W] {
+		img[i] = 0
+	}
+	idx := 0
+	for c := 0; c < s.C; c++ {
+		imC := img[c*s.H*s.W:]
+		for ky := 0; ky < s.KH; ky++ {
+			for kx := 0; kx < s.KW; kx++ {
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*s.StrideH - s.PadH + ky
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*s.StrideW - s.PadW + kx
+						if iy >= 0 && iy < s.H && ix >= 0 && ix < s.W {
+							imC[iy*s.W+ix] += col[idx]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+func conv2DIm2Col(s ConvShape, in, w, out []float32) {
+	oh, ow := s.OutDims()
+	k := s.C * s.KH * s.KW
+	spatial := oh * ow
+	workers := runtime.GOMAXPROCS(0)
+	if workers > s.N {
+		workers = s.N
+	}
+	if workers <= 1 {
+		col := make([]float32, k*spatial)
+		for n := 0; n < s.N; n++ {
+			Im2Col(s, in[n*s.C*s.H*s.W:], col)
+			Gemm(GemmBlocked, w, col, out[n*s.M*spatial:(n+1)*s.M*spatial], s.M, k, spatial)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, s.N)
+	for n := 0; n < s.N; n++ {
+		next <- n
+	}
+	close(next)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			col := make([]float32, k*spatial)
+			for n := range next {
+				Im2Col(s, in[n*s.C*s.H*s.W:], col)
+				Gemm(GemmBlocked, w, col, out[n*s.M*spatial:(n+1)*s.M*spatial], s.M, k, spatial)
+			}
+		}()
+	}
+	wg.Wait()
+}

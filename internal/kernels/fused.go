@@ -1,0 +1,80 @@
+package kernels
+
+import "math"
+
+// This file holds "fused" kernels: single passes that combine several
+// logical operations. The paper's Use Case 1 (§III-A) contrasts Caffe2's
+// fused Adam GPU kernel against TensorFlow's composition of many small Eigen
+// ops; the same contrast exists here between AdamFused and an update built
+// from a sequence of elementwise tensor operations.
+
+// AdamFused applies one Adam step in a single pass over the parameters:
+//
+//	m ← β1·m + (1-β1)·g
+//	v ← β2·v + (1-β2)·g²
+//	p ← p - lr·( m/(1-β1ᵗ) ) / ( sqrt(v/(1-β2ᵗ)) + eps )
+//
+// param, grad, m and v must all have the same length.
+func AdamFused(param, grad, m, v []float32, lr, beta1, beta2, eps float32, t int) {
+	bc1 := float32(1 - math.Pow(float64(beta1), float64(t)))
+	bc2 := float32(1 - math.Pow(float64(beta2), float64(t)))
+	for i, g := range grad {
+		m[i] = beta1*m[i] + (1-beta1)*g
+		v[i] = beta2*v[i] + (1-beta2)*g*g
+		mHat := m[i] / bc1
+		vHat := v[i] / bc2
+		param[i] -= lr * mHat / (float32(math.Sqrt(float64(vHat))) + eps)
+	}
+}
+
+// MomentumFused applies one SGD-with-momentum step in a single pass:
+// vel ← μ·vel - lr·g; p ← p + vel.
+func MomentumFused(param, grad, vel []float32, lr, mu float32) {
+	for i, g := range grad {
+		vel[i] = mu*vel[i] - lr*g
+		param[i] += vel[i]
+	}
+}
+
+// SGDFused applies p ← p - lr·g in one pass.
+func SGDFused(param, grad []float32, lr float32) {
+	for i, g := range grad {
+		param[i] -= lr * g
+	}
+}
+
+// RMSPropFused applies one RMSProp step in a single pass:
+// s ← ρ·s + (1-ρ)·g²; p ← p - lr·g/sqrt(s+eps).
+func RMSPropFused(param, grad, s []float32, lr, rho, eps float32) {
+	for i, g := range grad {
+		s[i] = rho*s[i] + (1-rho)*g*g
+		param[i] -= lr * g / float32(math.Sqrt(float64(s[i]+eps)))
+	}
+}
+
+// AdaGradFused applies one AdaGrad step in a single pass:
+// s ← s + g²; p ← p - lr·g/(sqrt(s)+eps).
+func AdaGradFused(param, grad, s []float32, lr, eps float32) {
+	for i, g := range grad {
+		s[i] += g * g
+		param[i] -= lr * g / (float32(math.Sqrt(float64(s[i]))) + eps)
+	}
+}
+
+// BiasReLUFused adds a per-channel bias to an N×C×HW activation and applies
+// ReLU in one pass (a typical operator-fusion example).
+func BiasReLUFused(n, c, hw int, inout, bias []float32) {
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			b := bias[ch]
+			dst := inout[(i*c+ch)*hw : (i*c+ch+1)*hw]
+			for j, v := range dst {
+				v += b
+				if v < 0 {
+					v = 0
+				}
+				dst[j] = v
+			}
+		}
+	}
+}

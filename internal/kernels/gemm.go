@@ -1,0 +1,189 @@
+// Package kernels implements the low-level compute kernels that play the
+// role of cuDNN/MKL-DNN in the Deep500 paper: GEMM with several blocking
+// strategies, 2D convolution with three algorithms (direct, im2col+GEMM and
+// Winograd F(2×2,3×3)), pooling, activations, and fused optimizer kernels.
+//
+// Calling a kernel directly — with no graph, no dispatch, no instrumentation
+// — is this repository's "DeepBench baseline" (§V-B of the paper): the
+// lowest achievable runtime against which framework overhead is measured.
+package kernels
+
+import (
+	"runtime"
+	"sync"
+)
+
+// gemmBlock is the cache-blocking tile edge used by the blocked kernels.
+// 64×64 float32 tiles (16 KiB) fit comfortably in L1/L2 caches.
+const gemmBlock = 64
+
+// GemmAlgo selects a GEMM implementation.
+type GemmAlgo int
+
+const (
+	// GemmNaive is the triple loop (reference; used for validation).
+	GemmNaive GemmAlgo = iota
+	// GemmBlocked adds cache blocking with an ikj inner order.
+	GemmBlocked
+	// GemmParallel is GemmBlocked parallelized over row panels.
+	GemmParallel
+)
+
+func (a GemmAlgo) String() string {
+	switch a {
+	case GemmNaive:
+		return "naive"
+	case GemmBlocked:
+		return "blocked"
+	case GemmParallel:
+		return "parallel"
+	}
+	return "unknown"
+}
+
+// Gemm computes C = A·B for row-major matrices: A is M×K, B is K×N and C is
+// M×N. C is overwritten. The algo parameter selects the implementation.
+func Gemm(algo GemmAlgo, a, b, c []float32, m, k, n int) {
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		panic("kernels: Gemm buffer too small")
+	}
+	switch algo {
+	case GemmNaive:
+		gemmNaive(a, b, c, m, k, n)
+	case GemmBlocked:
+		gemmBlocked(a, b, c, m, k, n)
+	case GemmParallel:
+		gemmParallel(a, b, c, m, k, n)
+	default:
+		panic("kernels: unknown GEMM algorithm")
+	}
+}
+
+// GemmFLOPs returns the floating-point operation count of an M×K×N GEMM.
+func GemmFLOPs(m, k, n int) int64 { return 2 * int64(m) * int64(k) * int64(n) }
+
+func gemmNaive(a, b, c []float32, m, k, n int) {
+	for i := 0; i < m; i++ {
+		ci := c[i*n : (i+1)*n]
+		for j := range ci {
+			ci[j] = 0
+		}
+		for p := 0; p < k; p++ {
+			av := a[i*k+p]
+			if av == 0 {
+				continue
+			}
+			bp := b[p*n : (p+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+func gemmBlocked(a, b, c []float32, m, k, n int) {
+	for i := 0; i < m*n; i++ {
+		c[i] = 0
+	}
+	gemmBlockedRange(a, b, c, m, k, n, 0, m)
+}
+
+// gemmBlockedRange accumulates rows [i0, i1) of C using cache blocking.
+// C must be zeroed by the caller.
+func gemmBlockedRange(a, b, c []float32, m, k, n, i0, i1 int) {
+	for ii := i0; ii < i1; ii += gemmBlock {
+		iMax := min(ii+gemmBlock, i1)
+		for pp := 0; pp < k; pp += gemmBlock {
+			pMax := min(pp+gemmBlock, k)
+			for jj := 0; jj < n; jj += gemmBlock {
+				jMax := min(jj+gemmBlock, n)
+				for i := ii; i < iMax; i++ {
+					ci := c[i*n : (i+1)*n]
+					ai := a[i*k : (i+1)*k]
+					for p := pp; p < pMax; p++ {
+						av := ai[p]
+						bp := b[p*n : (p+1)*n]
+						for j := jj; j < jMax; j++ {
+							ci[j] += av * bp[j]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func gemmParallel(a, b, c []float32, m, k, n int) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	// Small problems are not worth the goroutine fan-out.
+	if workers <= 1 || int64(m)*int64(k)*int64(n) < 64*64*64 {
+		gemmBlocked(a, b, c, m, k, n)
+		return
+	}
+	for i := 0; i < m*n; i++ {
+		c[i] = 0
+	}
+	var wg sync.WaitGroup
+	rowsPer := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		i0 := w * rowsPer
+		if i0 >= m {
+			break
+		}
+		i1 := min(i0+rowsPer, m)
+		wg.Add(1)
+		go func(i0, i1 int) {
+			defer wg.Done()
+			gemmBlockedRange(a, b, c, m, k, n, i0, i1)
+		}(i0, i1)
+	}
+	wg.Wait()
+}
+
+// GemmTransB computes C = A·Bᵀ where A is M×K and B is N×K (both row-major),
+// producing M×N. Used by backward passes of dense layers.
+func GemmTransB(a, b, c []float32, m, k, n int) {
+	for i := 0; i < m; i++ {
+		ai := a[i*k : (i+1)*k]
+		ci := c[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b[j*k : (j+1)*k]
+			var s float32
+			for p := range ai {
+				s += ai[p] * bj[p]
+			}
+			ci[j] = s
+		}
+	}
+}
+
+// GemmTransA computes C = Aᵀ·B where A is K×M and B is K×N (both row-major),
+// producing M×N. Used by weight-gradient computation of dense layers.
+func GemmTransA(a, b, c []float32, m, k, n int) {
+	for i := 0; i < m*n; i++ {
+		c[i] = 0
+	}
+	for p := 0; p < k; p++ {
+		ap := a[p*m : (p+1)*m]
+		bp := b[p*n : (p+1)*n]
+		for i, av := range ap {
+			if av == 0 {
+				continue
+			}
+			ci := c[i*n : (i+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

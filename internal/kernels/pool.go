@@ -1,0 +1,188 @@
+package kernels
+
+import "math"
+
+// PoolShape describes a 2D pooling problem in NCHW layout.
+type PoolShape struct {
+	N, C, H, W int
+	KH, KW     int
+	StrideH    int
+	StrideW    int
+	PadH, PadW int
+}
+
+// OutDims returns the output spatial dimensions.
+func (s PoolShape) OutDims() (oh, ow int) {
+	oh = (s.H+2*s.PadH-s.KH)/s.StrideH + 1
+	ow = (s.W+2*s.PadW-s.KW)/s.StrideW + 1
+	return
+}
+
+// OutputSize returns the element count of the pooled output.
+func (s PoolShape) OutputSize() int {
+	oh, ow := s.OutDims()
+	return s.N * s.C * oh * ow
+}
+
+// MaxPool2D computes max pooling. If argmax is non-nil (length OutputSize)
+// it receives the flat input index of each selected maximum, which the
+// backward pass uses to scatter gradients.
+func MaxPool2D(s PoolShape, in, out []float32, argmax []int32) {
+	oh, ow := s.OutDims()
+	for n := 0; n < s.N; n++ {
+		for c := 0; c < s.C; c++ {
+			inP := (n*s.C + c) * s.H * s.W
+			outP := (n*s.C + c) * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := float32(math.Inf(-1))
+					bestIdx := int32(-1)
+					for ky := 0; ky < s.KH; ky++ {
+						iy := oy*s.StrideH - s.PadH + ky
+						if iy < 0 || iy >= s.H {
+							continue
+						}
+						for kx := 0; kx < s.KW; kx++ {
+							ix := ox*s.StrideW - s.PadW + kx
+							if ix < 0 || ix >= s.W {
+								continue
+							}
+							v := in[inP+iy*s.W+ix]
+							if v > best {
+								best = v
+								bestIdx = int32(inP + iy*s.W + ix)
+							}
+						}
+					}
+					out[outP+oy*ow+ox] = best
+					if argmax != nil {
+						argmax[outP+oy*ow+ox] = bestIdx
+					}
+				}
+			}
+		}
+	}
+}
+
+// MaxPool2DBackward scatters gradOut into gradIn at the argmax positions.
+// gradIn must be zeroed by the caller or reused intentionally.
+func MaxPool2DBackward(s PoolShape, gradOut []float32, argmax []int32, gradIn []float32) {
+	for i := range gradIn[:s.N*s.C*s.H*s.W] {
+		gradIn[i] = 0
+	}
+	for i, g := range gradOut[:s.OutputSize()] {
+		if idx := argmax[i]; idx >= 0 {
+			gradIn[idx] += g
+		}
+	}
+}
+
+// AvgPool2D computes average pooling (count excludes padding).
+func AvgPool2D(s PoolShape, in, out []float32) {
+	oh, ow := s.OutDims()
+	for n := 0; n < s.N; n++ {
+		for c := 0; c < s.C; c++ {
+			inP := (n*s.C + c) * s.H * s.W
+			outP := (n*s.C + c) * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var sum float32
+					var cnt int
+					for ky := 0; ky < s.KH; ky++ {
+						iy := oy*s.StrideH - s.PadH + ky
+						if iy < 0 || iy >= s.H {
+							continue
+						}
+						for kx := 0; kx < s.KW; kx++ {
+							ix := ox*s.StrideW - s.PadW + kx
+							if ix < 0 || ix >= s.W {
+								continue
+							}
+							sum += in[inP+iy*s.W+ix]
+							cnt++
+						}
+					}
+					if cnt > 0 {
+						out[outP+oy*ow+ox] = sum / float32(cnt)
+					}
+				}
+			}
+		}
+	}
+}
+
+// AvgPool2DBackward distributes gradOut uniformly over each pooling window.
+func AvgPool2DBackward(s PoolShape, gradOut, gradIn []float32) {
+	oh, ow := s.OutDims()
+	for i := range gradIn[:s.N*s.C*s.H*s.W] {
+		gradIn[i] = 0
+	}
+	for n := 0; n < s.N; n++ {
+		for c := 0; c < s.C; c++ {
+			inP := (n*s.C + c) * s.H * s.W
+			outP := (n*s.C + c) * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					// count matching forward
+					var cnt int
+					for ky := 0; ky < s.KH; ky++ {
+						iy := oy*s.StrideH - s.PadH + ky
+						if iy < 0 || iy >= s.H {
+							continue
+						}
+						for kx := 0; kx < s.KW; kx++ {
+							ix := ox*s.StrideW - s.PadW + kx
+							if ix >= 0 && ix < s.W {
+								cnt++
+							}
+						}
+					}
+					if cnt == 0 {
+						continue
+					}
+					g := gradOut[outP+oy*ow+ox] / float32(cnt)
+					for ky := 0; ky < s.KH; ky++ {
+						iy := oy*s.StrideH - s.PadH + ky
+						if iy < 0 || iy >= s.H {
+							continue
+						}
+						for kx := 0; kx < s.KW; kx++ {
+							ix := ox*s.StrideW - s.PadW + kx
+							if ix < 0 || ix >= s.W {
+								continue
+							}
+							gradIn[inP+iy*s.W+ix] += g
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// GlobalAvgPool reduces each N×C×H×W channel plane to its mean, producing
+// an N×C output.
+func GlobalAvgPool(n, c, h, w int, in, out []float32) {
+	plane := h * w
+	inv := 1 / float32(plane)
+	for i := 0; i < n*c; i++ {
+		var s float32
+		for _, v := range in[i*plane : (i+1)*plane] {
+			s += v
+		}
+		out[i] = s * inv
+	}
+}
+
+// GlobalAvgPoolBackward spreads each gradient uniformly over its plane.
+func GlobalAvgPoolBackward(n, c, h, w int, gradOut, gradIn []float32) {
+	plane := h * w
+	inv := 1 / float32(plane)
+	for i := 0; i < n*c; i++ {
+		g := gradOut[i] * inv
+		dst := gradIn[i*plane : (i+1)*plane]
+		for j := range dst {
+			dst[j] = g
+		}
+	}
+}

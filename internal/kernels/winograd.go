@@ -1,0 +1,144 @@
+package kernels
+
+// Winograd F(2×2, 3×3) convolution. Each 4×4 input tile produces a 2×2
+// output tile using 16 multiplications instead of 36, via
+//
+//	Y = Aᵀ [ (G g Gᵀ) ⊙ (Bᵀ d B) ] A
+//
+// with the standard transform matrices
+//
+//	Bᵀ = | 1  0 -1  0 |    G = | 1    0    0   |    Aᵀ = | 1 1  1  0 |
+//	     | 0  1  1  0 |        | 1/2  1/2  1/2 |         | 0 1 -1 -1 |
+//	     | 0 -1  1  0 |        | 1/2 -1/2  1/2 |
+//	     | 0  1  0 -1 |        | 0    0    1   |
+
+// winogradKernel transforms a 3×3 kernel g into its 4×4 Winograd domain
+// image U = G·g·Gᵀ.
+func winogradKernel(g []float32, u *[16]float32) {
+	// t = G·g  (4×3)
+	var t [12]float32
+	for c := 0; c < 3; c++ {
+		g0, g1, g2 := g[c], g[3+c], g[6+c]
+		t[c] = g0
+		t[3+c] = 0.5 * (g0 + g1 + g2)
+		t[6+c] = 0.5 * (g0 - g1 + g2)
+		t[9+c] = g2
+	}
+	// U = t·Gᵀ (4×4)
+	for r := 0; r < 4; r++ {
+		t0, t1, t2 := t[r*3], t[r*3+1], t[r*3+2]
+		u[r*4] = t0
+		u[r*4+1] = 0.5 * (t0 + t1 + t2)
+		u[r*4+2] = 0.5 * (t0 - t1 + t2)
+		u[r*4+3] = t2
+	}
+}
+
+// winogradInput transforms a 4×4 input tile d into V = Bᵀ·d·B.
+func winogradInput(d *[16]float32, v *[16]float32) {
+	var t [16]float32
+	// t = Bᵀ·d
+	for c := 0; c < 4; c++ {
+		d0, d1, d2, d3 := d[c], d[4+c], d[8+c], d[12+c]
+		t[c] = d0 - d2
+		t[4+c] = d1 + d2
+		t[8+c] = d2 - d1
+		t[12+c] = d1 - d3
+	}
+	// v = t·B
+	for r := 0; r < 4; r++ {
+		t0, t1, t2, t3 := t[r*4], t[r*4+1], t[r*4+2], t[r*4+3]
+		v[r*4] = t0 - t2
+		v[r*4+1] = t1 + t2
+		v[r*4+2] = t2 - t1
+		v[r*4+3] = t1 - t3
+	}
+}
+
+// winogradOutput maps the accumulated 4×4 domain tile m back to the 2×2
+// spatial output Y = Aᵀ·m·A.
+func winogradOutput(m *[16]float32, y *[4]float32) {
+	var t [8]float32
+	// t = Aᵀ·m (2×4)
+	for c := 0; c < 4; c++ {
+		m0, m1, m2, m3 := m[c], m[4+c], m[8+c], m[12+c]
+		t[c] = m0 + m1 + m2
+		t[4+c] = m1 - m2 - m3
+	}
+	// y = t·A (2×2)
+	for r := 0; r < 2; r++ {
+		t0, t1, t2, t3 := t[r*4], t[r*4+1], t[r*4+2], t[r*4+3]
+		y[r*2] = t0 + t1 + t2
+		y[r*2+1] = t1 - t2 - t3
+	}
+}
+
+func conv2DWinograd(s ConvShape, in, w, out []float32) {
+	oh, ow := s.OutDims()
+	tilesY := (oh + 1) / 2
+	tilesX := (ow + 1) / 2
+
+	// Pre-transform all kernels: U[m][c] is a 16-vector.
+	u := make([][16]float32, s.M*s.C)
+	for m := 0; m < s.M; m++ {
+		for c := 0; c < s.C; c++ {
+			winogradKernel(w[(m*s.C+c)*9:(m*s.C+c)*9+9], &u[m*s.C+c])
+		}
+	}
+
+	var d, v, acc [16]float32
+	var y [4]float32
+	vs := make([][16]float32, s.C) // transformed input tiles for one position
+	for n := 0; n < s.N; n++ {
+		inImg := in[n*s.C*s.H*s.W:]
+		outImg := out[n*s.M*oh*ow:]
+		for ty := 0; ty < tilesY; ty++ {
+			for tx := 0; tx < tilesX; tx++ {
+				iy0 := ty*2 - s.PadH
+				ix0 := tx*2 - s.PadW
+				// Transform the 4×4 input tile of each channel once.
+				for c := 0; c < s.C; c++ {
+					inC := inImg[c*s.H*s.W:]
+					for r := 0; r < 4; r++ {
+						iy := iy0 + r
+						for col := 0; col < 4; col++ {
+							ix := ix0 + col
+							if iy < 0 || iy >= s.H || ix < 0 || ix >= s.W {
+								d[r*4+col] = 0
+							} else {
+								d[r*4+col] = inC[iy*s.W+ix]
+							}
+						}
+					}
+					winogradInput(&d, &v)
+					vs[c] = v
+				}
+				for m := 0; m < s.M; m++ {
+					acc = [16]float32{}
+					for c := 0; c < s.C; c++ {
+						um := &u[m*s.C+c]
+						vc := &vs[c]
+						for i := 0; i < 16; i++ {
+							acc[i] += um[i] * vc[i]
+						}
+					}
+					winogradOutput(&acc, &y)
+					dst := outImg[m*oh*ow:]
+					for r := 0; r < 2; r++ {
+						oy := ty*2 + r
+						if oy >= oh {
+							continue
+						}
+						for col := 0; col < 2; col++ {
+							ox := tx*2 + col
+							if ox >= ow {
+								continue
+							}
+							dst[oy*ow+ox] = y[r*2+col]
+						}
+					}
+				}
+			}
+		}
+	}
+}

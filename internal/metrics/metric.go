@@ -1,0 +1,170 @@
+// Package metrics implements the Deep500 metric framework (paper §IV-B,
+// challenge 2): a generic TestMetric interface, summary statistics with the
+// paper's evaluation methodology (medians and nonparametric 95% confidence
+// intervals over 30 re-runs, §V-A), and the concrete metric families
+// attached to the four levels — wallclock time, FLOP/s, accuracy series,
+// framework overhead, communication volume, dataset latency, dataset bias
+// and time-to-accuracy.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DefaultReruns is the paper's measurement count for non-distributed
+// experiments (§V-A: "we run them 30 times and report median results and
+// nonparametric 95% confidence intervals").
+const DefaultReruns = 30
+
+// TestMetric is the minimal metric interface: every metric can identify
+// itself, report how many re-runs a sound measurement needs, and summarize
+// what it has collected.
+type TestMetric interface {
+	Name() string
+	RequiredReruns() int
+	Summarize() Summary
+}
+
+// Summary holds order statistics of a sample set.
+type Summary struct {
+	Name              string
+	Unit              string
+	N                 int
+	Mean              float64
+	Median            float64
+	Min, Max          float64
+	CI95Low, CI95High float64 // nonparametric CI of the median
+	P25, P75          float64
+	StdDev            float64
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("%s: median %.4g %s (95%% CI [%.4g, %.4g], n=%d)",
+		s.Name, s.Median, s.Unit, s.CI95Low, s.CI95High, s.N)
+}
+
+// Sampler accumulates float64 samples and computes summaries. The zero
+// value is unusable; construct with NewSampler. Sampler is the reusable
+// core most concrete metrics embed.
+type Sampler struct {
+	name    string
+	unit    string
+	reruns  int
+	samples []float64
+}
+
+// NewSampler returns a sampler with the default re-run requirement.
+func NewSampler(name, unit string) *Sampler {
+	return &Sampler{name: name, unit: unit, reruns: DefaultReruns}
+}
+
+// WithReruns overrides the required re-run count and returns the sampler.
+func (s *Sampler) WithReruns(n int) *Sampler {
+	s.reruns = n
+	return s
+}
+
+// Name returns the metric name.
+func (s *Sampler) Name() string { return s.name }
+
+// RequiredReruns returns how many measurements a sound summary needs.
+func (s *Sampler) RequiredReruns() int { return s.reruns }
+
+// Record adds one sample.
+func (s *Sampler) Record(v float64) { s.samples = append(s.samples, v) }
+
+// Count returns the number of samples recorded so far.
+func (s *Sampler) Count() int { return len(s.samples) }
+
+// Samples returns the raw samples (not a copy).
+func (s *Sampler) Samples() []float64 { return s.samples }
+
+// Reset discards all samples.
+func (s *Sampler) Reset() { s.samples = s.samples[:0] }
+
+// Summarize computes order statistics over the recorded samples.
+func (s *Sampler) Summarize() Summary {
+	sum := Summarize(s.samples)
+	sum.Name = s.name
+	sum.Unit = s.unit
+	return sum
+}
+
+// Summarize computes order statistics (median, nonparametric 95% CI of the
+// median, quartiles, extrema) for a sample set.
+func Summarize(samples []float64) Summary {
+	n := len(samples)
+	if n == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	var mean float64
+	for _, v := range sorted {
+		mean += v
+	}
+	mean /= float64(n)
+	var sq float64
+	for _, v := range sorted {
+		sq += (v - mean) * (v - mean)
+	}
+	lo, hi := medianCIIndices(n)
+	return Summary{
+		N:        n,
+		Mean:     mean,
+		StdDev:   math.Sqrt(sq / float64(n)),
+		Median:   Percentile(sorted, 50),
+		Min:      sorted[0],
+		Max:      sorted[n-1],
+		P25:      Percentile(sorted, 25),
+		P75:      Percentile(sorted, 75),
+		CI95Low:  sorted[lo],
+		CI95High: sorted[hi],
+	}
+}
+
+// medianCIIndices returns the order-statistic indices bounding a ~95%
+// nonparametric confidence interval of the median (binomial method,
+// Hoefler & Belli, "Scientific benchmarking of parallel computing
+// systems", SC'15 — the paper's reference [27]).
+func medianCIIndices(n int) (lo, hi int) {
+	if n == 1 {
+		return 0, 0
+	}
+	z := 1.96
+	d := z * math.Sqrt(float64(n)) / 2
+	lo = int(math.Floor(float64(n)/2 - d))
+	hi = int(math.Ceil(float64(n)/2+d)) - 1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n-1 {
+		hi = n - 1
+	}
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	return
+}
+
+// Percentile returns the p-th percentile (0–100) of sorted data using
+// linear interpolation.
+func Percentile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

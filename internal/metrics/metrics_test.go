@@ -1,0 +1,201 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"deep500/internal/tensor"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2})
+	if s.Median != 2 || s.Min != 1 || s.Max != 3 || s.N != 3 {
+		t.Fatalf("%+v", s)
+	}
+	if math.Abs(s.Mean-2) > 1e-12 {
+		t.Fatalf("mean %v", s.Mean)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	if Percentile(sorted, 50) != 3 {
+		t.Fatal("p50")
+	}
+	if Percentile(sorted, 0) != 1 || Percentile(sorted, 100) != 5 {
+		t.Fatal("extremes")
+	}
+	if p := Percentile(sorted, 25); p != 2 {
+		t.Fatalf("p25 = %v", p)
+	}
+}
+
+func TestMedianCIContainsMedian(t *testing.T) {
+	// For n=30 the binomial CI of the median must bracket the median.
+	rng := tensor.NewRNG(5)
+	vals := make([]float64, 30)
+	for i := range vals {
+		vals[i] = rng.Norm()
+	}
+	s := Summarize(vals)
+	if s.CI95Low > s.Median || s.CI95High < s.Median {
+		t.Fatalf("CI [%v, %v] does not contain median %v", s.CI95Low, s.CI95High, s.Median)
+	}
+	if s.CI95Low == s.CI95High {
+		t.Fatal("degenerate CI for n=30")
+	}
+}
+
+func TestPropCIOrdering(t *testing.T) {
+	f := func(seed uint16) bool {
+		rng := tensor.NewRNG(uint64(seed))
+		n := rng.Intn(100) + 1
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.Float64() * 100
+		}
+		s := Summarize(vals)
+		return s.Min <= s.CI95Low && s.CI95Low <= s.CI95High && s.CI95High <= s.Max &&
+			s.P25 <= s.Median && s.Median <= s.P75
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamplerLifecycle(t *testing.T) {
+	s := NewSampler("x", "unit").WithReruns(5)
+	if s.RequiredReruns() != 5 || s.Name() != "x" {
+		t.Fatal("config lost")
+	}
+	for i := 0; i < 5; i++ {
+		s.Record(float64(i))
+	}
+	if s.Count() != 5 {
+		t.Fatal("count")
+	}
+	sum := s.Summarize()
+	if sum.Median != 2 || sum.Unit != "unit" {
+		t.Fatalf("%+v", sum)
+	}
+	s.Reset()
+	if s.Count() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestWallclockTime(t *testing.T) {
+	w := NewWallclockTime("sleep")
+	w.Measure(func() { time.Sleep(2 * time.Millisecond) })
+	if w.Count() != 1 || w.Samples()[0] < 0.001 {
+		t.Fatalf("samples %v", w.Samples())
+	}
+}
+
+func TestFLOPSMetric(t *testing.T) {
+	f := NewFLOPS("gemm")
+	f.RecordWork(2_000_000, time.Millisecond)
+	got := f.Samples()[0]
+	if math.Abs(got-2e9)/2e9 > 0.01 {
+		t.Fatalf("FLOP/s = %v", got)
+	}
+	f.RecordWork(100, 0) // zero duration must be ignored
+	if f.Count() != 1 {
+		t.Fatal("zero-duration sample recorded")
+	}
+}
+
+func TestSeriesCadence(t *testing.T) {
+	s := NewSeries("acc", "f", 3)
+	for i := 0; i < 9; i++ {
+		s.Observe(i, 0, float64(i))
+	}
+	pts := s.Points()
+	if len(pts) != 3 || pts[0].Step != 0 || pts[1].Step != 3 || pts[2].Step != 6 {
+		t.Fatalf("points %v", pts)
+	}
+	if s.Last() != 6 || s.Best() != 6 {
+		t.Fatalf("last/best %v %v", s.Last(), s.Best())
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	s := NewTrainingAccuracy(1)
+	if !math.IsNaN(s.Last()) || !math.IsNaN(s.Best()) {
+		t.Fatal("empty series should be NaN")
+	}
+}
+
+func TestTimeToAccuracy(t *testing.T) {
+	m := NewTimeToAccuracy("tta", 0.9)
+	m.Start()
+	m.Observe(0.5)
+	if ok, _ := m.Reached(); ok {
+		t.Fatal("reached too early")
+	}
+	time.Sleep(time.Millisecond)
+	m.Observe(0.95)
+	ok, when := m.Reached()
+	if !ok || when <= 0 {
+		t.Fatalf("reached=%v when=%v", ok, when)
+	}
+	// later lower observations must not reset
+	m.Observe(0.1)
+	if ok2, when2 := m.Reached(); !ok2 || when2 != when {
+		t.Fatal("TTA changed after being reached")
+	}
+	if m.Summarize().N != 1 {
+		t.Fatal("summary")
+	}
+}
+
+func TestDatasetBiasUniform(t *testing.T) {
+	b := NewDatasetBias()
+	for i := 0; i < 1000; i++ {
+		b.ObserveLabel(i % 10)
+	}
+	if chi := b.ChiSquare(); chi != 0 {
+		t.Fatalf("uniform chi² = %v", chi)
+	}
+	skewed := NewDatasetBias()
+	for i := 0; i < 1000; i++ {
+		skewed.ObserveLabel(0)
+	}
+	skewed.ObserveLabel(1)
+	if skewed.ChiSquare() < 100 {
+		t.Fatalf("skewed chi² = %v", skewed.ChiSquare())
+	}
+}
+
+func TestCommunicationVolume(t *testing.T) {
+	c := NewCommunicationVolume()
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 100; j++ {
+				c.AddSent(10)
+				c.AddReceived(10)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if c.Sent() != 8000 || c.Received() != 8000 || c.Messages() != 800 {
+		t.Fatalf("sent=%d recv=%d msgs=%d", c.Sent(), c.Received(), c.Messages())
+	}
+	c.Reset()
+	if c.Sent() != 0 {
+		t.Fatal("reset failed")
+	}
+}

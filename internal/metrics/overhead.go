@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+
+	"deep500/internal/executor"
+	"deep500/internal/graph"
+)
+
+// FrameworkOverhead measures, per forward pass, the difference between the
+// whole-pass wallclock time and the sum of individual operator runtimes —
+// the Level 1 metric the paper uses to expose framework and hardware
+// management cost (GPU kernel invocation latency etc., §IV-D).
+type FrameworkOverhead struct {
+	*Sampler        // overhead fraction per pass (0.1 = 10%)
+	opTime          time.Duration
+	AbsoluteSampler *Sampler // overhead seconds per pass
+}
+
+// NewFrameworkOverhead returns the metric.
+func NewFrameworkOverhead() *FrameworkOverhead {
+	return &FrameworkOverhead{
+		Sampler:         NewSampler("FrameworkOverhead", "fraction"),
+		AbsoluteSampler: NewSampler("FrameworkOverheadAbs", "s"),
+	}
+}
+
+// Events returns executor hooks that feed this metric; attach them with
+// executor.Merge when other hooks are present. This is the paper's pattern
+// of one class extending both TestMetric and Event.
+func (f *FrameworkOverhead) Events() *executor.Events {
+	return &executor.Events{
+		BeforeInference: func() { f.opTime = 0 },
+		AfterOp:         func(n *graph.Node, d time.Duration) { f.opTime += d },
+		AfterInference: func(total time.Duration) {
+			over := total - f.opTime
+			if over < 0 {
+				over = 0
+			}
+			f.AbsoluteSampler.Record(over.Seconds())
+			if total > 0 {
+				f.Record(float64(over) / float64(total))
+			}
+		},
+	}
+}
+
+// CommunicationVolume accumulates bytes moved over the (simulated) network,
+// the Level 3 metric of §IV-F. It is safe for concurrent use by many ranks.
+type CommunicationVolume struct {
+	name     string
+	sent     atomic.Int64
+	received atomic.Int64
+	messages atomic.Int64
+}
+
+// NewCommunicationVolume returns the metric.
+func NewCommunicationVolume() *CommunicationVolume {
+	return &CommunicationVolume{name: "CommunicationVolume"}
+}
+
+// Name returns the metric name.
+func (c *CommunicationVolume) Name() string { return c.name }
+
+// RequiredReruns is 1: volume is deterministic for a fixed schedule.
+func (c *CommunicationVolume) RequiredReruns() int { return 1 }
+
+// AddSent, AddReceived record traffic; AddMessage counts one message.
+func (c *CommunicationVolume) AddSent(b int64)     { c.sent.Add(b); c.messages.Add(1) }
+func (c *CommunicationVolume) AddReceived(b int64) { c.received.Add(b) }
+
+// Sent and Received return accumulated byte counts; Messages the message
+// count.
+func (c *CommunicationVolume) Sent() int64     { return c.sent.Load() }
+func (c *CommunicationVolume) Received() int64 { return c.received.Load() }
+func (c *CommunicationVolume) Messages() int64 { return c.messages.Load() }
+
+// Reset zeroes the counters.
+func (c *CommunicationVolume) Reset() {
+	c.sent.Store(0)
+	c.received.Store(0)
+	c.messages.Store(0)
+}
+
+// Summarize reports total sent bytes.
+func (c *CommunicationVolume) Summarize() Summary {
+	v := float64(c.sent.Load())
+	return Summary{Name: c.name, Unit: "B", N: 1,
+		Mean: v, Median: v, Min: v, Max: v, CI95Low: v, CI95High: v}
+}

@@ -1,0 +1,327 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func noCost() CostModel { return CostModel{} }
+
+func TestSendRecv(t *testing.T) {
+	_, _, err := Run(2, Aries(), func(r *Rank) error {
+		if r.ID() == 0 {
+			r.Send(1, []float32{1, 2, 3}, SimActual)
+		} else {
+			got := r.Recv(0)
+			if len(got) != 3 || got[2] != 3 {
+				t.Errorf("recv %v", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendCopiesData(t *testing.T) {
+	_, _, err := Run(2, noCost(), func(r *Rank) error {
+		if r.ID() == 0 {
+			buf := []float32{1}
+			r.Send(1, buf, SimActual)
+			buf[0] = 99 // must not affect the receiver
+		} else {
+			if got := r.Recv(0); got[0] != 1 {
+				t.Errorf("message aliased sender buffer: %v", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageOrderFIFO(t *testing.T) {
+	_, _, err := Run(2, Aries(), func(r *Rank) error {
+		if r.ID() == 0 {
+			for i := 0; i < 10; i++ {
+				r.Send(1, []float32{float32(i)}, SimActual)
+			}
+		} else {
+			for i := 0; i < 10; i++ {
+				if got := r.Recv(0); got[0] != float32(i) {
+					t.Errorf("out of order: %v at %d", got, i)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceBothAlgorithms(t *testing.T) {
+	for _, algo := range []AllreduceAlgo{AllreduceRing, AllreduceDoubling} {
+		for _, p := range []int{1, 2, 3, 4, 8, 7} {
+			results := make([][]float32, p)
+			_, _, err := Run(p, Aries(), func(r *Rank) error {
+				data := make([]float32, 13)
+				for i := range data {
+					data[i] = float32(r.ID()*100 + i)
+				}
+				r.AllreduceSum(algo, data, SimActual)
+				results[r.ID()] = data
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// expected sum over ranks
+			for i := 0; i < 13; i++ {
+				var want float32
+				for rank := 0; rank < p; rank++ {
+					want += float32(rank*100 + i)
+				}
+				for rank := 0; rank < p; rank++ {
+					if math.Abs(float64(results[rank][i]-want)) > 1e-3 {
+						t.Fatalf("algo %v p=%d rank %d elem %d: %v want %v",
+							algo, p, rank, i, results[rank][i], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	for _, p := range []int{2, 3, 4, 8, 5} {
+		for root := 0; root < p; root += 2 {
+			_, _, err := Run(p, Aries(), func(r *Rank) error {
+				data := make([]float32, 4)
+				if r.ID() == root {
+					for i := range data {
+						data[i] = float32(i + 1)
+					}
+				}
+				r.Broadcast(root, data, SimActual)
+				for i := range data {
+					if data[i] != float32(i+1) {
+						t.Errorf("p=%d root=%d rank %d got %v", p, root, r.ID(), data)
+						break
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestGather(t *testing.T) {
+	_, _, err := Run(4, Aries(), func(r *Rank) error {
+		data := []float32{float32(r.ID())}
+		got := r.Gather(2, data, SimActual)
+		if r.ID() == 2 {
+			for i := 0; i < 4; i++ {
+				if got[i][0] != float32(i) {
+					t.Errorf("gather slot %d = %v", i, got[i])
+				}
+			}
+		} else if got != nil {
+			t.Error("non-root received gather output")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierAndClocks(t *testing.T) {
+	makespan, _, err := Run(4, Aries(), func(r *Rank) error {
+		if r.ID() == 0 {
+			r.Compute(time.Millisecond) // slowest rank
+		}
+		before := r.Time()
+		r.Barrier()
+		if r.ID() != 0 && r.Time() < time.Millisecond {
+			t.Errorf("rank %d virtual clock %v did not wait for slow rank (before %v)", r.ID(), r.Time(), before)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if makespan < time.Millisecond {
+		t.Fatalf("makespan %v", makespan)
+	}
+}
+
+func TestVirtualTimeScalesWithBytes(t *testing.T) {
+	cost := CostModel{Latency: time.Microsecond, Bandwidth: 1e9}
+	timeFor := func(bytes int64) time.Duration {
+		makespan, _, err := Run(2, cost, func(r *Rank) error {
+			if r.ID() == 0 {
+				r.Send(1, []float32{0}, bytes)
+			} else {
+				r.Recv(0)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return makespan
+	}
+	small := timeFor(1000)
+	large := timeFor(100_000_000)
+	// 100 MB at 1 GB/s = 100 ms ≫ small
+	if large < 50*time.Millisecond || large < 10*small {
+		t.Fatalf("large=%v small=%v", large, small)
+	}
+}
+
+func TestCommunicationVolumeAccounting(t *testing.T) {
+	_, w, err := Run(2, Aries(), func(r *Rank) error {
+		if r.ID() == 0 {
+			r.Send(1, make([]float32, 256), SimActual) // 1024 B
+		} else {
+			r.Recv(0)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Volume.Sent() != 1024 {
+		t.Fatalf("sent = %d", w.Volume.Sent())
+	}
+	if w.Volume.Received() != 1024 {
+		t.Fatalf("received = %d", w.Volume.Received())
+	}
+}
+
+func TestSimulatedBytesDecoupledFromBuffer(t *testing.T) {
+	_, w, err := Run(2, Aries(), func(r *Rank) error {
+		if r.ID() == 0 {
+			r.Send(1, []float32{1}, 1<<20) // tiny buffer, 1 MiB charged
+		} else {
+			r.Recv(0)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Volume.Sent() != 1<<20 {
+		t.Fatalf("charged %d", w.Volume.Sent())
+	}
+}
+
+func TestRecvAny(t *testing.T) {
+	_, _, err := Run(4, Aries(), func(r *Rank) error {
+		if r.ID() == 0 {
+			seen := map[int]bool{}
+			for i := 0; i < 3; i++ {
+				data, src := r.RecvAny()
+				if int(data[0]) != src {
+					t.Errorf("payload %v from %d", data, src)
+				}
+				seen[src] = true
+			}
+			if len(seen) != 3 {
+				t.Errorf("sources %v", seen)
+			}
+		} else {
+			r.Send(0, []float32{float32(r.ID())}, SimActual)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerQueueingEmergesFromTimestamps(t *testing.T) {
+	// Many clients hitting one server must serialize: the makespan grows
+	// roughly linearly with client count (the paper's ASGD observation ¶).
+	cost := CostModel{Latency: 10 * time.Microsecond, Bandwidth: 1e9, PerMessageCPU: 100 * time.Microsecond}
+	makespanFor := func(p int) time.Duration {
+		ms, _, err := Run(p, cost, func(r *Rank) error {
+			if r.ID() == 0 {
+				for i := 1; i < p; i++ {
+					data, src := r.RecvAny()
+					r.Send(src, data, SimActual)
+				}
+			} else {
+				r.Send(0, make([]float32, 1000), SimActual)
+				r.Recv(0)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ms
+	}
+	m4 := makespanFor(4)
+	m16 := makespanFor(16)
+	if m16 < 2*m4 {
+		t.Fatalf("no queueing effect: 4 ranks %v, 16 ranks %v", m4, m16)
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	_, _, err := Run(2, noCost(), func(r *Rank) error {
+		if r.ID() == 1 {
+			panic("boom")
+		}
+		r.Send(1, []float32{1}, SimActual)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic not propagated")
+	}
+}
+
+func TestPropAllreduceEqualsSerialSum(t *testing.T) {
+	f := func(seed uint16) bool {
+		p := int(seed%6) + 2
+		n := int(seed%17) + 1
+		results := make([][]float32, p)
+		_, _, err := Run(p, noCost(), func(r *Rank) error {
+			data := make([]float32, n)
+			for i := range data {
+				data[i] = float32((r.ID()+1)*(i+1)) / 7
+			}
+			r.AllreduceSum(AllreduceRing, data, SimActual)
+			results[r.ID()] = data
+			return nil
+		})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			var want float64
+			for rank := 0; rank < p; rank++ {
+				want += float64((rank + 1) * (i + 1))
+			}
+			want /= 7
+			for rank := 0; rank < p; rank++ {
+				if math.Abs(float64(results[rank][i])-want) > 1e-2 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+package ops
+
+import (
+	"fmt"
+
+	"deep500/internal/graph"
+	"deep500/internal/kernels"
+	"deep500/internal/tensor"
+)
+
+// Conv2DOp implements 2D convolution. Inputs: X [N,C,H,W], W [M,C,KH,KW],
+// optional bias [M]. The Algo field selects the kernel implementation and is
+// the knob the micro-batching ILP (Level 1) tunes per node.
+type Conv2DOp struct {
+	base
+	StrideH, StrideW int
+	PadH, PadW       int
+	Algo             kernels.ConvAlgo
+}
+
+// NewConv2D returns a convolution operator.
+func NewConv2D(algo kernels.ConvAlgo, strideH, strideW, padH, padW int) *Conv2DOp {
+	return &Conv2DOp{base: base{"Conv"}, Algo: algo,
+		StrideH: strideH, StrideW: strideW, PadH: padH, PadW: padW}
+}
+
+func (o *Conv2DOp) shape(x, w *tensor.Tensor) kernels.ConvShape {
+	return kernels.ConvShape{
+		N: x.Dim(0), C: x.Dim(1), H: x.Dim(2), W: x.Dim(3),
+		M: w.Dim(0), KH: w.Dim(2), KW: w.Dim(3),
+		StrideH: o.StrideH, StrideW: o.StrideW, PadH: o.PadH, PadW: o.PadW,
+	}
+}
+
+func (o *Conv2DOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
+	x, w := inputs[0], inputs[1]
+	if x.Dim(1) != w.Dim(1) {
+		panic(fmt.Sprintf("ops: Conv channel mismatch %d vs %d", x.Dim(1), w.Dim(1)))
+	}
+	s := o.shape(x, w)
+	algo := o.Algo
+	if algo == kernels.ConvWinograd && !s.SupportsWinograd() {
+		algo = kernels.ConvIm2Col
+	}
+	oh, ow := s.OutDims()
+	out := tensor.New(s.N, s.M, oh, ow)
+	var bias []float32
+	if len(inputs) > 2 && inputs[2] != nil {
+		bias = inputs[2].Data()
+	}
+	kernels.Conv2D(algo, s, x.Data(), w.Data(), bias, out.Data())
+	return []*tensor.Tensor{out}
+}
+
+func (o *Conv2DOp) Backward(gradOutputs, fwdInputs, fwdOutputs []*tensor.Tensor) []*tensor.Tensor {
+	x, w := fwdInputs[0], fwdInputs[1]
+	g := gradOutputs[0]
+	s := o.shape(x, w)
+	oh, ow := s.OutDims()
+	spatial := oh * ow
+	ckk := s.C * s.KH * s.KW
+
+	gradX := tensor.New(x.Shape()...)
+	gradW := tensor.New(w.Shape()...)
+	col := make([]float32, ckk*spatial)
+	gradColBuf := make([]float32, ckk*spatial)
+	gradWAcc := make([]float32, s.M*ckk)
+	perImageGW := make([]float32, s.M*ckk)
+
+	for n := 0; n < s.N; n++ {
+		img := x.Data()[n*s.C*s.H*s.W:]
+		gOut := g.Data()[n*s.M*spatial : (n+1)*s.M*spatial]
+		kernels.Im2Col(s, img, col)
+		// dW += gOut (M×OHW) · colᵀ (OHW×CKK)
+		kernels.GemmTransB(gOut, col, perImageGW, s.M, spatial, ckk)
+		for i, v := range perImageGW {
+			gradWAcc[i] += v
+		}
+		// dcol = Wᵀ (CKK×M) · gOut (M×OHW)
+		kernels.GemmTransA(w.Data(), gOut, gradColBuf, ckk, s.M, spatial)
+		kernels.Col2Im(s, gradColBuf, gradX.Data()[n*s.C*s.H*s.W:])
+	}
+	copy(gradW.Data(), gradWAcc)
+
+	grads := []*tensor.Tensor{gradX, gradW}
+	if len(fwdInputs) > 2 && fwdInputs[2] != nil {
+		gb := tensor.New(s.M)
+		for n := 0; n < s.N; n++ {
+			for m := 0; m < s.M; m++ {
+				var sum float32
+				for _, v := range g.Data()[(n*s.M+m)*spatial : (n*s.M+m+1)*spatial] {
+					sum += v
+				}
+				gb.Data()[m] += sum
+			}
+		}
+		grads = append(grads, gb)
+	}
+	return grads
+}
+
+func (o *Conv2DOp) FLOPs(inputs []*tensor.Tensor) int64 {
+	return o.shape(inputs[0], inputs[1]).FLOPs()
+}
+
+func init() {
+	Register("Conv", func(n *graph.Node) (Operator, error) {
+		strides := n.AttrInts("strides", []int64{1, 1})
+		pads := n.AttrInts("pads", []int64{0, 0})
+		algo := kernels.ConvIm2Col
+		switch n.AttrString("algo", "im2col") {
+		case "direct":
+			algo = kernels.ConvDirect
+		case "winograd":
+			algo = kernels.ConvWinograd
+		case "im2col":
+			algo = kernels.ConvIm2Col
+		default:
+			return nil, fmt.Errorf("ops: unknown conv algo %q", n.AttrString("algo", ""))
+		}
+		return NewConv2D(algo, int(strides[0]), int(strides[1]), int(pads[0]), int(pads[1])), nil
+	})
+}

@@ -1,0 +1,114 @@
+package ops
+
+import (
+	"fmt"
+
+	"deep500/internal/graph"
+	"deep500/internal/kernels"
+	"deep500/internal/tensor"
+)
+
+// GemmOp implements Y = act(A·B + bias). Inputs: A [n,k], B [k,m], optional
+// bias [m]. TransB supports weights stored output-major.
+type GemmOp struct {
+	base
+	TransA, TransB bool
+	Algo           kernels.GemmAlgo
+}
+
+// NewGemm returns a GEMM operator using the given kernel algorithm.
+func NewGemm(algo kernels.GemmAlgo, transA, transB bool) *GemmOp {
+	return &GemmOp{base: base{"Gemm"}, Algo: algo, TransA: transA, TransB: transB}
+}
+
+func (o *GemmOp) dims(a, b *tensor.Tensor) (m, k, n int) {
+	m, k = a.Dim(0), a.Dim(1)
+	if o.TransA {
+		m, k = k, m
+	}
+	if o.TransB {
+		n = b.Dim(0)
+	} else {
+		n = b.Dim(1)
+	}
+	return
+}
+
+func (o *GemmOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
+	a, b := inputs[0], inputs[1]
+	if o.TransA {
+		a = tensor.Transpose2D(a)
+	}
+	bm := b
+	if o.TransB {
+		bm = tensor.Transpose2D(b)
+	}
+	m, k := a.Dim(0), a.Dim(1)
+	n := bm.Dim(1)
+	if bm.Dim(0) != k {
+		panic(fmt.Sprintf("ops: Gemm inner dimension mismatch %d vs %d", k, bm.Dim(0)))
+	}
+	out := tensor.New(m, n)
+	kernels.Gemm(o.Algo, a.Data(), bm.Data(), out.Data(), m, k, n)
+	if len(inputs) > 2 && inputs[2] != nil {
+		out.BroadcastAddRow(inputs[2].Reshape(n))
+	}
+	return []*tensor.Tensor{out}
+}
+
+func (o *GemmOp) Backward(gradOutputs, fwdInputs, fwdOutputs []*tensor.Tensor) []*tensor.Tensor {
+	g := gradOutputs[0] // [m, n]
+	a, b := fwdInputs[0], fwdInputs[1]
+	if o.TransA {
+		a = tensor.Transpose2D(a)
+	}
+	bm := b
+	if o.TransB {
+		bm = tensor.Transpose2D(b)
+	}
+	m, k := a.Dim(0), a.Dim(1)
+	n := bm.Dim(1)
+
+	// dA = g · Bᵀ  (m×k)
+	gradA := tensor.New(m, k)
+	kernels.GemmTransB(g.Data(), bm.Data(), gradA.Data(), m, n, k)
+	if o.TransA {
+		gradA = tensor.Transpose2D(gradA)
+	}
+	// dB = Aᵀ · g  (k×n)
+	gradB := tensor.New(k, n)
+	kernels.GemmTransA(a.Data(), g.Data(), gradB.Data(), k, m, n)
+	if o.TransB {
+		gradB = tensor.Transpose2D(gradB)
+	}
+	grads := []*tensor.Tensor{gradA, gradB}
+	if len(fwdInputs) > 2 && fwdInputs[2] != nil {
+		gb := tensor.SumAxis0(g)
+		grads = append(grads, gb.Reshape(fwdInputs[2].Shape()...))
+	}
+	return grads
+}
+
+func (o *GemmOp) FLOPs(inputs []*tensor.Tensor) int64 {
+	m, k, n := o.dims(inputs[0], inputs[1])
+	return kernels.GemmFLOPs(m, k, n)
+}
+
+// MatMulOp is Gemm without bias or transposes.
+type MatMulOp struct{ *GemmOp }
+
+// NewMatMul returns a plain matrix-multiplication operator.
+func NewMatMul(algo kernels.GemmAlgo) *MatMulOp {
+	g := NewGemm(algo, false, false)
+	g.base = base{"MatMul"}
+	return &MatMulOp{g}
+}
+
+func init() {
+	Register("Gemm", func(n *graph.Node) (Operator, error) {
+		return NewGemm(kernels.GemmBlocked, n.AttrInt("transA", 0) == 1, n.AttrInt("transB", 0) == 1), nil
+	})
+	Register("MatMul", func(n *graph.Node) (Operator, error) {
+		return NewMatMul(kernels.GemmBlocked), nil
+	})
+}

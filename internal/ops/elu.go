@@ -1,0 +1,92 @@
+package ops
+
+import (
+	"math"
+
+	"deep500/internal/graph"
+	"deep500/internal/tensor"
+)
+
+// EluOp is the exponential linear unit: x for x>0, α(eˣ-1) otherwise.
+type EluOp struct {
+	base
+	Alpha float32
+}
+
+// NewElu returns an ELU operator.
+func NewElu(alpha float32) *EluOp { return &EluOp{base{"Elu"}, alpha} }
+
+func (o *EluOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
+	a := o.Alpha
+	out := tensor.Map(inputs[0], func(v float32) float32 {
+		if v > 0 {
+			return v
+		}
+		return a * float32(math.Expm1(float64(v)))
+	})
+	return []*tensor.Tensor{out}
+}
+
+func (o *EluOp) Backward(gradOutputs, fwdInputs, fwdOutputs []*tensor.Tensor) []*tensor.Tensor {
+	gradIn := tensor.New(fwdInputs[0].Shape()...)
+	in := fwdInputs[0].Data()
+	y := fwdOutputs[0].Data()
+	g := gradOutputs[0].Data()
+	dst := gradIn.Data()
+	for i, v := range in {
+		if v > 0 {
+			dst[i] = g[i]
+		} else {
+			dst[i] = g[i] * (y[i] + o.Alpha) // d/dx α(eˣ-1) = αeˣ = y+α
+		}
+	}
+	return []*tensor.Tensor{gradIn}
+}
+
+func (o *EluOp) FLOPs(inputs []*tensor.Tensor) int64 { return 3 * elementwiseFLOPs(inputs) }
+
+// ClipOp clamps values into [Min, Max].
+type ClipOp struct {
+	base
+	Min, Max float32
+}
+
+// NewClip returns a clip operator.
+func NewClip(min, max float32) *ClipOp { return &ClipOp{base{"Clip"}, min, max} }
+
+func (o *ClipOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
+	out := tensor.Map(inputs[0], func(v float32) float32 {
+		if v < o.Min {
+			return o.Min
+		}
+		if v > o.Max {
+			return o.Max
+		}
+		return v
+	})
+	return []*tensor.Tensor{out}
+}
+
+func (o *ClipOp) Backward(gradOutputs, fwdInputs, fwdOutputs []*tensor.Tensor) []*tensor.Tensor {
+	gradIn := tensor.New(fwdInputs[0].Shape()...)
+	in := fwdInputs[0].Data()
+	g := gradOutputs[0].Data()
+	dst := gradIn.Data()
+	for i, v := range in {
+		if v > o.Min && v < o.Max {
+			dst[i] = g[i]
+		}
+	}
+	return []*tensor.Tensor{gradIn}
+}
+
+func (o *ClipOp) FLOPs(inputs []*tensor.Tensor) int64 { return elementwiseFLOPs(inputs) }
+
+func init() {
+	Register("Elu", func(n *graph.Node) (Operator, error) {
+		return NewElu(float32(n.AttrFloat("alpha", 1.0))), nil
+	})
+	Register("Clip", func(n *graph.Node) (Operator, error) {
+		return NewClip(float32(n.AttrFloat("min", -3.4e38)), float32(n.AttrFloat("max", 3.4e38))), nil
+	})
+}

@@ -1,0 +1,103 @@
+// Package ops implements Deep500 Level 0: individual operators with
+// forward and backward (backpropagation) methods, the CustomOperator
+// registration mechanism, and a factory that instantiates operators from
+// D5NX graph nodes (paper §IV-C).
+//
+// The Operator interface mirrors the paper's CustomOperator: a forward
+// function over input tensors and a backward function receiving the
+// gradients of the outputs together with the forward inputs and outputs.
+// Operators may cache intermediate state (pooling argmaxes, dropout masks,
+// batch statistics) between a Forward call and the matching Backward call;
+// they are therefore not safe for concurrent reuse — executors instantiate
+// one operator per graph node.
+package ops
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"deep500/internal/graph"
+	"deep500/internal/tensor"
+)
+
+// Operator is the Level 0 operator interface.
+type Operator interface {
+	// Name returns the operator's type name (e.g. "Conv").
+	Name() string
+	// Forward computes output tensors from input tensors.
+	Forward(inputs []*tensor.Tensor) []*tensor.Tensor
+	// Backward receives gradients w.r.t. each output plus the forward
+	// inputs and outputs, and returns gradients w.r.t. each input. A nil
+	// entry means "no gradient" (e.g. for integer label inputs).
+	Backward(gradOutputs, fwdInputs, fwdOutputs []*tensor.Tensor) []*tensor.Tensor
+	// FLOPs estimates the forward floating-point work for the given inputs.
+	FLOPs(inputs []*tensor.Tensor) int64
+}
+
+// TrainingAware is implemented by operators whose behaviour differs between
+// training and inference (Dropout, BatchNormalization).
+type TrainingAware interface {
+	SetTraining(training bool)
+}
+
+// Builder constructs an operator from a graph node.
+type Builder func(n *graph.Node) (Operator, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]Builder)
+)
+
+// Register installs a Builder for an op type. It is the analogue of the
+// paper's D500_REGISTER_OP: user code can register custom operators that
+// then work in every executor and framework backend.
+func Register(opType string, b Builder) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registry[opType] = b
+}
+
+// Registered reports whether an op type has a builder.
+func Registered(opType string) bool {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	_, ok := registry[opType]
+	return ok
+}
+
+// RegisteredOps returns all op types with builders, sorted.
+func RegisteredOps() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FromNode instantiates the operator described by a graph node.
+func FromNode(n *graph.Node) (Operator, error) {
+	registryMu.RLock()
+	b, ok := registry[n.OpType]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("ops: no builder registered for op type %q (node %q)", n.OpType, n.Name)
+	}
+	return b(n)
+}
+
+// base provides Name and default FLOPs for simple operators.
+type base struct{ name string }
+
+func (b base) Name() string { return b.name }
+
+// elementwiseFLOPs is the default estimate: one op per element.
+func elementwiseFLOPs(inputs []*tensor.Tensor) int64 {
+	if len(inputs) == 0 {
+		return 0
+	}
+	return int64(inputs[0].Size())
+}

@@ -1,0 +1,136 @@
+package ops
+
+import (
+	"deep500/internal/graph"
+	"deep500/internal/kernels"
+	"deep500/internal/tensor"
+)
+
+// MaxPoolOp implements 2D max pooling. The argmax indices from the last
+// Forward call are cached for Backward.
+type MaxPoolOp struct {
+	base
+	KH, KW           int
+	StrideH, StrideW int
+	PadH, PadW       int
+	argmax           []int32
+}
+
+// NewMaxPool returns a max-pooling operator.
+func NewMaxPool(kh, kw, strideH, strideW, padH, padW int) *MaxPoolOp {
+	return &MaxPoolOp{base: base{"MaxPool"}, KH: kh, KW: kw,
+		StrideH: strideH, StrideW: strideW, PadH: padH, PadW: padW}
+}
+
+func (o *MaxPoolOp) shape(x *tensor.Tensor) kernels.PoolShape {
+	return kernels.PoolShape{N: x.Dim(0), C: x.Dim(1), H: x.Dim(2), W: x.Dim(3),
+		KH: o.KH, KW: o.KW, StrideH: o.StrideH, StrideW: o.StrideW, PadH: o.PadH, PadW: o.PadW}
+}
+
+func (o *MaxPoolOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
+	s := o.shape(inputs[0])
+	oh, ow := s.OutDims()
+	out := tensor.New(s.N, s.C, oh, ow)
+	if cap(o.argmax) < s.OutputSize() {
+		o.argmax = make([]int32, s.OutputSize())
+	}
+	o.argmax = o.argmax[:s.OutputSize()]
+	kernels.MaxPool2D(s, inputs[0].Data(), out.Data(), o.argmax)
+	return []*tensor.Tensor{out}
+}
+
+func (o *MaxPoolOp) Backward(gradOutputs, fwdInputs, fwdOutputs []*tensor.Tensor) []*tensor.Tensor {
+	s := o.shape(fwdInputs[0])
+	gradIn := tensor.New(fwdInputs[0].Shape()...)
+	kernels.MaxPool2DBackward(s, gradOutputs[0].Data(), o.argmax, gradIn.Data())
+	return []*tensor.Tensor{gradIn}
+}
+
+func (o *MaxPoolOp) FLOPs(inputs []*tensor.Tensor) int64 {
+	s := o.shape(inputs[0])
+	return int64(s.OutputSize()) * int64(o.KH*o.KW)
+}
+
+// AvgPoolOp implements 2D average pooling.
+type AvgPoolOp struct {
+	base
+	KH, KW           int
+	StrideH, StrideW int
+	PadH, PadW       int
+}
+
+// NewAvgPool returns an average-pooling operator.
+func NewAvgPool(kh, kw, strideH, strideW, padH, padW int) *AvgPoolOp {
+	return &AvgPoolOp{base: base{"AveragePool"}, KH: kh, KW: kw,
+		StrideH: strideH, StrideW: strideW, PadH: padH, PadW: padW}
+}
+
+func (o *AvgPoolOp) shape(x *tensor.Tensor) kernels.PoolShape {
+	return kernels.PoolShape{N: x.Dim(0), C: x.Dim(1), H: x.Dim(2), W: x.Dim(3),
+		KH: o.KH, KW: o.KW, StrideH: o.StrideH, StrideW: o.StrideW, PadH: o.PadH, PadW: o.PadW}
+}
+
+func (o *AvgPoolOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
+	s := o.shape(inputs[0])
+	oh, ow := s.OutDims()
+	out := tensor.New(s.N, s.C, oh, ow)
+	kernels.AvgPool2D(s, inputs[0].Data(), out.Data())
+	return []*tensor.Tensor{out}
+}
+
+func (o *AvgPoolOp) Backward(gradOutputs, fwdInputs, fwdOutputs []*tensor.Tensor) []*tensor.Tensor {
+	s := o.shape(fwdInputs[0])
+	gradIn := tensor.New(fwdInputs[0].Shape()...)
+	kernels.AvgPool2DBackward(s, gradOutputs[0].Data(), gradIn.Data())
+	return []*tensor.Tensor{gradIn}
+}
+
+func (o *AvgPoolOp) FLOPs(inputs []*tensor.Tensor) int64 {
+	s := o.shape(inputs[0])
+	return int64(s.OutputSize()) * int64(o.KH*o.KW)
+}
+
+// GlobalAvgPoolOp reduces N×C×H×W to N×C×1×1.
+type GlobalAvgPoolOp struct{ base }
+
+// NewGlobalAvgPool returns a global average pooling operator.
+func NewGlobalAvgPool() *GlobalAvgPoolOp { return &GlobalAvgPoolOp{base{"GlobalAveragePool"}} }
+
+func (o *GlobalAvgPoolOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
+	x := inputs[0]
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	out := tensor.New(n, c, 1, 1)
+	kernels.GlobalAvgPool(n, c, h, w, x.Data(), out.Data())
+	return []*tensor.Tensor{out}
+}
+
+func (o *GlobalAvgPoolOp) Backward(gradOutputs, fwdInputs, fwdOutputs []*tensor.Tensor) []*tensor.Tensor {
+	x := fwdInputs[0]
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	gradIn := tensor.New(x.Shape()...)
+	kernels.GlobalAvgPoolBackward(n, c, h, w, gradOutputs[0].Data(), gradIn.Data())
+	return []*tensor.Tensor{gradIn}
+}
+
+func (o *GlobalAvgPoolOp) FLOPs(inputs []*tensor.Tensor) int64 { return int64(inputs[0].Size()) }
+
+func poolAttrs(n *graph.Node) (kh, kw, sh, sw, ph, pw int) {
+	k := n.AttrInts("kernel_shape", []int64{2, 2})
+	s := n.AttrInts("strides", []int64{1, 1})
+	p := n.AttrInts("pads", []int64{0, 0})
+	return int(k[0]), int(k[1]), int(s[0]), int(s[1]), int(p[0]), int(p[1])
+}
+
+func init() {
+	Register("MaxPool", func(n *graph.Node) (Operator, error) {
+		kh, kw, sh, sw, ph, pw := poolAttrs(n)
+		return NewMaxPool(kh, kw, sh, sw, ph, pw), nil
+	})
+	Register("AveragePool", func(n *graph.Node) (Operator, error) {
+		kh, kw, sh, sw, ph, pw := poolAttrs(n)
+		return NewAvgPool(kh, kw, sh, sw, ph, pw), nil
+	})
+	Register("GlobalAveragePool", func(n *graph.Node) (Operator, error) {
+		return NewGlobalAvgPool(), nil
+	})
+}

@@ -1,0 +1,95 @@
+package tensor
+
+import "math"
+
+// DiffNorms holds the ℓ1, ℓ2 and ℓ∞ norms of the elementwise difference of
+// two tensors, plus the location and value of the maximum error. This is the
+// accuracy-metric family the paper attaches to Levels 0 and 1 (§IV-C/D).
+type DiffNorms struct {
+	L1, L2, LInf float64
+	MaxErrorIdx  int
+	RelLInf      float64 // ℓ∞ of the difference scaled by max |reference|
+}
+
+// Compare computes the difference norms between got and want. want is
+// treated as the reference for the relative norm.
+func Compare(got, want *Tensor) DiffNorms {
+	if len(got.data) != len(want.data) {
+		panic("tensor: Compare size mismatch")
+	}
+	var d DiffNorms
+	var refMax float64
+	for i := range got.data {
+		diff := math.Abs(float64(got.data[i]) - float64(want.data[i]))
+		d.L1 += diff
+		d.L2 += diff * diff
+		if diff > d.LInf {
+			d.LInf = diff
+			d.MaxErrorIdx = i
+		}
+		if a := math.Abs(float64(want.data[i])); a > refMax {
+			refMax = a
+		}
+	}
+	d.L2 = math.Sqrt(d.L2)
+	if refMax > 0 {
+		d.RelLInf = d.LInf / refMax
+	} else {
+		d.RelLInf = d.LInf
+	}
+	return d
+}
+
+// AllClose reports whether every element of got is within atol + rtol*|want|
+// of the corresponding want element.
+func AllClose(got, want *Tensor, rtol, atol float64) bool {
+	if len(got.data) != len(want.data) {
+		return false
+	}
+	for i := range got.data {
+		g, w := float64(got.data[i]), float64(want.data[i])
+		if math.Abs(g-w) > atol+rtol*math.Abs(w) {
+			return false
+		}
+	}
+	return true
+}
+
+// Heatmap reduces the elementwise absolute difference of two rank-≥2 tensors
+// to a 2D grid of rows×cols cells, each holding the mean absolute error of
+// the elements mapped into it. It is the "heatmap" validation output of the
+// paper (§III-E): a coarse view that highlights *where* two computations
+// disagree.
+func Heatmap(got, want *Tensor, rows, cols int) [][]float64 {
+	if len(got.data) != len(want.data) {
+		panic("tensor: Heatmap size mismatch")
+	}
+	grid := make([][]float64, rows)
+	counts := make([][]int, rows)
+	for i := range grid {
+		grid[i] = make([]float64, cols)
+		counts[i] = make([]int, cols)
+	}
+	n := len(got.data)
+	if n == 0 {
+		return grid
+	}
+	cells := rows * cols
+	for i := range got.data {
+		cell := i * cells / n
+		if cell >= cells {
+			cell = cells - 1
+		}
+		r, c := cell/cols, cell%cols
+		grid[r][c] += math.Abs(float64(got.data[i]) - float64(want.data[i]))
+		counts[r][c]++
+	}
+	for r := range grid {
+		for c := range grid[r] {
+			if counts[r][c] > 0 {
+				grid[r][c] /= float64(counts[r][c])
+			}
+		}
+	}
+	return grid
+}

@@ -1,0 +1,247 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add returns a + b elementwise (same shape required).
+func Add(a, b *Tensor) *Tensor { return zipNew(a, b, func(x, y float32) float32 { return x + y }) }
+
+// Sub returns a - b elementwise.
+func Sub(a, b *Tensor) *Tensor { return zipNew(a, b, func(x, y float32) float32 { return x - y }) }
+
+// Mul returns a * b elementwise (Hadamard product).
+func Mul(a, b *Tensor) *Tensor { return zipNew(a, b, func(x, y float32) float32 { return x * y }) }
+
+// Div returns a / b elementwise.
+func Div(a, b *Tensor) *Tensor { return zipNew(a, b, func(x, y float32) float32 { return x / y }) }
+
+func zipNew(a, b *Tensor, f func(x, y float32) float32) *Tensor {
+	if !SameShape(a, b) {
+		panic(fmt.Sprintf("tensor: shape mismatch %v vs %v", a.shape, b.shape))
+	}
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = f(a.data[i], b.data[i])
+	}
+	return out
+}
+
+// AddInPlace computes t += x.
+func (t *Tensor) AddInPlace(x *Tensor) *Tensor {
+	if len(t.data) != len(x.data) {
+		panic("tensor: AddInPlace size mismatch")
+	}
+	for i, v := range x.data {
+		t.data[i] += v
+	}
+	return t
+}
+
+// SubInPlace computes t -= x.
+func (t *Tensor) SubInPlace(x *Tensor) *Tensor {
+	if len(t.data) != len(x.data) {
+		panic("tensor: SubInPlace size mismatch")
+	}
+	for i, v := range x.data {
+		t.data[i] -= v
+	}
+	return t
+}
+
+// Scale multiplies every element by s in place.
+func (t *Tensor) Scale(s float32) *Tensor {
+	for i := range t.data {
+		t.data[i] *= s
+	}
+	return t
+}
+
+// AddScalar adds s to every element in place.
+func (t *Tensor) AddScalar(s float32) *Tensor {
+	for i := range t.data {
+		t.data[i] += s
+	}
+	return t
+}
+
+// Axpy computes t += alpha*x (BLAS axpy) in place.
+func (t *Tensor) Axpy(alpha float32, x *Tensor) *Tensor {
+	if len(t.data) != len(x.data) {
+		panic("tensor: Axpy size mismatch")
+	}
+	for i, v := range x.data {
+		t.data[i] += alpha * v
+	}
+	return t
+}
+
+// Apply replaces every element with f(element), in place.
+func (t *Tensor) Apply(f func(float32) float32) *Tensor {
+	for i, v := range t.data {
+		t.data[i] = f(v)
+	}
+	return t
+}
+
+// Map returns a new tensor with f applied to every element.
+func Map(t *Tensor, f func(float32) float32) *Tensor {
+	out := New(t.shape...)
+	for i, v := range t.data {
+		out.data[i] = f(v)
+	}
+	return out
+}
+
+// Sum returns the sum of all elements (accumulated in float64).
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v)
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements.
+func (t *Tensor) Mean() float64 {
+	if len(t.data) == 0 {
+		return 0
+	}
+	return t.Sum() / float64(len(t.data))
+}
+
+// Min returns the smallest element.
+func (t *Tensor) Min() float32 {
+	m := float32(math.Inf(1))
+	for _, v := range t.data {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest element.
+func (t *Tensor) Max() float32 {
+	m := float32(math.Inf(-1))
+	for _, v := range t.data {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArgMax returns the flat index of the largest element.
+func (t *Tensor) ArgMax() int {
+	best, bi := float32(math.Inf(-1)), 0
+	for i, v := range t.data {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// Dot returns the inner product of a and b (float64 accumulation).
+func Dot(a, b *Tensor) float64 {
+	if len(a.data) != len(b.data) {
+		panic("tensor: Dot size mismatch")
+	}
+	var s float64
+	for i := range a.data {
+		s += float64(a.data[i]) * float64(b.data[i])
+	}
+	return s
+}
+
+// Norm1 returns the ℓ1 norm of t.
+func (t *Tensor) Norm1() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += math.Abs(float64(v))
+	}
+	return s
+}
+
+// Norm2 returns the ℓ2 (Euclidean) norm of t.
+func (t *Tensor) Norm2() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// NormInf returns the ℓ∞ (max-abs) norm of t.
+func (t *Tensor) NormInf() float64 {
+	var m float64
+	for _, v := range t.data {
+		if a := math.Abs(float64(v)); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Variance returns the population variance of the elements.
+func (t *Tensor) Variance() float64 {
+	if len(t.data) == 0 {
+		return 0
+	}
+	mean := t.Mean()
+	var s float64
+	for _, v := range t.data {
+		d := float64(v) - mean
+		s += d * d
+	}
+	return s / float64(len(t.data))
+}
+
+// Transpose2D returns the transpose of a rank-2 tensor.
+func Transpose2D(t *Tensor) *Tensor {
+	if t.Rank() != 2 {
+		panic("tensor: Transpose2D requires rank 2")
+	}
+	r, c := t.shape[0], t.shape[1]
+	out := New(c, r)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			out.data[j*r+i] = t.data[i*c+j]
+		}
+	}
+	return out
+}
+
+// SumAxis0 reduces a rank-2 tensor [n, m] over its first axis to [m].
+func SumAxis0(t *Tensor) *Tensor {
+	if t.Rank() != 2 {
+		panic("tensor: SumAxis0 requires rank 2")
+	}
+	n, m := t.shape[0], t.shape[1]
+	out := New(m)
+	for i := 0; i < n; i++ {
+		row := t.data[i*m : (i+1)*m]
+		for j, v := range row {
+			out.data[j] += v
+		}
+	}
+	return out
+}
+
+// BroadcastAddRow adds a row vector [m] to every row of a rank-2 tensor
+// [n, m] in place.
+func (t *Tensor) BroadcastAddRow(row *Tensor) *Tensor {
+	if t.Rank() != 2 || row.Size() != t.shape[1] {
+		panic("tensor: BroadcastAddRow shape mismatch")
+	}
+	n, m := t.shape[0], t.shape[1]
+	for i := 0; i < n; i++ {
+		dst := t.data[i*m : (i+1)*m]
+		for j := range dst {
+			dst[j] += row.data[j]
+		}
+	}
+	return t
+}

@@ -1,0 +1,230 @@
+// Package tensor provides the dense numeric tensor type used throughout
+// Deep500-Go. Tensors are row-major float32 buffers with an explicit shape.
+// The package deliberately mirrors the "tensor descriptor" abstraction of the
+// Deep500 paper (§IV-B): a shape, an element type (fp32 here), and a data
+// layout, decoupled from any particular framework backend.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Tensor is a dense, row-major float32 tensor. The zero value is an empty
+// scalar-less tensor; use New or From to construct usable values.
+type Tensor struct {
+	shape []int
+	data  []float32
+}
+
+// New returns a zero-filled tensor of the given shape. A call with no
+// dimensions creates a scalar (one element, rank 0).
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: make([]float32, n)}
+}
+
+// From wraps data in a tensor of the given shape. The data slice is used
+// directly (not copied); its length must equal the shape volume.
+func From(data []float32, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (%d)", len(data), shape, n))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: data}
+}
+
+// Scalar returns a rank-0 tensor holding v.
+func Scalar(v float32) *Tensor {
+	return &Tensor{shape: nil, data: []float32{v}}
+}
+
+// Full returns a tensor of the given shape with every element set to v.
+func Full(v float32, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = v
+	}
+	return t
+}
+
+// Shape returns the tensor's shape. The returned slice must not be mutated.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int { return len(t.data) }
+
+// Bytes returns the storage footprint in bytes (4 bytes per element).
+func (t *Tensor) Bytes() int64 { return int64(len(t.data)) * 4 }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Data returns the underlying buffer. Mutations are visible to the tensor.
+func (t *Tensor) Data() []float32 { return t.data }
+
+// Strides returns the row-major strides of the tensor.
+func (t *Tensor) Strides() []int {
+	s := make([]int, len(t.shape))
+	acc := 1
+	for i := len(t.shape) - 1; i >= 0; i-- {
+		s[i] = acc
+		acc *= t.shape[i]
+	}
+	return s
+}
+
+// Index converts multi-dimensional indices to a flat offset.
+func (t *Tensor) Index(idx ...int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match tensor rank %d", len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of bounds for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// At returns the element at the given indices.
+func (t *Tensor) At(idx ...int) float32 { return t.data[t.Index(idx...)] }
+
+// Set stores v at the given indices.
+func (t *Tensor) Set(v float32, idx ...int) { t.data[t.Index(idx...)] = v }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	d := make([]float32, len(t.data))
+	copy(d, t.data)
+	s := make([]int, len(t.shape))
+	copy(s, t.shape)
+	return &Tensor{shape: s, data: d}
+}
+
+// CopyFrom copies src's data into t. Shapes must have equal volume.
+func (t *Tensor) CopyFrom(src *Tensor) {
+	if len(t.data) != len(src.data) {
+		panic(fmt.Sprintf("tensor: copy size mismatch %v vs %v", t.shape, src.shape))
+	}
+	copy(t.data, src.data)
+}
+
+// Reshape returns a view of t with a new shape of equal volume. One
+// dimension may be -1, in which case it is inferred.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n, infer := 1, -1
+	for i, d := range shape {
+		if d == -1 {
+			if infer >= 0 {
+				panic("tensor: multiple -1 dimensions in reshape")
+			}
+			infer = i
+			continue
+		}
+		n *= d
+	}
+	out := make([]int, len(shape))
+	copy(out, shape)
+	if infer >= 0 {
+		if n == 0 || len(t.data)%n != 0 {
+			panic(fmt.Sprintf("tensor: cannot infer dimension reshaping %v to %v", t.shape, shape))
+		}
+		out[infer] = len(t.data) / n
+		n *= out[infer]
+	}
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)", t.shape, len(t.data), shape, n))
+	}
+	return &Tensor{shape: out, data: t.data}
+}
+
+// Zero sets all elements to 0.
+func (t *Tensor) Zero() {
+	for i := range t.data {
+		t.data[i] = 0
+	}
+}
+
+// Fill sets all elements to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// SameShape reports whether a and b have identical shapes.
+func SameShape(a, b *Tensor) bool {
+	if len(a.shape) != len(b.shape) {
+		return false
+	}
+	for i := range a.shape {
+		if a.shape[i] != b.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Volume returns the number of elements implied by shape.
+func Volume(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return n
+}
+
+// ShapeEq reports whether two shapes are identical.
+func ShapeEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders small tensors fully and large tensors as a summary.
+func (t *Tensor) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tensor%v", t.shape)
+	if len(t.data) <= 16 {
+		fmt.Fprintf(&b, "%v", t.data)
+	} else {
+		fmt.Fprintf(&b, "[%g %g %g ... %g] n=%d", t.data[0], t.data[1], t.data[2], t.data[len(t.data)-1], len(t.data))
+	}
+	return b.String()
+}
+
+// HasNaN reports whether any element is NaN or Inf.
+func (t *Tensor) HasNaN() bool {
+	for _, v := range t.data {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			return true
+		}
+	}
+	return false
+}

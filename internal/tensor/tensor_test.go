@@ -1,0 +1,368 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapeAndSize(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Size() != 24 || x.Rank() != 3 {
+		t.Fatalf("got size=%d rank=%d", x.Size(), x.Rank())
+	}
+	if x.Bytes() != 96 {
+		t.Fatalf("bytes = %d, want 96", x.Bytes())
+	}
+	if got := x.Strides(); !ShapeEq(got, []int{12, 4, 1}) {
+		t.Fatalf("strides = %v", got)
+	}
+}
+
+func TestScalar(t *testing.T) {
+	s := Scalar(3.5)
+	if s.Rank() != 0 || s.Size() != 1 || s.Data()[0] != 3.5 {
+		t.Fatalf("bad scalar %v", s)
+	}
+}
+
+func TestAtSetIndex(t *testing.T) {
+	x := New(3, 4)
+	x.Set(7, 1, 2)
+	if x.At(1, 2) != 7 {
+		t.Fatalf("At(1,2) = %v", x.At(1, 2))
+	}
+	if x.Index(1, 2) != 6 {
+		t.Fatalf("Index(1,2) = %d", x.Index(1, 2))
+	}
+	if x.Data()[6] != 7 {
+		t.Fatal("flat layout wrong")
+	}
+}
+
+func TestIndexPanics(t *testing.T) {
+	x := New(2, 2)
+	for _, idx := range [][]int{{2, 0}, {0, -1}, {0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Index(%v) did not panic", idx)
+				}
+			}()
+			x.Index(idx...)
+		}()
+	}
+}
+
+func TestFromPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("From with wrong length did not panic")
+		}
+	}()
+	From([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestReshape(t *testing.T) {
+	x := From([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	y := x.Reshape(3, 2)
+	if !ShapeEq(y.Shape(), []int{3, 2}) {
+		t.Fatalf("shape %v", y.Shape())
+	}
+	// Reshape is a view: mutating y mutates x.
+	y.Set(42, 0, 0)
+	if x.At(0, 0) != 42 {
+		t.Fatal("reshape is not a view")
+	}
+	z := x.Reshape(-1, 2)
+	if !ShapeEq(z.Shape(), []int{3, 2}) {
+		t.Fatalf("inferred shape %v", z.Shape())
+	}
+}
+
+func TestReshapeErrors(t *testing.T) {
+	x := New(2, 3)
+	for _, shape := range [][]int{{4, 2}, {-1, -1}, {-1, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Reshape(%v) did not panic", shape)
+				}
+			}()
+			x.Reshape(shape...)
+		}()
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	x := From([]float32{1, 2}, 2)
+	y := x.Clone()
+	y.Data()[0] = 99
+	if x.Data()[0] != 1 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestElementwise(t *testing.T) {
+	a := From([]float32{1, 2, 3}, 3)
+	b := From([]float32{4, 5, 6}, 3)
+	if got := Add(a, b).Data(); got[0] != 5 || got[2] != 9 {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := Sub(b, a).Data(); got[0] != 3 || got[2] != 3 {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := Mul(a, b).Data(); got[1] != 10 {
+		t.Fatalf("Mul = %v", got)
+	}
+	if got := Div(b, a).Data(); got[2] != 2 {
+		t.Fatalf("Div = %v", got)
+	}
+}
+
+func TestInPlaceOps(t *testing.T) {
+	a := From([]float32{1, 2}, 2)
+	a.AddInPlace(From([]float32{10, 20}, 2))
+	a.Scale(2)
+	a.AddScalar(1)
+	a.Axpy(3, From([]float32{1, 1}, 2))
+	want := []float32{(1+10)*2 + 1 + 3, (2+20)*2 + 1 + 3}
+	if a.Data()[0] != want[0] || a.Data()[1] != want[1] {
+		t.Fatalf("got %v want %v", a.Data(), want)
+	}
+}
+
+func TestReductions(t *testing.T) {
+	x := From([]float32{-3, 1, 2}, 3)
+	if x.Sum() != 0 {
+		t.Fatalf("Sum = %v", x.Sum())
+	}
+	if x.Min() != -3 || x.Max() != 2 {
+		t.Fatalf("min/max = %v/%v", x.Min(), x.Max())
+	}
+	if x.ArgMax() != 2 {
+		t.Fatalf("ArgMax = %d", x.ArgMax())
+	}
+	if x.Norm1() != 6 {
+		t.Fatalf("Norm1 = %v", x.Norm1())
+	}
+	if math.Abs(x.Norm2()-math.Sqrt(14)) > 1e-12 {
+		t.Fatalf("Norm2 = %v", x.Norm2())
+	}
+	if x.NormInf() != 3 {
+		t.Fatalf("NormInf = %v", x.NormInf())
+	}
+}
+
+func TestVariance(t *testing.T) {
+	x := From([]float32{2, 4, 4, 4, 5, 5, 7, 9}, 8)
+	if math.Abs(x.Variance()-4) > 1e-9 {
+		t.Fatalf("Variance = %v, want 4", x.Variance())
+	}
+}
+
+func TestTranspose2D(t *testing.T) {
+	x := From([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	y := Transpose2D(x)
+	if !ShapeEq(y.Shape(), []int{3, 2}) || y.At(2, 1) != 6 || y.At(0, 1) != 4 {
+		t.Fatalf("transpose wrong: %v", y)
+	}
+}
+
+func TestSumAxis0AndBroadcast(t *testing.T) {
+	x := From([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	s := SumAxis0(x)
+	if s.Data()[0] != 5 || s.Data()[2] != 9 {
+		t.Fatalf("SumAxis0 = %v", s.Data())
+	}
+	x.BroadcastAddRow(From([]float32{10, 20, 30}, 3))
+	if x.At(1, 2) != 36 {
+		t.Fatalf("BroadcastAddRow: %v", x.Data())
+	}
+}
+
+func TestCompareNorms(t *testing.T) {
+	a := From([]float32{1, 2, 3}, 3)
+	b := From([]float32{1, 2, 4}, 3)
+	d := Compare(a, b)
+	if d.L1 != 1 || d.LInf != 1 || d.MaxErrorIdx != 2 {
+		t.Fatalf("Compare = %+v", d)
+	}
+	if math.Abs(d.RelLInf-0.25) > 1e-12 {
+		t.Fatalf("RelLInf = %v", d.RelLInf)
+	}
+}
+
+func TestAllClose(t *testing.T) {
+	a := From([]float32{1, 2}, 2)
+	b := From([]float32{1.0001, 2}, 2)
+	if !AllClose(a, b, 1e-3, 0) {
+		t.Fatal("expected close")
+	}
+	if AllClose(a, b, 0, 1e-6) {
+		t.Fatal("expected not close")
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	a := New(4, 4)
+	b := New(4, 4)
+	b.Data()[15] = 8 // error concentrated at the end
+	grid := Heatmap(a, b, 2, 2)
+	if grid[0][0] != 0 || grid[1][1] == 0 {
+		t.Fatalf("heatmap %v", grid)
+	}
+}
+
+func TestHasNaN(t *testing.T) {
+	x := From([]float32{1, float32(math.NaN())}, 2)
+	if !x.HasNaN() {
+		t.Fatal("NaN not detected")
+	}
+	y := From([]float32{1, 2}, 2)
+	if y.HasNaN() {
+		t.Fatal("false NaN")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewRNG(43)
+	if NewRNG(42).Uint64() == c.Uint64() {
+		t.Fatal("different seeds produced identical first draw")
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	rng := NewRNG(7)
+	n := 50000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := rng.Norm()
+		sum += v
+		sq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 || math.Abs(variance-1) > 0.05 {
+		t.Fatalf("mean=%v var=%v", mean, variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	rng := NewRNG(1)
+	p := rng.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestInitializers(t *testing.T) {
+	rng := NewRNG(3)
+	x := XavierInit(rng, 100, 100, 100, 100)
+	limit := math.Sqrt(6.0 / 200.0)
+	if float64(x.Max()) > limit || float64(x.Min()) < -limit {
+		t.Fatalf("Xavier out of range: [%v, %v] limit %v", x.Min(), x.Max(), limit)
+	}
+	h := HeInit(rng, 50, 2000)
+	std := math.Sqrt(h.Variance())
+	want := math.Sqrt(2.0 / 50.0)
+	if math.Abs(std-want)/want > 0.15 {
+		t.Fatalf("He std = %v, want ≈ %v", std, want)
+	}
+}
+
+// --- property-based tests ---
+
+func boundedVec(raw []float32) []float32 {
+	out := make([]float32, 0, len(raw))
+	for _, v := range raw {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			continue
+		}
+		// keep magnitudes tame so fp32 associativity slack stays small
+		out = append(out, float32(math.Mod(float64(v), 1000)))
+	}
+	if len(out) == 0 {
+		out = append(out, 1)
+	}
+	return out
+}
+
+func TestPropAddCommutative(t *testing.T) {
+	f := func(raw []float32) bool {
+		v := boundedVec(raw)
+		a := From(v, len(v))
+		b := RandUniform(NewRNG(uint64(len(v))), -1, 1, len(v))
+		x, y := Add(a, b), Add(b, a)
+		for i := range x.Data() {
+			if x.Data()[i] != y.Data()[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropSubIsAddInverse(t *testing.T) {
+	f := func(raw []float32) bool {
+		v := boundedVec(raw)
+		a := From(v, len(v))
+		b := RandUniform(NewRNG(99), -1, 1, len(v))
+		back := Sub(Add(a, b), b)
+		return AllClose(back, a, 1e-5, 1e-4)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropTransposeInvolution(t *testing.T) {
+	f := func(r8, c8 uint8) bool {
+		r, c := int(r8%16)+1, int(c8%16)+1
+		x := RandUniform(NewRNG(uint64(r*100+c)), -1, 1, r, c)
+		y := Transpose2D(Transpose2D(x))
+		return AllClose(y, x, 0, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropNormTriangleInequality(t *testing.T) {
+	f := func(seed uint16) bool {
+		rng := NewRNG(uint64(seed))
+		n := rng.Intn(64) + 1
+		a := RandNormal(rng, 0, 1, n)
+		b := RandNormal(rng, 0, 1, n)
+		return Add(a, b).Norm2() <= a.Norm2()+b.Norm2()+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropReshapePreservesData(t *testing.T) {
+	f := func(seed uint16) bool {
+		rng := NewRNG(uint64(seed))
+		r, c := rng.Intn(8)+1, rng.Intn(8)+1
+		x := RandUniform(rng, -1, 1, r, c)
+		y := x.Reshape(c, r).Reshape(r*c).Reshape(r, c)
+		return AllClose(x, y, 0, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

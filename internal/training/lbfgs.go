@@ -1,0 +1,174 @@
+package training
+
+import (
+	"deep500/internal/executor"
+	"deep500/internal/tensor"
+)
+
+// LBFGS is a limited-memory BFGS optimizer. It exists to demonstrate the
+// paper's Use Case 3: second-order methods "require a training loop that is
+// vastly different from Algorithm 1" and therefore cannot be expressed as
+// an update rule — so LBFGS implements the full Optimizer interface with
+// its own Train procedure (two-loop recursion over a gradient/step history
+// on the flattened parameter vector) instead of ThreeStep.
+type LBFGS struct {
+	exec executor.GraphExecutor
+	// LR is the step size applied to the two-loop direction.
+	LR float32
+	// History is the number of (s, y) curvature pairs retained (m in the
+	// literature; the paper cites stochastic L-BFGS).
+	History int
+	// Loss is the loss tensor name.
+	Loss string
+
+	names []string
+	sizes []int
+	total int
+	prevX []float32
+	prevG []float32
+	sHist [][]float32 // x_{k+1} - x_k
+	yHist [][]float32 // g_{k+1} - g_k
+}
+
+// NewLBFGS returns an L-BFGS optimizer over the executor's parameters.
+func NewLBFGS(exec executor.GraphExecutor, lr float32, history int) *LBFGS {
+	if history < 1 {
+		history = 5
+	}
+	l := &LBFGS{exec: exec, LR: lr, History: history, Loss: "loss"}
+	net := exec.Network()
+	for _, name := range net.Params() {
+		t, _ := net.FetchTensor(name)
+		l.names = append(l.names, name)
+		l.sizes = append(l.sizes, t.Size())
+		l.total += t.Size()
+	}
+	return l
+}
+
+// Executor returns the bound executor.
+func (l *LBFGS) Executor() executor.GraphExecutor { return l.exec }
+
+func (l *LBFGS) flattenParams() []float32 {
+	out := make([]float32, l.total)
+	off := 0
+	net := l.exec.Network()
+	for i, name := range l.names {
+		t, _ := net.FetchTensor(name)
+		copy(out[off:off+l.sizes[i]], t.Data())
+		off += l.sizes[i]
+	}
+	return out
+}
+
+func (l *LBFGS) flattenGrads() []float32 {
+	out := make([]float32, l.total)
+	off := 0
+	net := l.exec.Network()
+	for i, name := range l.names {
+		if g := net.Gradient(name); g != nil {
+			copy(out[off:off+l.sizes[i]], g.Data())
+		}
+		off += l.sizes[i]
+	}
+	return out
+}
+
+func (l *LBFGS) scatterParams(flat []float32) {
+	off := 0
+	net := l.exec.Network()
+	for i, name := range l.names {
+		t, _ := net.FetchTensor(name)
+		copy(t.Data(), flat[off:off+l.sizes[i]])
+		off += l.sizes[i]
+	}
+}
+
+func dot32(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+// direction computes -H·g via the standard two-loop recursion.
+func (l *LBFGS) direction(g []float32) []float32 {
+	q := append([]float32(nil), g...)
+	k := len(l.sHist)
+	alpha := make([]float64, k)
+	rho := make([]float64, k)
+	for i := k - 1; i >= 0; i-- {
+		sy := dot32(l.sHist[i], l.yHist[i])
+		if sy <= 1e-10 {
+			rho[i] = 0
+			continue
+		}
+		rho[i] = 1 / sy
+		alpha[i] = rho[i] * dot32(l.sHist[i], q)
+		for j := range q {
+			q[j] -= float32(alpha[i]) * l.yHist[i][j]
+		}
+	}
+	// initial Hessian scaling γ = s·y / y·y
+	if k > 0 {
+		yy := dot32(l.yHist[k-1], l.yHist[k-1])
+		if yy > 1e-10 {
+			gamma := float32(dot32(l.sHist[k-1], l.yHist[k-1]) / yy)
+			for j := range q {
+				q[j] *= gamma
+			}
+		}
+	}
+	for i := 0; i < k; i++ {
+		if rho[i] == 0 {
+			continue
+		}
+		beta := rho[i] * dot32(l.yHist[i], q)
+		for j := range q {
+			q[j] += float32(alpha[i]-beta) * l.sHist[i][j]
+		}
+	}
+	for j := range q {
+		q[j] = -q[j]
+	}
+	return q
+}
+
+// Train runs one L-BFGS step: gradient evaluation, two-loop direction,
+// fixed-step update, history maintenance.
+func (l *LBFGS) Train(feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	out, err := l.exec.InferenceAndBackprop(feeds, l.Loss)
+	if err != nil {
+		return nil, err
+	}
+	x := l.flattenParams()
+	g := l.flattenGrads()
+	xPre := append([]float32(nil), x...) // x_k before the update
+
+	if l.prevX != nil {
+		s := make([]float32, l.total)
+		y := make([]float32, l.total)
+		for i := range s {
+			s[i] = x[i] - l.prevX[i]
+			y[i] = g[i] - l.prevG[i]
+		}
+		// curvature condition: only keep pairs with s·y > 0
+		if dot32(s, y) > 1e-10 {
+			l.sHist = append(l.sHist, s)
+			l.yHist = append(l.yHist, y)
+			if len(l.sHist) > l.History {
+				l.sHist = l.sHist[1:]
+				l.yHist = l.yHist[1:]
+			}
+		}
+	}
+	d := l.direction(g)
+	for i := range x {
+		x[i] += l.LR * d[i]
+	}
+	l.scatterParams(x)
+	l.prevX = xPre
+	l.prevG = g
+	return out, nil
+}

@@ -1,0 +1,49 @@
+package training
+
+import (
+	"testing"
+)
+
+func TestLBFGSConverges(t *testing.T) {
+	e := mlpExec(t, 17)
+	train, test := synthSamplers(32)
+	opt := NewLBFGS(e, 0.2, 8)
+	r := NewRunner(opt, train, test)
+	if err := r.RunEpochs(6); err != nil {
+		t.Fatal(err)
+	}
+	if acc := r.TestAcc.Last(); acc < 0.9 {
+		t.Fatalf("L-BFGS test accuracy %v < 0.9", acc)
+	}
+}
+
+func TestLBFGSCurvatureHistoryBounded(t *testing.T) {
+	e := mlpExec(t, 18)
+	train, _ := synthSamplers(32)
+	opt := NewLBFGS(e, 0.1, 3)
+	for i := 0; i < 10; i++ {
+		train.Reset()
+		if _, err := opt.Train(train.Next().Feeds()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(opt.sHist) > 3 || len(opt.yHist) > 3 {
+		t.Fatalf("history grew beyond bound: %d/%d", len(opt.sHist), len(opt.yHist))
+	}
+	if len(opt.sHist) == 0 {
+		t.Fatal("no curvature pairs collected")
+	}
+}
+
+func TestLBFGSFirstStepIsGradientDescent(t *testing.T) {
+	// with no history, the two-loop direction is -g (up to γ=1)
+	e := mlpExec(t, 19)
+	opt := NewLBFGS(e, 0.05, 5)
+	g := []float32{1, -2, 3}
+	d := opt.direction(g)
+	for i := range g {
+		if d[i] != -g[i] {
+			t.Fatalf("direction %v, want -g", d)
+		}
+	}
+}

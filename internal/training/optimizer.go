@@ -1,0 +1,112 @@
+package training
+
+import (
+	"deep500/internal/executor"
+	"deep500/internal/tensor"
+)
+
+// Optimizer can perform one training step given input feeds — the Level 2
+// Optimizer interface. The paper's distributed optimizers (Level 3) also
+// satisfy it, wrapping a base optimizer with communication (Listing 9).
+type Optimizer interface {
+	// Train runs one optimization step and returns the model outputs
+	// (loss, accuracy, ...).
+	Train(feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error)
+	// Executor returns the underlying graph executor.
+	Executor() executor.GraphExecutor
+}
+
+// ThreeStep is the paper's novel three-step optimizer abstraction
+// (§IV-E): ¶ NewInput (per-iteration state, Algorithm 1 line 2 context),
+// · PrepareParam (adjust parameters before inference, line 3), and
+// ¸ UpdateRule (apply an update, line 6). Splitting the optimizer this way
+// is what lets Level 3 distribute any optimizer automatically.
+type ThreeStep interface {
+	// NewInput advances per-iteration state (step counters, schedules).
+	NewInput()
+	// PrepareParam may return an adjusted parameter tensor to use for the
+	// upcoming inference, or nil to leave the parameter unchanged.
+	PrepareParam(name string, param *tensor.Tensor) *tensor.Tensor
+	// UpdateRule returns the new parameter given its gradient and old value.
+	UpdateRule(grad, oldParam *tensor.Tensor, name string) *tensor.Tensor
+}
+
+// UpdateRule is the simpler abstraction: a pure update rule U(g, w, t), the
+// form most SGD-family optimizers take (Algorithm 1).
+type UpdateRule interface {
+	Update(grad, oldParam *tensor.Tensor, name string) *tensor.Tensor
+}
+
+// ruleAdapter lifts an UpdateRule into a ThreeStep.
+type ruleAdapter struct{ r UpdateRule }
+
+func (a ruleAdapter) NewInput() {}
+func (a ruleAdapter) PrepareParam(string, *tensor.Tensor) *tensor.Tensor {
+	return nil
+}
+func (a ruleAdapter) UpdateRule(g, w *tensor.Tensor, name string) *tensor.Tensor {
+	return a.r.Update(g, w, name)
+}
+
+// FromUpdateRule wraps an UpdateRule as a ThreeStep optimizer.
+func FromUpdateRule(r UpdateRule) ThreeStep { return ruleAdapter{r} }
+
+// GradHook transforms a parameter gradient before the update rule runs —
+// the interposition point Level 3 uses for allreduce, sparsification and
+// compression.
+type GradHook func(name string, grad *tensor.Tensor) *tensor.Tensor
+
+// Driver executes the canonical three-step training iteration against a
+// graph executor. It is the non-distributed reference Optimizer; the
+// distributed optimizers in internal/dist follow the same sequence with
+// communication inserted via GradHook or around the step.
+type Driver struct {
+	exec executor.GraphExecutor
+	ts   ThreeStep
+	// Loss is the loss tensor name (default "loss").
+	Loss string
+	// GradHook, when non-nil, transforms every gradient before the update.
+	GradHook GradHook
+	// Step counts completed training iterations.
+	Step int
+}
+
+// NewDriver binds a three-step optimizer to an executor.
+func NewDriver(exec executor.GraphExecutor, ts ThreeStep) *Driver {
+	return &Driver{exec: exec, ts: ts, Loss: "loss"}
+}
+
+// Executor returns the bound executor.
+func (d *Driver) Executor() executor.GraphExecutor { return d.exec }
+
+// ThreeStep returns the wrapped optimizer.
+func (d *Driver) ThreeStep() ThreeStep { return d.ts }
+
+// Train runs one iteration: prepare parameters, inference+backprop, apply
+// update rule (optionally transformed by GradHook) — Listing 9's sequence.
+func (d *Driver) Train(feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	net := d.exec.Network()
+	d.ts.NewInput()
+	for _, name := range net.Params() {
+		p, err := net.FetchTensor(name)
+		if err != nil {
+			return nil, err
+		}
+		if adjusted := d.ts.PrepareParam(name, p); adjusted != nil {
+			net.FeedTensor(name, adjusted)
+		}
+	}
+	out, err := d.exec.InferenceAndBackprop(feeds, d.Loss)
+	if err != nil {
+		return nil, err
+	}
+	for _, pg := range net.Gradients() {
+		grad := pg.Grad
+		if d.GradHook != nil {
+			grad = d.GradHook(pg.Name, grad)
+		}
+		net.FeedTensor(pg.Name, d.ts.UpdateRule(grad, pg.Param, pg.Name))
+	}
+	d.Step++
+	return out, nil
+}

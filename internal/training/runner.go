@@ -1,0 +1,207 @@
+package training
+
+import (
+	"fmt"
+	"time"
+
+	"deep500/internal/metrics"
+	"deep500/internal/tensor"
+)
+
+// Runner is the training-and-testing loop manager of Deep500's design
+// (Fig. 3, Level 2): it drives an Optimizer over a training sampler, runs
+// periodic evaluation over a test sampler, and feeds the Level 2 metrics
+// (TrainingAccuracy, TestAccuracy, loss series, time-to-accuracy).
+type Runner struct {
+	Opt         Optimizer
+	TrainSet    Sampler
+	TestSet     Sampler // may be nil
+	LossOutput  string  // model output carrying the loss (default "loss")
+	AccOutput   string  // model output carrying batch accuracy (default "acc")
+	TrainingAcc *metrics.Series
+	TestAcc     *metrics.Series
+	LossCurve   *metrics.Series
+	TTA         *metrics.TimeToAccuracy // optional
+	// AfterStep/AfterEpoch are user hooks (may be nil).
+	AfterStep  func(step int, loss, acc float64)
+	AfterEpoch func(epoch int, testAcc float64)
+	// StopOnNaN aborts training when the loss becomes NaN/Inf (used by the
+	// weak-scaling experiment to detect exploding losses).
+	StopOnNaN bool
+
+	step int
+}
+
+// NewRunner returns a runner with default metric cadences (training
+// accuracy every step, test accuracy every epoch).
+func NewRunner(opt Optimizer, train, test Sampler) *Runner {
+	return &Runner{
+		Opt: opt, TrainSet: train, TestSet: test,
+		LossOutput:  "loss",
+		AccOutput:   "acc",
+		TrainingAcc: metrics.NewTrainingAccuracy(1),
+		TestAcc:     metrics.NewTestAccuracy(1),
+		LossCurve:   metrics.NewSeries("TrainingLoss", "loss", 1),
+	}
+}
+
+// Step runs a single optimization step on one batch and returns the loss.
+func (r *Runner) Step(b *Batch) (float64, error) {
+	out, err := r.Opt.Train(b.Feeds())
+	if err != nil {
+		return 0, err
+	}
+	r.step++
+	var loss, acc float64
+	if t, ok := out[r.LossOutput]; ok && t.Size() == 1 {
+		loss = float64(t.Data()[0])
+	}
+	if t, ok := out[r.AccOutput]; ok && t.Size() == 1 {
+		acc = float64(t.Data()[0])
+	}
+	if r.TrainingAcc != nil {
+		r.TrainingAcc.Observe(r.step, 0, acc)
+	}
+	if r.LossCurve != nil {
+		r.LossCurve.Observe(r.step, 0, loss)
+	}
+	if r.AfterStep != nil {
+		r.AfterStep(r.step, loss, acc)
+	}
+	if r.StopOnNaN && (loss != loss || loss > 1e30) {
+		return loss, fmt.Errorf("training: loss diverged at step %d (%v)", r.step, loss)
+	}
+	return loss, nil
+}
+
+// RunEpoch trains over one pass of the training sampler and returns the
+// mean loss.
+func (r *Runner) RunEpoch() (float64, error) {
+	r.TrainSet.Reset()
+	var total float64
+	var n int
+	for {
+		b := r.TrainSet.Next()
+		if b == nil {
+			break
+		}
+		loss, err := r.Step(b)
+		if err != nil {
+			return 0, err
+		}
+		total += loss
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("training: empty epoch")
+	}
+	return total / float64(n), nil
+}
+
+// RunEpochs trains for n epochs with per-epoch evaluation.
+func (r *Runner) RunEpochs(n int) error {
+	for epoch := 1; epoch <= n; epoch++ {
+		if _, err := r.RunEpoch(); err != nil {
+			return err
+		}
+		var testAcc float64
+		if r.TestSet != nil {
+			testAcc = r.Evaluate(r.TestSet)
+			if r.TestAcc != nil {
+				r.TestAcc.Observe(r.step, epoch, testAcc)
+			}
+			if r.TTA != nil {
+				r.TTA.Observe(testAcc)
+			}
+		}
+		if r.AfterEpoch != nil {
+			r.AfterEpoch(epoch, testAcc)
+		}
+	}
+	return nil
+}
+
+// Evaluate computes mean accuracy of the model over a sampler (inference
+// mode, no parameter updates).
+func (r *Runner) Evaluate(s Sampler) float64 {
+	exec := r.Opt.Executor()
+	exec.SetTraining(false)
+	defer exec.SetTraining(true)
+	s.Reset()
+	var correctWeighted float64
+	var total int
+	for {
+		b := s.Next()
+		if b == nil {
+			break
+		}
+		out, err := exec.Inference(b.Feeds())
+		if err != nil {
+			return 0
+		}
+		if t, ok := out[r.AccOutput]; ok && t.Size() == 1 {
+			correctWeighted += float64(t.Data()[0]) * float64(b.Size())
+			total += b.Size()
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return correctWeighted / float64(total)
+}
+
+// EpochTime measures the wallclock duration of one training epoch without
+// touching metric state — used by the Level 2 overhead experiment.
+func (r *Runner) EpochTime() (time.Duration, error) {
+	r.TrainSet.Reset()
+	start := time.Now()
+	for {
+		b := r.TrainSet.Next()
+		if b == nil {
+			break
+		}
+		if _, err := r.Opt.Train(b.Feeds()); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start), nil
+}
+
+// SyntheticClassification builds a deterministic, learnable classification
+// dataset: each class has a random prototype pattern, and samples are the
+// prototype plus Gaussian noise. It stands in for MNIST/CIFAR in
+// convergence experiments (see DESIGN.md substitutions).
+func SyntheticClassification(n, classes int, shape []int, noise float32, seed uint64) *InMemoryDataset {
+	rng := tensor.NewRNG(seed)
+	vol := tensor.Volume(shape)
+	protos := make([][]float32, classes)
+	for c := range protos {
+		p := make([]float32, vol)
+		for i := range p {
+			p[i] = float32(rng.Norm())
+		}
+		protos[c] = p
+	}
+	data := make([]float32, n*vol)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % classes
+		labels[i] = c
+		dst := data[i*vol : (i+1)*vol]
+		for j := range dst {
+			dst[j] = protos[c][j] + noise*float32(rng.Norm())
+		}
+	}
+	return NewInMemoryDataset(data, labels, shape)
+}
+
+// SyntheticSplit generates train and test datasets that share the same
+// class prototypes (the same underlying task) but disjoint noise draws —
+// what a convergence experiment needs for test accuracy to be meaningful.
+func SyntheticSplit(nTrain, nTest, classes int, shape []int, noise float32, seed uint64) (train, test *InMemoryDataset) {
+	full := SyntheticClassification(nTrain+nTest, classes, shape, noise, seed)
+	vol := tensor.Volume(shape)
+	train = NewInMemoryDataset(full.data[:nTrain*vol], full.labels[:nTrain], shape)
+	test = NewInMemoryDataset(full.data[nTrain*vol:], full.labels[nTrain:], shape)
+	return
+}

@@ -1,0 +1,104 @@
+package training
+
+import (
+	"math"
+
+	"deep500/internal/tensor"
+)
+
+// Schedule maps a step index to a learning rate.
+type Schedule func(step int) float32
+
+// ConstantLR returns a constant learning-rate schedule.
+func ConstantLR(lr float32) Schedule { return func(int) float32 { return lr } }
+
+// StepDecay decays lr by factor every interval steps.
+func StepDecay(lr, factor float32, interval int) Schedule {
+	return func(step int) float32 {
+		return lr * float32(math.Pow(float64(factor), float64(step/interval)))
+	}
+}
+
+// CosineAnnealing anneals lr from lr to minLR over total steps.
+func CosineAnnealing(lr, minLR float32, total int) Schedule {
+	return func(step int) float32 {
+		if step >= total {
+			return minLR
+		}
+		c := 0.5 * (1 + math.Cos(math.Pi*float64(step)/float64(total)))
+		return minLR + (lr-minLR)*float32(c)
+	}
+}
+
+// GradientDescent is plain SGD with a learning-rate schedule — the paper's
+// "Gradient Descent with learning rate schedule" reference optimizer. This
+// is a deliberately *reference* (allocation-per-step, composed-from-tensor-
+// ops) implementation; the fused counterparts live in fused.go.
+type GradientDescent struct {
+	LR   Schedule
+	step int
+}
+
+// NewGradientDescent returns SGD with a constant learning rate.
+func NewGradientDescent(lr float32) *GradientDescent {
+	return &GradientDescent{LR: ConstantLR(lr)}
+}
+
+// NewInput advances the schedule.
+func (o *GradientDescent) NewInput() { o.step++ }
+
+// PrepareParam is a no-op for SGD.
+func (o *GradientDescent) PrepareParam(string, *tensor.Tensor) *tensor.Tensor { return nil }
+
+// UpdateRule returns w - lr·g.
+func (o *GradientDescent) UpdateRule(grad, oldParam *tensor.Tensor, name string) *tensor.Tensor {
+	lr := o.LR(o.step)
+	return tensor.Sub(oldParam, tensor.Map(grad, func(g float32) float32 { return lr * g }))
+}
+
+// Momentum is SGD with (Polyak) momentum.
+type Momentum struct {
+	LR       Schedule
+	Mu       float32
+	Nesterov bool
+	step     int
+	vel      map[string]*tensor.Tensor
+}
+
+// NewMomentum returns momentum SGD.
+func NewMomentum(lr, mu float32) *Momentum {
+	return &Momentum{LR: ConstantLR(lr), Mu: mu, vel: make(map[string]*tensor.Tensor)}
+}
+
+// NewNesterov returns Nesterov-accelerated SGD.
+func NewNesterov(lr, mu float32) *Momentum {
+	m := NewMomentum(lr, mu)
+	m.Nesterov = true
+	return m
+}
+
+// NewInput advances the schedule.
+func (o *Momentum) NewInput() { o.step++ }
+
+// PrepareParam is a no-op.
+func (o *Momentum) PrepareParam(string, *tensor.Tensor) *tensor.Tensor { return nil }
+
+// UpdateRule applies v ← μv - lr·g; w ← w + v (plus the Nesterov lookahead
+// when enabled).
+func (o *Momentum) UpdateRule(grad, oldParam *tensor.Tensor, name string) *tensor.Tensor {
+	lr := o.LR(o.step)
+	v, ok := o.vel[name]
+	if !ok {
+		v = tensor.New(oldParam.Shape()...)
+		o.vel[name] = v
+	}
+	v.Scale(o.Mu)
+	v.Axpy(-lr, grad)
+	if o.Nesterov {
+		// w + μv - lr·g
+		out := tensor.Add(oldParam, tensor.Map(v, func(x float32) float32 { return o.Mu * x }))
+		out.Axpy(-lr, grad)
+		return out
+	}
+	return tensor.Add(oldParam, v)
+}

@@ -1,0 +1,105 @@
+package transform
+
+import (
+	"fmt"
+
+	"deep500/internal/graph"
+)
+
+// PartitionPipeline splits a model into k sequential stages for pipeline
+// parallelism — the Level 1 capability the paper calls out as "impossible
+// automatically in any of the frameworks, but straightforwardly done in
+// Deep500" (§IV-F Interoperability). Nodes are assigned to stages by
+// topological order with balanced node counts; each stage becomes a
+// self-contained Model whose inputs are the tensors crossing the stage
+// boundary (plus the initializers it uses) and whose outputs are the
+// tensors later stages or the original outputs consume.
+func PartitionPipeline(m *graph.Model, k int) ([]*graph.Model, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("transform: pipeline stages must be ≥ 1")
+	}
+	order, err := m.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	if k > len(order) {
+		k = len(order)
+	}
+	// stage assignment: contiguous slices of the topological order
+	stageOf := make(map[*graph.Node]int, len(order))
+	for i, n := range order {
+		stageOf[n] = i * k / len(order)
+	}
+	producerStage := make(map[string]int) // tensor -> producing stage
+	for _, n := range order {
+		for _, o := range n.Outputs {
+			producerStage[o] = stageOf[n]
+		}
+	}
+	graphInputs := make(map[string][]int, len(m.Inputs))
+	for _, in := range m.Inputs {
+		graphInputs[in.Name] = in.Shape
+	}
+	finalOutputs := make(map[string]bool, len(m.Outputs))
+	for _, o := range m.Outputs {
+		finalOutputs[o] = true
+	}
+
+	stages := make([]*graph.Model, k)
+	for s := 0; s < k; s++ {
+		stages[s] = graph.NewModel(fmt.Sprintf("%s-stage%d", m.Name, s))
+	}
+	// route nodes and discover boundary tensors
+	needsAsInput := make([]map[string]bool, k)
+	for s := range needsAsInput {
+		needsAsInput[s] = make(map[string]bool)
+	}
+	producesForLater := make([]map[string]bool, k)
+	for s := range producesForLater {
+		producesForLater[s] = make(map[string]bool)
+	}
+	for _, n := range order {
+		s := stageOf[n]
+		stages[s].AddNode(graph.NewNode(n.OpType, n.Name, n.Inputs, n.Outputs, attrsOf(n)...))
+		for _, in := range n.Inputs {
+			if in == "" {
+				continue
+			}
+			if t, ok := m.Initializers[in]; ok {
+				stages[s].Initializers[in] = t // share parameter tensors
+				continue
+			}
+			if shape, ok := graphInputs[in]; ok {
+				if !needsAsInput[s][in] {
+					needsAsInput[s][in] = true
+					stages[s].AddInput(in, shape...)
+				}
+				continue
+			}
+			if ps := producerStage[in]; ps != s {
+				if !needsAsInput[s][in] {
+					needsAsInput[s][in] = true
+					stages[s].AddInput(in, -2) // shape resolved at runtime
+				}
+				producesForLater[ps][in] = true
+			}
+		}
+	}
+	for _, n := range order {
+		s := stageOf[n]
+		for _, o := range n.Outputs {
+			if producesForLater[s][o] || finalOutputs[o] {
+				stages[s].AddOutput(o)
+			}
+		}
+	}
+	return stages, nil
+}
+
+func attrsOf(n *graph.Node) []graph.Attribute {
+	out := make([]graph.Attribute, 0, len(n.Attrs))
+	for _, a := range n.Attrs {
+		out = append(out, a)
+	}
+	return out
+}

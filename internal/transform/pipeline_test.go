@@ -1,0 +1,111 @@
+package transform
+
+import (
+	"testing"
+
+	"deep500/internal/executor"
+	"deep500/internal/models"
+	"deep500/internal/tensor"
+)
+
+func TestPipelinePartitionPreservesSemantics(t *testing.T) {
+	cfg := models.Config{Classes: 10, Channels: 1, Height: 28, Width: 28, WithHead: true, Seed: 8}
+	full := models.LeNet(cfg)
+	rng := tensor.NewRNG(4)
+	feeds := map[string]*tensor.Tensor{
+		"x":      tensor.RandNormal(rng, 0, 1, 2, 1, 28, 28),
+		"labels": tensor.From([]float32{1, 7}, 2),
+	}
+	eFull := executor.MustNew(full)
+	want, err := eFull.Inference(cloneFeeds(feeds))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, k := range []int{2, 3, 5} {
+		stages, err := PartitionPipeline(models.LeNet(cfg), k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if len(stages) != k {
+			t.Fatalf("k=%d: got %d stages", k, len(stages))
+		}
+		// run stages sequentially, forwarding boundary tensors
+		live := cloneFeeds(feeds)
+		final := map[string]*tensor.Tensor{}
+		for si, stage := range stages {
+			e, err := executor.New(stage)
+			if err != nil {
+				t.Fatalf("k=%d stage %d: %v", k, si, err)
+			}
+			stageFeeds := map[string]*tensor.Tensor{}
+			for _, in := range stage.Inputs {
+				v, ok := live[in.Name]
+				if !ok {
+					t.Fatalf("k=%d stage %d: missing boundary tensor %q", k, si, in.Name)
+				}
+				stageFeeds[in.Name] = v
+			}
+			out, err := e.Inference(stageFeeds)
+			if err != nil {
+				t.Fatalf("k=%d stage %d: %v", k, si, err)
+			}
+			for name, v := range out {
+				live[name] = v
+				final[name] = v
+			}
+		}
+		for _, name := range full.Outputs {
+			if final[name] == nil {
+				t.Fatalf("k=%d: output %q not produced by pipeline", k, name)
+			}
+			if !tensor.AllClose(final[name], want[name], 1e-5, 1e-5) {
+				d := tensor.Compare(final[name], want[name])
+				t.Fatalf("k=%d: output %q differs (linf=%g)", k, name, d.LInf)
+			}
+		}
+	}
+}
+
+func TestPipelineSingleStageIsWholeModel(t *testing.T) {
+	cfg := models.Config{Classes: 4, Channels: 1, Height: 8, Width: 8, Seed: 2}
+	m := models.MLP(cfg, 16)
+	stages, err := PartitionPipeline(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 1 || len(stages[0].Nodes) != len(m.Nodes) {
+		t.Fatalf("stage structure: %d stages, %d nodes", len(stages), len(stages[0].Nodes))
+	}
+}
+
+func TestPipelineSharesParameterTensors(t *testing.T) {
+	cfg := models.Config{Classes: 4, Channels: 1, Height: 8, Width: 8, Seed: 2}
+	m := models.MLP(cfg, 16)
+	stages, err := PartitionPipeline(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range stages {
+		for name, t2 := range st.Initializers {
+			if t2 != m.Initializers[name] {
+				t.Fatalf("stage %s copied parameter %q instead of sharing", st.Name, name)
+			}
+		}
+	}
+}
+
+func TestPipelineRejectsBadK(t *testing.T) {
+	cfg := models.Config{Classes: 4, Channels: 1, Height: 8, Width: 8, Seed: 2}
+	if _, err := PartitionPipeline(models.MLP(cfg, 16), 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func cloneFeeds(f map[string]*tensor.Tensor) map[string]*tensor.Tensor {
+	out := make(map[string]*tensor.Tensor, len(f))
+	for k, v := range f {
+		out[k] = v.Clone()
+	}
+	return out
+}
