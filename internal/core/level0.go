@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"deep500/internal/executor"
 	"deep500/internal/frameworks"
 	"deep500/internal/graph"
 	"deep500/internal/kernels"
@@ -19,6 +20,20 @@ type Options struct {
 	Quick bool
 	// Seed drives all generators.
 	Seed uint64
+	// Exec selects the graph-execution backend for every executor an
+	// experiment constructs: "sequential" (default) or "parallel".
+	Exec string
+}
+
+// execOpts resolves Exec into executor construction options. An invalid
+// name panics: experiment results must never be silently attributed to a
+// backend that did not run (d500bench validates the flag up front).
+func (o Options) execOpts() []executor.Option {
+	b, err := executor.BackendByName(o.Exec)
+	if err != nil {
+		panic(err)
+	}
+	return []executor.Option{executor.WithBackend(b)}
 }
 
 // measureIters is how many back-to-back invocations one timing sample
@@ -157,7 +172,7 @@ func convRunner(p ConvProblem, prof frameworks.Profile, instrumented bool, o Opt
 		}
 	}
 	prof.MemoryCapacity = 0 // benchmarking, not OOM testing
-	e, err := prof.NewExecutor(convModel(p, o.seed()))
+	e, err := prof.NewExecutor(convModel(p, o.seed()), o.execOpts()...)
 	if err != nil {
 		panic(err)
 	}
@@ -195,7 +210,7 @@ func gemmRunner(p GemmProblem, prof frameworks.Profile, instrumented bool, o Opt
 		}
 	}
 	prof.MemoryCapacity = 0
-	e, err := prof.NewExecutor(gemmModel(p, o.seed()))
+	e, err := prof.NewExecutor(gemmModel(p, o.seed()), o.execOpts()...)
 	if err != nil {
 		panic(err)
 	}

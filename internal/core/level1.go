@@ -51,6 +51,9 @@ func RunFig7(o Options) (Fig7Result, error) {
 		cfg.Height, cfg.Width = 64, 64
 	}
 	// Dry run with unlimited memory to find the peak requirement.
+	// The OOM experiment ignores Options.Exec: transient workspace peaks are
+	// schedule-dependent under the parallel backend, which would make the
+	// OOM/no-OOM classification nondeterministic.
 	probe, err := frameworks.TorchGo.NewExecutor(models.AlexNet(cfg))
 	if err != nil {
 		return Fig7Result{}, err
@@ -156,7 +159,7 @@ func RunOverhead(o Options) (OverheadResult, error) {
 
 	mkRunner := func(instrument bool) (*training.Runner, error) {
 		m := models.MLP(cfg, hidden)
-		e := executor.MustNew(m)
+		e := executor.MustNew(m, o.execOpts()...)
 		e.SetTraining(true)
 		if instrument {
 			fo := metrics.NewFrameworkOverhead()

@@ -322,7 +322,7 @@ func RunFig9(o Options) ([]ConvergenceCurve, error) {
 	var out []ConvergenceCurve
 	for _, opt := range optimizers {
 		m := models.ResNet(8, cfg)
-		e, err := frameworks.CF2Go.NewExecutor(m)
+		e, err := frameworks.CF2Go.NewExecutor(m, o.execOpts()...)
 		if err != nil {
 			return nil, err
 		}
@@ -374,7 +374,7 @@ func RunFig10(o Options) ([]ConvergenceCurve, error) {
 		m := models.ResNet(8, cfg)
 		prof := c.prof
 		prof.OpOverhead /= 8
-		e, err := prof.NewExecutor(m)
+		e, err := prof.NewExecutor(m, o.execOpts()...)
 		if err != nil {
 			return nil, err
 		}
@@ -438,7 +438,7 @@ func RunFig11(o Options) ([]Fig11Point, error) {
 		WithHead: true, Seed: o.seed()}
 	mk := func(v training.AdamVariant) (*executor.Executor, *training.Driver) {
 		m := models.MLP(cfg, 128, 64)
-		e := executor.MustNew(m)
+		e := executor.MustNew(m, o.execOpts()...)
 		e.SetTraining(true)
 		return e, training.NewDriver(e, training.NewAdamVariant(0.001, v))
 	}

@@ -3,9 +3,8 @@ package datasets
 import (
 	"errors"
 	"io"
-	"runtime"
-	"sync"
 
+	"deep500/internal/kernels"
 	"deep500/internal/tensor"
 )
 
@@ -38,9 +37,12 @@ func (BasicDecoder) DecodeBatch(spec Spec, jpegs [][]byte) ([][]uint8, error) {
 
 // TurboDecoder decodes with a parallel worker pool — the libjpeg-turbo
 // stand-in of Table III (and the "parallel decoding" the paper attributes
-// to TensorFlow's native pipeline).
+// to TensorFlow's native pipeline). Decoding draws from the shared
+// kernels.Pool worker budget, so a data pipeline decoding the next batch
+// while the executor runs the current one cannot oversubscribe the machine.
 type TurboDecoder struct {
-	// Workers overrides the pool size (0 = GOMAXPROCS).
+	// Workers, when > 0, caps the fan-out with a private bounded pool
+	// instead of the shared budget (the Table III ablation knob).
 	Workers int
 }
 
@@ -49,31 +51,15 @@ func (TurboDecoder) Name() string { return "turbo" }
 
 // DecodeBatch decodes inputs concurrently.
 func (d TurboDecoder) DecodeBatch(spec Spec, jpegs [][]byte) ([][]uint8, error) {
-	workers := d.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(jpegs) {
-		workers = len(jpegs)
-	}
 	out := make([][]uint8, len(jpegs))
 	errs := make([]error, len(jpegs))
-	var wg sync.WaitGroup
-	next := make(chan int, len(jpegs))
-	for i := range jpegs {
-		next <- i
+	pool := kernels.Default
+	if d.Workers > 0 {
+		pool = kernels.NewPool(d.Workers)
 	}
-	close(next)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				out[i], errs[i] = DecodeJPEG(spec, jpegs[i])
-			}
-		}()
-	}
-	wg.Wait()
+	pool.Parallel(len(jpegs), func(i int) {
+		out[i], errs[i] = DecodeJPEG(spec, jpegs[i])
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

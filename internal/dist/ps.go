@@ -1,0 +1,167 @@
+package dist
+
+import (
+	"fmt"
+
+	"deep500/internal/executor"
+	"deep500/internal/mpi"
+	"deep500/internal/tensor"
+	"deep500/internal/training"
+)
+
+// PSMode selects the consistency model of the parameter server.
+type PSMode int
+
+const (
+	// PSSync waits for a gradient from every worker, applies the averaged
+	// update, and broadcasts the new parameters — fully consistent.
+	PSSync PSMode = iota
+	// PSAsync applies each gradient the moment it arrives and replies
+	// immediately — HOGWILD-style inconsistency.
+	PSAsync
+	// PSStale is stale-synchronous parallel: asynchronous, but a worker may
+	// run at most Staleness steps ahead of the slowest active worker; the
+	// server withholds its reply until the bound is satisfied.
+	PSStale
+)
+
+func (m PSMode) String() string {
+	switch m {
+	case PSSync:
+		return "sync"
+	case PSAsync:
+		return "async"
+	case PSStale:
+		return "stale"
+	}
+	return "unknown"
+}
+
+// ServerConfig parameterizes RunPSServer.
+type ServerConfig struct {
+	Mode PSMode
+	// Staleness is the SSP bound for PSStale (ignored otherwise).
+	Staleness int
+	// StepsPerWorker is how many gradient messages the server expects from
+	// each worker before shutting down.
+	StepsPerWorker int
+}
+
+// RunPSServer runs the parameter-server loop on rank r (conventionally
+// rank 0): it owns the packed parameter vector, applies the base
+// optimizer's update rule to every (averaged) incoming gradient, and
+// returns fresh parameters to workers according to the consistency mode.
+func RunPSServer(r *mpi.Rank, rule training.ThreeStep, params *Params, cfg ServerConfig) error {
+	workers := r.Size() - 1
+	if workers < 1 {
+		return fmt.Errorf("dist: parameter server needs at least one worker rank")
+	}
+	if cfg.StepsPerWorker < 1 {
+		return fmt.Errorf("dist: ServerConfig.StepsPerWorker must be ≥ 1")
+	}
+	apply := func(grad []float32, scale float32) {
+		if scale != 1 {
+			for i, v := range grad {
+				grad[i] = v * scale
+			}
+		}
+		rule.NewInput()
+		g := tensor.From(grad, len(grad))
+		w := tensor.From(params.Vec, len(params.Vec))
+		updated := rule.UpdateRule(g, w, "ps/params")
+		copy(params.Vec, updated.Data())
+	}
+
+	switch cfg.Mode {
+	case PSSync:
+		for step := 0; step < cfg.StepsPerWorker; step++ {
+			sum := make([]float32, params.Len())
+			for w := 1; w <= workers; w++ {
+				g := r.Recv(w)
+				for i, v := range g {
+					sum[i] += v
+				}
+			}
+			apply(sum, 1/float32(workers))
+			for w := 1; w <= workers; w++ {
+				r.Send(w, params.Vec, mpi.SimActual)
+			}
+		}
+	case PSAsync:
+		for done := 0; done < workers*cfg.StepsPerWorker; done++ {
+			g, src := r.RecvAny()
+			apply(g, 1)
+			r.Send(src, params.Vec, mpi.SimActual)
+		}
+	case PSStale:
+		steps := make([]int, r.Size())
+		owed := make(map[int]bool) // workers whose reply is withheld
+		release := func() {
+			// Slowest active worker defines the staleness horizon.
+			minSteps := -1
+			for w := 1; w <= workers; w++ {
+				if steps[w] >= cfg.StepsPerWorker {
+					continue // finished workers no longer constrain anyone
+				}
+				if minSteps < 0 || steps[w] < minSteps {
+					minSteps = steps[w]
+				}
+			}
+			for src := range owed {
+				if minSteps < 0 || steps[src] <= minSteps+cfg.Staleness {
+					r.Send(src, params.Vec, mpi.SimActual)
+					delete(owed, src)
+				}
+			}
+		}
+		for done := 0; done < workers*cfg.StepsPerWorker; done++ {
+			g, src := r.RecvAny()
+			apply(g, 1)
+			steps[src]++
+			owed[src] = true
+			release()
+		}
+		release()
+		if len(owed) > 0 {
+			return fmt.Errorf("dist: PS server shut down with %d unreleased workers", len(owed))
+		}
+	default:
+		return fmt.Errorf("dist: unknown PS mode %d", cfg.Mode)
+	}
+	return nil
+}
+
+// CentralizedWorker is the worker side of the parameter-server schemes: it
+// computes local gradients, ships them to rank 0, and installs whatever
+// parameters the server returns. It satisfies training.Optimizer.
+type CentralizedWorker struct {
+	e      *executor.Executor
+	r      *mpi.Rank
+	layout *Params
+	// Loss is the loss tensor name (default "loss").
+	Loss string
+}
+
+// NewCentralizedWorker binds an executor and a rank to the server on rank 0.
+func NewCentralizedWorker(e *executor.Executor, r *mpi.Rank) *CentralizedWorker {
+	return &CentralizedWorker{e: e, r: r, layout: PackParams(e.Network()), Loss: "loss"}
+}
+
+// Train computes a local gradient, round-trips it through the server, and
+// adopts the returned parameters.
+func (o *CentralizedWorker) Train(feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	out, err := o.e.InferenceAndBackprop(feeds, o.Loss)
+	if err != nil {
+		return nil, err
+	}
+	net := o.e.Network()
+	grads := o.layout.PackGrads(net)
+	o.r.Send(0, grads, mpi.SimActual)
+	vec := o.r.Recv(0)
+	copy(o.layout.Vec, vec)
+	o.layout.ScatterTo(net)
+	return out, nil
+}
+
+// Executor returns the bound executor.
+func (o *CentralizedWorker) Executor() executor.GraphExecutor { return o.e }

@@ -1,0 +1,63 @@
+package dist
+
+// Gradient quantization for the compression-tradeoff ablation: a linear
+// symmetric quantizer with a shared absolute-maximum scale, packing b-bit
+// codes into bytes (b must divide 8). The wire saving is 32/b; the cost is
+// the quantize+dequantize compute and the rounding error, both measured by
+// BenchmarkAblationQuantize.
+
+// Quantize compresses g to bits-bit codes and returns the packed codes plus
+// the scale needed to reconstruct. bits must be one of 1, 2, 4, 8.
+func Quantize(g []float32, bits uint) ([]uint8, float32) {
+	if bits == 0 || bits > 8 || 8%bits != 0 {
+		panic("dist: Quantize bits must be 1, 2, 4 or 8")
+	}
+	var scale float32
+	for _, v := range g {
+		if a := abs32(v); a > scale {
+			scale = a
+		}
+	}
+	per := int(8 / bits)
+	levels := uint8(1<<bits - 1)
+	codes := make([]uint8, (len(g)+per-1)/per)
+	if scale == 0 {
+		return codes, 0
+	}
+	half := float32(levels) / 2
+	for i, v := range g {
+		// map [-scale, scale] → [0, levels]
+		q := (v/scale + 1) * half
+		if q < 0 {
+			q = 0
+		}
+		if q > float32(levels) {
+			q = float32(levels)
+		}
+		c := uint8(q + 0.5)
+		codes[i/per] |= c << (uint(i%per) * bits)
+	}
+	return codes, scale
+}
+
+// Dequantize reconstructs values from packed codes into dst (whose length
+// determines how many values are decoded).
+func Dequantize(codes []uint8, scale float32, bits uint, dst []float32) {
+	if bits == 0 || bits > 8 || 8%bits != 0 {
+		panic("dist: Dequantize bits must be 1, 2, 4 or 8")
+	}
+	if scale == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	per := int(8 / bits)
+	levels := uint8(1<<bits - 1)
+	mask := levels
+	half := float32(levels) / 2
+	for i := range dst {
+		c := (codes[i/per] >> (uint(i%per) * bits)) & mask
+		dst[i] = (float32(c)/half - 1) * scale
+	}
+}

@@ -2,6 +2,7 @@ package executor
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"deep500/internal/graph"
@@ -28,10 +29,13 @@ type GraphExecutor interface {
 	SetTraining(training bool)
 }
 
-// Executor is the Deep500 reference graph executor: a topological-order
-// interpreter over Level 0 operators. It is intentionally simple (the paper
-// positions reference code as "verified yet slow") but supports the full
-// event, memory-model and instrumentation surface.
+// Executor is the Deep500 reference graph executor: an interpreter over
+// Level 0 operators whose forward-pass scheduling is delegated to a
+// pluggable ExecBackend — the sequential topological interpreter by default
+// (the paper positions reference code as "verified yet slow"), or the
+// parallel dataflow scheduler. It supports the full event, memory-model and
+// instrumentation surface, and can recycle activation storage through a
+// tensor arena.
 type Executor struct {
 	net     *Network
 	order   []*graph.Node
@@ -44,6 +48,16 @@ type Executor struct {
 	// OpOverhead adds a fixed dispatch cost per operator invocation; the
 	// framework emulation layer uses it to model runtime dispatch costs.
 	OpOverhead time.Duration
+
+	backend ExecBackend
+	arena   *tensor.Arena
+	depOnce sync.Once
+	deps    *depInfo
+	// stateMu guards the per-pass maps, the memory model and the FLOP
+	// counter against concurrent node completions under ParallelBackend.
+	stateMu sync.Mutex
+	// eventMu serializes user event hooks, which need not be thread-safe.
+	eventMu sync.Mutex
 
 	training bool
 	// last forward pass state
@@ -58,9 +72,31 @@ type Executor struct {
 	lastActivationBytes int64
 }
 
+// Option configures an Executor at construction.
+type Option func(*Executor)
+
+// WithBackend selects the forward-pass execution backend (sequential by
+// default).
+func WithBackend(b ExecBackend) Option {
+	return func(e *Executor) {
+		if b != nil {
+			e.backend = b
+		}
+	}
+}
+
+// WithArena routes operator output allocation through a recycling tensor
+// arena and releases intermediate activations back to it at the end of each
+// pass. Model outputs are never recycled. With an arena installed,
+// LastValue is only valid for model outputs, feeds and parameters — other
+// activations are detached when the pass ends.
+func WithArena(a *tensor.Arena) Option {
+	return func(e *Executor) { e.arena = a }
+}
+
 // New builds a reference executor for the model. It validates the graph,
 // instantiates one operator per node and fails on unknown op types.
-func New(m *graph.Model) (*Executor, error) {
+func New(m *graph.Model, opts ...Option) (*Executor, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -72,11 +108,20 @@ func New(m *graph.Model) (*Executor, error) {
 		net:     NewNetwork(m),
 		order:   order,
 		nodeOps: make(map[*graph.Node]ops.Operator, len(order)),
+		backend: SequentialBackend{},
+	}
+	for _, opt := range opts {
+		opt(e)
 	}
 	for _, n := range order {
 		op, err := ops.FromNode(n)
 		if err != nil {
 			return nil, err
+		}
+		if e.arena != nil {
+			if aa, ok := op.(ops.AllocatorAware); ok {
+				aa.SetAllocator(e.arena)
+			}
 		}
 		e.nodeOps[n] = op
 	}
@@ -84,13 +129,16 @@ func New(m *graph.Model) (*Executor, error) {
 }
 
 // MustNew is New, panicking on error; for tests and examples.
-func MustNew(m *graph.Model) *Executor {
-	e, err := New(m)
+func MustNew(m *graph.Model, opts ...Option) *Executor {
+	e, err := New(m, opts...)
 	if err != nil {
 		panic(err)
 	}
 	return e
 }
+
+// Backend returns the active execution backend.
+func (e *Executor) Backend() ExecBackend { return e.backend }
 
 // Network returns the live network.
 func (e *Executor) Network() *Network { return e.net }
@@ -130,7 +178,19 @@ func (e *Executor) spinOverhead() {
 	}
 }
 
-// forward runs the forward pass, populating e.values/nodeIns/nodeOuts.
+// stopRequested polls the Stop event hook.
+func (e *Executor) stopRequested() bool {
+	ev := e.Events
+	if ev == nil || ev.Stop == nil {
+		return false
+	}
+	e.eventMu.Lock()
+	defer e.eventMu.Unlock()
+	return ev.Stop()
+}
+
+// forward runs the forward pass through the configured backend, populating
+// e.values/nodeIns/nodeOuts.
 func (e *Executor) forward(feeds map[string]*tensor.Tensor) error {
 	ev := e.Events
 	if ev != nil && ev.BeforeInference != nil {
@@ -151,75 +211,125 @@ func (e *Executor) forward(feeds map[string]*tensor.Tensor) error {
 		e.values[name] = t
 	}
 
-	for _, n := range e.order {
-		if ev != nil && ev.Stop != nil && ev.Stop() {
-			break
-		}
-		op := e.nodeOps[n]
-		ins := make([]*tensor.Tensor, len(n.Inputs))
-		for i, name := range n.Inputs {
-			if name == "" {
-				continue
-			}
-			t, ok := e.values[name]
-			if !ok {
-				return fmt.Errorf("executor: node %q input %q not available (missing feed?)", n.Name, name)
-			}
-			ins[i] = t
-		}
-		// Workspace accounting for convolutions.
-		var workspace int64
-		if conv, ok := op.(*ops.Conv2DOp); ok && e.Memory != nil {
-			x, w := ins[0], ins[1]
-			cs := kernels.ConvShape{N: x.Dim(0), C: x.Dim(1), H: x.Dim(2), W: x.Dim(3),
-				M: w.Dim(0), KH: w.Dim(2), KW: w.Dim(3),
-				StrideH: conv.StrideH, StrideW: conv.StrideW, PadH: conv.PadH, PadW: conv.PadW}
-			workspace = cs.WorkspaceBytes(conv.Algo)
-			if err := e.Memory.Alloc(workspace); err != nil {
-				return err
-			}
-		}
-		if ev != nil && ev.BeforeOp != nil {
-			ev.BeforeOp(n)
-		}
-		opStart := time.Now()
-		e.spinOverhead()
-		outs := op.Forward(ins)
-		opDur := time.Since(opStart)
-		if ev != nil && ev.AfterOp != nil {
-			ev.AfterOp(n, opDur)
-		}
-		if workspace > 0 {
-			e.Memory.Free(workspace)
-		}
-		e.LastForwardFLOPs += op.FLOPs(ins)
-		for i, name := range n.Outputs {
-			if i >= len(outs) {
-				break
-			}
-			if e.Memory != nil {
-				if err := e.Memory.Alloc(outs[i].Bytes()); err != nil {
-					return err
-				}
-				e.lastActivationBytes += outs[i].Bytes()
-			}
-			e.values[name] = outs[i]
-		}
-		e.nodeIns[n] = ins
-		e.nodeOuts[n] = outs
-	}
-	if ev != nil && ev.AfterInference != nil {
+	err := e.backend.RunForward(e)
+
+	if err == nil && ev != nil && ev.AfterInference != nil {
 		ev.AfterInference(time.Since(start))
 	}
 	// Activations are released at the end of the enclosing pass by the
 	// caller via freeActivations.
+	return err
+}
+
+// execNode runs one node: gather inputs, invoke the operator, publish
+// outputs. It is the unit of work both backends schedule; all shared-state
+// mutation happens under stateMu so ParallelBackend can call it from many
+// goroutines, while the operator's Forward itself runs unlocked.
+func (e *Executor) execNode(n *graph.Node) error {
+	ev := e.Events
+	op := e.nodeOps[n]
+
+	e.stateMu.Lock()
+	ins := make([]*tensor.Tensor, len(n.Inputs))
+	for i, name := range n.Inputs {
+		if name == "" {
+			continue
+		}
+		t, ok := e.values[name]
+		if !ok {
+			e.stateMu.Unlock()
+			return fmt.Errorf("executor: node %q input %q not available (missing feed?)", n.Name, name)
+		}
+		ins[i] = t
+	}
+	// Workspace accounting for convolutions.
+	var workspace int64
+	if conv, ok := op.(*ops.Conv2DOp); ok && e.Memory != nil {
+		x, w := ins[0], ins[1]
+		cs := kernels.ConvShape{N: x.Dim(0), C: x.Dim(1), H: x.Dim(2), W: x.Dim(3),
+			M: w.Dim(0), KH: w.Dim(2), KW: w.Dim(3),
+			StrideH: conv.StrideH, StrideW: conv.StrideW, PadH: conv.PadH, PadW: conv.PadW}
+		workspace = cs.WorkspaceBytes(conv.Algo)
+		if err := e.Memory.Alloc(workspace); err != nil {
+			e.stateMu.Unlock()
+			return err
+		}
+	}
+	e.stateMu.Unlock()
+
+	if ev != nil && ev.BeforeOp != nil {
+		e.eventMu.Lock()
+		ev.BeforeOp(n)
+		e.eventMu.Unlock()
+	}
+	opStart := time.Now()
+	e.spinOverhead()
+	outs := op.Forward(ins)
+	opDur := time.Since(opStart)
+	if ev != nil && ev.AfterOp != nil {
+		e.eventMu.Lock()
+		ev.AfterOp(n, opDur)
+		e.eventMu.Unlock()
+	}
+
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	if workspace > 0 {
+		e.Memory.Free(workspace)
+	}
+	e.LastForwardFLOPs += op.FLOPs(ins)
+	for i, name := range n.Outputs {
+		if i >= len(outs) {
+			break
+		}
+		if e.Memory != nil {
+			if err := e.Memory.Alloc(outs[i].Bytes()); err != nil {
+				return err
+			}
+			e.lastActivationBytes += outs[i].Bytes()
+		}
+		e.values[name] = outs[i]
+	}
+	e.nodeIns[n] = ins
+	e.nodeOuts[n] = outs
 	return nil
 }
 
+// freeActivations ends the activation lifetime of the last pass: it returns
+// the charged bytes to the memory model and, when an arena is installed,
+// recycles every intermediate activation buffer. Model outputs — and any
+// activation whose storage a model output aliases (zero-copy views) — are
+// left alive for the caller.
 func (e *Executor) freeActivations() {
 	if e.Memory != nil {
 		e.Memory.Free(e.lastActivationBytes)
 		e.lastActivationBytes = 0
+	}
+	if e.arena == nil || e.nodeOuts == nil {
+		return
+	}
+	var outputs []*tensor.Tensor
+	for _, name := range e.net.Model.Outputs {
+		if t, ok := e.values[name]; ok && t != nil {
+			outputs = append(outputs, t)
+		}
+	}
+	for _, outs := range e.nodeOuts {
+		for _, t := range outs {
+			if t == nil || !t.ArenaBacked() {
+				continue
+			}
+			protected := false
+			for _, o := range outputs {
+				if t == o || t.Overlaps(o) {
+					protected = true
+					break
+				}
+			}
+			if !protected {
+				t.Release()
+			}
+		}
 	}
 }
 

@@ -85,14 +85,19 @@ func TestDispatchOverheadOrdering(t *testing.T) {
 		}
 		return best
 	}
-	db := timeOf(DeepBench)
-	tf := timeOf(TFGo)
-	if tf <= db {
-		t.Fatalf("tfgo (%v) not slower than deepbench (%v)", tf, db)
-	}
-	// LeNet has ~15 nodes à 150µs ⇒ ≥2ms extra
-	if tf-db < time.Millisecond {
-		t.Fatalf("overhead gap too small: %v", tf-db)
+	// Wall-clock comparisons flake when the suite shares a loaded machine;
+	// retry the whole measurement a few times before declaring a regression.
+	const attempts = 4
+	for attempt := 1; ; attempt++ {
+		db := timeOf(DeepBench)
+		tf := timeOf(TFGo)
+		// LeNet has ~15 nodes à 150µs ⇒ ≥2ms extra
+		if tf > db && tf-db >= time.Millisecond {
+			return
+		}
+		if attempt == attempts {
+			t.Fatalf("tfgo (%v) not ≥1ms slower than deepbench (%v) after %d attempts", tf, db, attempts)
+		}
 	}
 }
 

@@ -1,10 +1,6 @@
 package kernels
 
-import (
-	"fmt"
-	"runtime"
-	"sync"
-)
+import "fmt"
 
 // ConvAlgo selects a 2D convolution implementation, mirroring the algorithm
 // choices (im2col, Winograd, direct) that the paper's Level 0 and the
@@ -239,11 +235,8 @@ func conv2DIm2Col(s ConvShape, in, w, out []float32) {
 	oh, ow := s.OutDims()
 	k := s.C * s.KH * s.KW
 	spatial := oh * ow
-	workers := runtime.GOMAXPROCS(0)
-	if workers > s.N {
-		workers = s.N
-	}
-	if workers <= 1 {
+	span := Default.Span(s.N)
+	if span <= 1 {
 		col := make([]float32, k*spatial)
 		for n := 0; n < s.N; n++ {
 			Im2Col(s, in[n*s.C*s.H*s.W:], col)
@@ -251,22 +244,14 @@ func conv2DIm2Col(s ConvShape, in, w, out []float32) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	next := make(chan int, s.N)
-	for n := 0; n < s.N; n++ {
-		next <- n
-	}
-	close(next)
-	for wk := 0; wk < workers; wk++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			col := make([]float32, k*spatial)
-			for n := range next {
-				Im2Col(s, in[n*s.C*s.H*s.W:], col)
-				Gemm(GemmBlocked, w, col, out[n*s.M*spatial:(n+1)*s.M*spatial], s.M, k, spatial)
-			}
-		}()
-	}
-	wg.Wait()
+	// One task per image; each worker slot lowers through a private column
+	// buffer allocated lazily on first use.
+	cols := make([][]float32, span)
+	Default.ParallelWorker(s.N, func(wk, n int) {
+		if cols[wk] == nil {
+			cols[wk] = make([]float32, k*spatial)
+		}
+		Im2Col(s, in[n*s.C*s.H*s.W:], cols[wk])
+		Gemm(GemmBlocked, w, cols[wk], out[n*s.M*spatial:(n+1)*s.M*spatial], s.M, k, spatial)
+	})
 }

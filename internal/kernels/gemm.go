@@ -8,11 +8,6 @@
 // lowest achievable runtime against which framework overhead is measured.
 package kernels
 
-import (
-	"runtime"
-	"sync"
-)
-
 // gemmBlock is the cache-blocking tile edge used by the blocked kernels.
 // 64×64 float32 tiles (16 KiB) fit comfortably in L1/L2 caches.
 const gemmBlock = 64
@@ -114,33 +109,30 @@ func gemmBlockedRange(a, b, c []float32, m, k, n, i0, i1 int) {
 }
 
 func gemmParallel(a, b, c []float32, m, k, n int) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m {
-		workers = m
-	}
-	// Small problems are not worth the goroutine fan-out.
-	if workers <= 1 || int64(m)*int64(k)*int64(n) < 64*64*64 {
+	// Small problems are not worth the fan-out.
+	if Default.Workers() <= 1 || int64(m)*int64(k)*int64(n) < 64*64*64 {
 		gemmBlocked(a, b, c, m, k, n)
 		return
 	}
 	for i := 0; i < m*n; i++ {
 		c[i] = 0
 	}
-	var wg sync.WaitGroup
-	rowsPer := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		i0 := w * rowsPer
-		if i0 >= m {
-			break
-		}
-		i1 := min(i0+rowsPer, m)
-		wg.Add(1)
-		go func(i0, i1 int) {
-			defer wg.Done()
-			gemmBlockedRange(a, b, c, m, k, n, i0, i1)
-		}(i0, i1)
+	// One task per row panel, at most one blocking tile tall but fine
+	// enough that even short matrices (m below gemmBlock) split across the
+	// worker budget; the pool balances panels across whatever workers are
+	// free.
+	rowsPer := (m + Default.Workers() - 1) / Default.Workers()
+	if rowsPer > gemmBlock {
+		rowsPer = gemmBlock
 	}
-	wg.Wait()
+	if rowsPer < 1 {
+		rowsPer = 1
+	}
+	blocks := (m + rowsPer - 1) / rowsPer
+	Default.Parallel(blocks, func(bi int) {
+		i0 := bi * rowsPer
+		gemmBlockedRange(a, b, c, m, k, n, i0, min(i0+rowsPer, m))
+	})
 }
 
 // GemmTransB computes C = A·Bᵀ where A is M×K and B is N×K (both row-major),

@@ -29,6 +29,12 @@ func NewFrameworkOverhead() *FrameworkOverhead {
 // Events returns executor hooks that feed this metric; attach them with
 // executor.Merge when other hooks are present. This is the paper's pattern
 // of one class extending both TestMetric and Event.
+//
+// The per-pass overhead fraction is defined for the sequential backend:
+// under the parallel dataflow backend concurrent operator durations can sum
+// past the pass wall-clock, in which case the overhead clamps to zero.
+// Wall-clock comparisons (e.g. the §V-D epoch-time experiment) remain valid
+// on any backend.
 func (f *FrameworkOverhead) Events() *executor.Events {
 	return &executor.Events{
 		BeforeInference: func() { f.opTime = 0 },

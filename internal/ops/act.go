@@ -12,10 +12,10 @@ import (
 type ReLUOp struct{ base }
 
 // NewReLU returns a ReLU operator.
-func NewReLU() *ReLUOp { return &ReLUOp{base{"Relu"}} }
+func NewReLU() *ReLUOp { return &ReLUOp{base{name: "Relu"}} }
 
 func (o *ReLUOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
-	out := tensor.New(inputs[0].Shape()...)
+	out := o.newOut(inputs[0].Shape()...)
 	kernels.ReLU(inputs[0].Data(), out.Data())
 	return []*tensor.Tensor{out}
 }
@@ -35,7 +35,7 @@ type LeakyReLUOp struct {
 }
 
 // NewLeakyReLU returns a LeakyReLU operator with the given negative slope.
-func NewLeakyReLU(alpha float32) *LeakyReLUOp { return &LeakyReLUOp{base{"LeakyRelu"}, alpha} }
+func NewLeakyReLU(alpha float32) *LeakyReLUOp { return &LeakyReLUOp{base{name: "LeakyRelu"}, alpha} }
 
 func (o *LeakyReLUOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 	a := o.Alpha
@@ -69,10 +69,10 @@ func (o *LeakyReLUOp) FLOPs(inputs []*tensor.Tensor) int64 { return elementwiseF
 type SigmoidOp struct{ base }
 
 // NewSigmoid returns a sigmoid operator.
-func NewSigmoid() *SigmoidOp { return &SigmoidOp{base{"Sigmoid"}} }
+func NewSigmoid() *SigmoidOp { return &SigmoidOp{base{name: "Sigmoid"}} }
 
 func (o *SigmoidOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
-	out := tensor.New(inputs[0].Shape()...)
+	out := o.newOut(inputs[0].Shape()...)
 	kernels.Sigmoid(inputs[0].Data(), out.Data())
 	return []*tensor.Tensor{out}
 }
@@ -89,10 +89,10 @@ func (o *SigmoidOp) FLOPs(inputs []*tensor.Tensor) int64 { return 4 * elementwis
 type TanhOp struct{ base }
 
 // NewTanh returns a tanh operator.
-func NewTanh() *TanhOp { return &TanhOp{base{"Tanh"}} }
+func NewTanh() *TanhOp { return &TanhOp{base{name: "Tanh"}} }
 
 func (o *TanhOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
-	out := tensor.New(inputs[0].Shape()...)
+	out := o.newOut(inputs[0].Shape()...)
 	kernels.Tanh(inputs[0].Data(), out.Data())
 	return []*tensor.Tensor{out}
 }
@@ -110,12 +110,12 @@ func (o *TanhOp) FLOPs(inputs []*tensor.Tensor) int64 { return 4 * elementwiseFL
 type SoftmaxOp struct{ base }
 
 // NewSoftmax returns a softmax operator.
-func NewSoftmax() *SoftmaxOp { return &SoftmaxOp{base{"Softmax"}} }
+func NewSoftmax() *SoftmaxOp { return &SoftmaxOp{base{name: "Softmax"}} }
 
 func (o *SoftmaxOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 	x := inputs[0]
 	n, m := x.Dim(0), x.Dim(1)
-	out := tensor.New(n, m)
+	out := o.newOut(n, m)
 	kernels.Softmax(x.Data(), out.Data(), n, m)
 	return []*tensor.Tensor{out}
 }
@@ -157,7 +157,7 @@ type DropoutOp struct {
 // NewDropout returns a dropout operator with the given drop ratio, seeded
 // deterministically.
 func NewDropout(ratio float32, seed uint64) *DropoutOp {
-	return &DropoutOp{base: base{"Dropout"}, Ratio: ratio, rng: tensor.NewRNG(seed)}
+	return &DropoutOp{base: base{name: "Dropout"}, Ratio: ratio, rng: tensor.NewRNG(seed)}
 }
 
 // SetTraining toggles training mode.
@@ -168,7 +168,7 @@ func (o *DropoutOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 	if !o.Training || o.Ratio <= 0 {
 		return []*tensor.Tensor{x.Clone()}
 	}
-	out := tensor.New(x.Shape()...)
+	out := o.newOut(x.Shape()...)
 	if cap(o.mask) < x.Size() {
 		o.mask = make([]float32, x.Size())
 	}
@@ -226,31 +226,31 @@ func (o *unaryMathOp) FLOPs(inputs []*tensor.Tensor) int64 { return 2 * elementw
 
 // NewExp, NewLog, NewSqrt, NewNeg and NewAbs construct elementwise math ops.
 func NewExp() Operator {
-	return &unaryMathOp{base{"Exp"},
+	return &unaryMathOp{base{name: "Exp"},
 		func(v float32) float32 { return float32(math.Exp(float64(v))) },
 		func(x, y, g float32) float32 { return g * y }}
 }
 
 func NewLog() Operator {
-	return &unaryMathOp{base{"Log"},
+	return &unaryMathOp{base{name: "Log"},
 		func(v float32) float32 { return float32(math.Log(float64(v))) },
 		func(x, y, g float32) float32 { return g / x }}
 }
 
 func NewSqrt() Operator {
-	return &unaryMathOp{base{"Sqrt"},
+	return &unaryMathOp{base{name: "Sqrt"},
 		func(v float32) float32 { return float32(math.Sqrt(float64(v))) },
 		func(x, y, g float32) float32 { return g / (2 * y) }}
 }
 
 func NewNeg() Operator {
-	return &unaryMathOp{base{"Neg"},
+	return &unaryMathOp{base{name: "Neg"},
 		func(v float32) float32 { return -v },
 		func(x, y, g float32) float32 { return -g }}
 }
 
 func NewAbs() Operator {
-	return &unaryMathOp{base{"Abs"},
+	return &unaryMathOp{base{name: "Abs"},
 		func(v float32) float32 {
 			if v < 0 {
 				return -v

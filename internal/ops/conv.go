@@ -20,7 +20,7 @@ type Conv2DOp struct {
 
 // NewConv2D returns a convolution operator.
 func NewConv2D(algo kernels.ConvAlgo, strideH, strideW, padH, padW int) *Conv2DOp {
-	return &Conv2DOp{base: base{"Conv"}, Algo: algo,
+	return &Conv2DOp{base: base{name: "Conv"}, Algo: algo,
 		StrideH: strideH, StrideW: strideW, PadH: padH, PadW: padW}
 }
 
@@ -43,7 +43,7 @@ func (o *Conv2DOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 		algo = kernels.ConvIm2Col
 	}
 	oh, ow := s.OutDims()
-	out := tensor.New(s.N, s.M, oh, ow)
+	out := o.newOut(s.N, s.M, oh, ow)
 	var bias []float32
 	if len(inputs) > 2 && inputs[2] != nil {
 		bias = inputs[2].Data()

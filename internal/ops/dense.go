@@ -18,7 +18,7 @@ type GemmOp struct {
 
 // NewGemm returns a GEMM operator using the given kernel algorithm.
 func NewGemm(algo kernels.GemmAlgo, transA, transB bool) *GemmOp {
-	return &GemmOp{base: base{"Gemm"}, Algo: algo, TransA: transA, TransB: transB}
+	return &GemmOp{base: base{name: "Gemm"}, Algo: algo, TransA: transA, TransB: transB}
 }
 
 func (o *GemmOp) dims(a, b *tensor.Tensor) (m, k, n int) {
@@ -48,7 +48,7 @@ func (o *GemmOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 	if bm.Dim(0) != k {
 		panic(fmt.Sprintf("ops: Gemm inner dimension mismatch %d vs %d", k, bm.Dim(0)))
 	}
-	out := tensor.New(m, n)
+	out := o.newOut(m, n)
 	kernels.Gemm(o.Algo, a.Data(), bm.Data(), out.Data(), m, k, n)
 	if len(inputs) > 2 && inputs[2] != nil {
 		out.BroadcastAddRow(inputs[2].Reshape(n))
@@ -100,7 +100,7 @@ type MatMulOp struct{ *GemmOp }
 // NewMatMul returns a plain matrix-multiplication operator.
 func NewMatMul(algo kernels.GemmAlgo) *MatMulOp {
 	g := NewGemm(algo, false, false)
-	g.base = base{"MatMul"}
+	g.base = base{name: "MatMul"}
 	return &MatMulOp{g}
 }
 

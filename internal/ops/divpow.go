@@ -11,7 +11,7 @@ import (
 type DivOp struct{ base }
 
 // NewDiv returns an elementwise division operator.
-func NewDiv() *DivOp { return &DivOp{base{"Div"}} }
+func NewDiv() *DivOp { return &DivOp{base{name: "Div"}} }
 
 func (o *DivOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 	return []*tensor.Tensor{tensor.Div(inputs[0], inputs[1])}
@@ -36,7 +36,7 @@ func (o *DivOp) FLOPs(inputs []*tensor.Tensor) int64 { return elementwiseFLOPs(i
 type PowOp struct{ base }
 
 // NewPow returns an elementwise power operator.
-func NewPow() *PowOp { return &PowOp{base{"Pow"}} }
+func NewPow() *PowOp { return &PowOp{base{name: "Pow"}} }
 
 func (o *PowOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 	a, b := inputs[0], inputs[1]

@@ -14,7 +14,7 @@ type EluOp struct {
 }
 
 // NewElu returns an ELU operator.
-func NewElu(alpha float32) *EluOp { return &EluOp{base{"Elu"}, alpha} }
+func NewElu(alpha float32) *EluOp { return &EluOp{base{name: "Elu"}, alpha} }
 
 func (o *EluOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 	a := o.Alpha
@@ -52,7 +52,7 @@ type ClipOp struct {
 }
 
 // NewClip returns a clip operator.
-func NewClip(min, max float32) *ClipOp { return &ClipOp{base{"Clip"}, min, max} }
+func NewClip(min, max float32) *ClipOp { return &ClipOp{base{name: "Clip"}, min, max} }
 
 func (o *ClipOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 	out := tensor.Map(inputs[0], func(v float32) float32 {

@@ -25,7 +25,7 @@ type SoftmaxCrossEntropyOp struct{ base }
 
 // NewSoftmaxCrossEntropy returns the fused loss operator.
 func NewSoftmaxCrossEntropy() *SoftmaxCrossEntropyOp {
-	return &SoftmaxCrossEntropyOp{base{"SoftmaxCrossEntropy"}}
+	return &SoftmaxCrossEntropyOp{base{name: "SoftmaxCrossEntropy"}}
 }
 
 func (o *SoftmaxCrossEntropyOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
@@ -59,7 +59,7 @@ func (o *SoftmaxCrossEntropyOp) FLOPs(inputs []*tensor.Tensor) int64 {
 type MSEOp struct{ base }
 
 // NewMSE returns a mean-squared-error loss operator.
-func NewMSE() *MSEOp { return &MSEOp{base{"MeanSquaredError"}} }
+func NewMSE() *MSEOp { return &MSEOp{base{name: "MeanSquaredError"}} }
 
 func (o *MSEOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 	p, t := inputs[0], inputs[1]
@@ -95,7 +95,7 @@ func (o *MSEOp) FLOPs(inputs []*tensor.Tensor) int64 { return 3 * int64(inputs[0
 type AccuracyOp struct{ base }
 
 // NewAccuracy returns a top-1 accuracy metric operator.
-func NewAccuracy() *AccuracyOp { return &AccuracyOp{base{"Accuracy"}} }
+func NewAccuracy() *AccuracyOp { return &AccuracyOp{base{name: "Accuracy"}} }
 
 func (o *AccuracyOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 	logits, labels := inputs[0], inputs[1]

@@ -24,7 +24,7 @@ type BatchNormOp struct {
 
 // NewBatchNorm returns a batch-normalization operator.
 func NewBatchNorm(eps, momentum float32) *BatchNormOp {
-	return &BatchNormOp{base: base{"BatchNormalization"}, Eps: eps, Momentum: momentum}
+	return &BatchNormOp{base: base{name: "BatchNormalization"}, Eps: eps, Momentum: momentum}
 }
 
 // SetTraining toggles between batch statistics (training) and running
@@ -46,7 +46,7 @@ func (o *BatchNormOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 	x, gamma, beta := inputs[0], inputs[1], inputs[2]
 	runMean, runVar := inputs[3], inputs[4]
 	n, c, hw := dimsNCHW(x)
-	out := tensor.New(x.Shape()...)
+	out := o.newOut(x.Shape()...)
 	if o.Training {
 		o.mean, o.variance = kernels.BatchNormForward(n, c, hw, x.Data(), gamma.Data(), beta.Data(),
 			out.Data(), o.Eps, runMean.Data(), runVar.Data(), o.Momentum)

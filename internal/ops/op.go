@@ -89,10 +89,34 @@ func FromNode(n *graph.Node) (Operator, error) {
 	return b(n)
 }
 
-// base provides Name and default FLOPs for simple operators.
-type base struct{ name string }
+// AllocatorAware is implemented by operators that can draw their output
+// tensors from a caller-provided allocator. Executors with a tensor arena
+// install it on every operator that supports it, so steady-state forward
+// passes recycle activation buffers instead of allocating garbage.
+type AllocatorAware interface {
+	SetAllocator(a tensor.Allocator)
+}
+
+// base provides Name, default FLOPs and the output-allocation hook for
+// simple operators.
+type base struct {
+	name  string
+	arena tensor.Allocator
+}
 
 func (b base) Name() string { return b.name }
+
+// SetAllocator points the operator's output allocation at a.
+func (b *base) SetAllocator(a tensor.Allocator) { b.arena = a }
+
+// newOut allocates a forward-output tensor: from the installed allocator
+// when one is set, from the GC otherwise.
+func (b *base) newOut(shape ...int) *tensor.Tensor {
+	if b.arena != nil {
+		return b.arena.Get(shape...)
+	}
+	return tensor.New(shape...)
+}
 
 // elementwiseFLOPs is the default estimate: one op per element.
 func elementwiseFLOPs(inputs []*tensor.Tensor) int64 {

@@ -18,7 +18,7 @@ type MaxPoolOp struct {
 
 // NewMaxPool returns a max-pooling operator.
 func NewMaxPool(kh, kw, strideH, strideW, padH, padW int) *MaxPoolOp {
-	return &MaxPoolOp{base: base{"MaxPool"}, KH: kh, KW: kw,
+	return &MaxPoolOp{base: base{name: "MaxPool"}, KH: kh, KW: kw,
 		StrideH: strideH, StrideW: strideW, PadH: padH, PadW: padW}
 }
 
@@ -30,7 +30,7 @@ func (o *MaxPoolOp) shape(x *tensor.Tensor) kernels.PoolShape {
 func (o *MaxPoolOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 	s := o.shape(inputs[0])
 	oh, ow := s.OutDims()
-	out := tensor.New(s.N, s.C, oh, ow)
+	out := o.newOut(s.N, s.C, oh, ow)
 	if cap(o.argmax) < s.OutputSize() {
 		o.argmax = make([]int32, s.OutputSize())
 	}
@@ -61,7 +61,7 @@ type AvgPoolOp struct {
 
 // NewAvgPool returns an average-pooling operator.
 func NewAvgPool(kh, kw, strideH, strideW, padH, padW int) *AvgPoolOp {
-	return &AvgPoolOp{base: base{"AveragePool"}, KH: kh, KW: kw,
+	return &AvgPoolOp{base: base{name: "AveragePool"}, KH: kh, KW: kw,
 		StrideH: strideH, StrideW: strideW, PadH: padH, PadW: padW}
 }
 
@@ -73,7 +73,7 @@ func (o *AvgPoolOp) shape(x *tensor.Tensor) kernels.PoolShape {
 func (o *AvgPoolOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 	s := o.shape(inputs[0])
 	oh, ow := s.OutDims()
-	out := tensor.New(s.N, s.C, oh, ow)
+	out := o.newOut(s.N, s.C, oh, ow)
 	kernels.AvgPool2D(s, inputs[0].Data(), out.Data())
 	return []*tensor.Tensor{out}
 }
@@ -94,12 +94,12 @@ func (o *AvgPoolOp) FLOPs(inputs []*tensor.Tensor) int64 {
 type GlobalAvgPoolOp struct{ base }
 
 // NewGlobalAvgPool returns a global average pooling operator.
-func NewGlobalAvgPool() *GlobalAvgPoolOp { return &GlobalAvgPoolOp{base{"GlobalAveragePool"}} }
+func NewGlobalAvgPool() *GlobalAvgPoolOp { return &GlobalAvgPoolOp{base{name: "GlobalAveragePool"}} }
 
 func (o *GlobalAvgPoolOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 	x := inputs[0]
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
-	out := tensor.New(n, c, 1, 1)
+	out := o.newOut(n, c, 1, 1)
 	kernels.GlobalAvgPool(n, c, h, w, x.Data(), out.Data())
 	return []*tensor.Tensor{out}
 }

@@ -21,7 +21,7 @@ type RNNTanhCell struct {
 
 // NewRNNTanhCell returns a tanh RNN cell.
 func NewRNNTanhCell() *RNNTanhCell {
-	return &RNNTanhCell{base: base{"RNNTanhCell"}, algo: kernels.GemmBlocked}
+	return &RNNTanhCell{base: base{name: "RNNTanhCell"}, algo: kernels.GemmBlocked}
 }
 
 func (o *RNNTanhCell) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {

@@ -11,7 +11,7 @@ import (
 type AddOp struct{ base }
 
 // NewAdd returns an elementwise addition operator.
-func NewAdd() *AddOp { return &AddOp{base{"Add"}} }
+func NewAdd() *AddOp { return &AddOp{base{name: "Add"}} }
 
 func (o *AddOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 	return []*tensor.Tensor{tensor.Add(inputs[0], inputs[1])}
@@ -27,7 +27,7 @@ func (o *AddOp) FLOPs(inputs []*tensor.Tensor) int64 { return elementwiseFLOPs(i
 type SubOp struct{ base }
 
 // NewSub returns an elementwise subtraction operator.
-func NewSub() *SubOp { return &SubOp{base{"Sub"}} }
+func NewSub() *SubOp { return &SubOp{base{name: "Sub"}} }
 
 func (o *SubOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 	return []*tensor.Tensor{tensor.Sub(inputs[0], inputs[1])}
@@ -45,7 +45,7 @@ func (o *SubOp) FLOPs(inputs []*tensor.Tensor) int64 { return elementwiseFLOPs(i
 type MulOp struct{ base }
 
 // NewMul returns an elementwise multiplication operator.
-func NewMul() *MulOp { return &MulOp{base{"Mul"}} }
+func NewMul() *MulOp { return &MulOp{base{name: "Mul"}} }
 
 func (o *MulOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 	return []*tensor.Tensor{tensor.Mul(inputs[0], inputs[1])}
@@ -62,7 +62,7 @@ func (o *MulOp) FLOPs(inputs []*tensor.Tensor) int64 { return elementwiseFLOPs(i
 type SumOp struct{ base }
 
 // NewSum returns a variadic addition operator.
-func NewSum() *SumOp { return &SumOp{base{"Sum"}} }
+func NewSum() *SumOp { return &SumOp{base{name: "Sum"}} }
 
 func (o *SumOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 	out := inputs[0].Clone()
@@ -88,7 +88,7 @@ func (o *SumOp) FLOPs(inputs []*tensor.Tensor) int64 {
 type IdentityOp struct{ base }
 
 // NewIdentity returns the identity operator.
-func NewIdentity() *IdentityOp { return &IdentityOp{base{"Identity"}} }
+func NewIdentity() *IdentityOp { return &IdentityOp{base{name: "Identity"}} }
 
 func (o *IdentityOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 	return []*tensor.Tensor{inputs[0].Clone()}
@@ -107,7 +107,7 @@ type ConstantOp struct {
 }
 
 // NewConstant returns an operator producing a copy of v.
-func NewConstant(v *tensor.Tensor) *ConstantOp { return &ConstantOp{base{"Constant"}, v} }
+func NewConstant(v *tensor.Tensor) *ConstantOp { return &ConstantOp{base{name: "Constant"}, v} }
 
 func (o *ConstantOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 	return []*tensor.Tensor{o.Value.Clone()}
@@ -126,7 +126,7 @@ type FlattenOp struct {
 }
 
 // NewFlatten returns a flatten operator around the given axis.
-func NewFlatten(axis int) *FlattenOp { return &FlattenOp{base{"Flatten"}, axis} }
+func NewFlatten(axis int) *FlattenOp { return &FlattenOp{base{name: "Flatten"}, axis} }
 
 func (o *FlattenOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 	x := inputs[0]
@@ -155,7 +155,7 @@ type ReshapeOp struct {
 
 // NewReshape returns a reshape operator.
 func NewReshape(shape []int) *ReshapeOp {
-	return &ReshapeOp{base{"Reshape"}, append([]int(nil), shape...)}
+	return &ReshapeOp{base{name: "Reshape"}, append([]int(nil), shape...)}
 }
 
 func (o *ReshapeOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
@@ -177,7 +177,7 @@ type ConcatOp struct {
 }
 
 // NewConcat returns a concatenation operator.
-func NewConcat(axis int) *ConcatOp { return &ConcatOp{base{"Concat"}, axis} }
+func NewConcat(axis int) *ConcatOp { return &ConcatOp{base{name: "Concat"}, axis} }
 
 func (o *ConcatOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 	if o.Axis != 0 {
@@ -189,7 +189,7 @@ func (o *ConcatOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 	}
 	rest := append([]int(nil), inputs[0].Shape()[1:]...)
 	outShape := append([]int{total}, rest...)
-	out := tensor.New(outShape...)
+	out := o.newOut(outShape...)
 	off := 0
 	for _, x := range inputs {
 		copy(out.Data()[off:], x.Data())
@@ -222,7 +222,7 @@ type SplitOp struct {
 
 // NewSplit returns a split operator with the given part sizes.
 func NewSplit(axis int, sizes []int) *SplitOp {
-	return &SplitOp{base{"Split"}, axis, append([]int(nil), sizes...)}
+	return &SplitOp{base{name: "Split"}, axis, append([]int(nil), sizes...)}
 }
 
 func (o *SplitOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
@@ -239,7 +239,7 @@ func (o *SplitOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 	off := 0
 	for i, sz := range o.Sizes {
 		shape := append([]int{sz}, rest...)
-		t := tensor.New(shape...)
+		t := o.newOut(shape...)
 		copy(t.Data(), x.Data()[off*rowSize:(off+sz)*rowSize])
 		outs[i] = t
 		off += sz

@@ -16,6 +16,10 @@ import (
 type Tensor struct {
 	shape []int
 	data  []float32
+	// arena is non-nil for tensors acquired from an Arena; refs is their
+	// reference count (see arena.go). GC-managed tensors leave both zero.
+	arena *Arena
+	refs  int32
 }
 
 // New returns a zero-filled tensor of the given shape. A call with no
