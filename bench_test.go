@@ -100,61 +100,21 @@ func BenchmarkFig6GemmSpotlight(b *testing.B) {
 
 // --- Execution backends: sequential vs parallel dataflow vs arena --------
 
-// benchBranchyModel builds an inception-style multi-tower graph: `branches`
-// independent conv→relu→conv chains off the same input, merged by Sum. The
-// convolutions use the direct algorithm so each operator is
-// single-threaded — the model's parallelism lives between operators, which
-// is exactly what the dataflow scheduler exploits and the sequential
-// interpreter cannot.
-func benchBranchyModel(branches int) *graph.Model {
-	const c, h, w = 8, 24, 24
-	m := graph.NewModel("branchy")
-	rng := tensor.NewRNG(17)
-	m.AddInput("x", -1, c, h, w)
-	var merged []string
-	for b := 0; b < branches; b++ {
-		w1 := fmt.Sprintf("b%d_w1", b)
-		w2 := fmt.Sprintf("b%d_w2", b)
-		m.AddInitializer(w1, tensor.HeInit(rng, c*9, c, c, 3, 3))
-		m.AddInitializer(w2, tensor.HeInit(rng, c*9, c, c, 3, 3))
-		conv := func(name, in, wname, out string) {
-			m.AddNode(graph.NewNode("Conv", name, []string{in, wname}, []string{out},
-				graph.IntsAttr("strides", 1, 1), graph.IntsAttr("pads", 1, 1),
-				graph.IntsAttr("kernel_shape", 3, 3), graph.StringAttr("algo", "direct")))
-		}
-		conv(fmt.Sprintf("b%d_c1", b), "x", w1, fmt.Sprintf("b%d_y1", b))
-		m.AddNode(graph.NewNode("Relu", fmt.Sprintf("b%d_r", b),
-			[]string{fmt.Sprintf("b%d_y1", b)}, []string{fmt.Sprintf("b%d_a", b)}))
-		conv(fmt.Sprintf("b%d_c2", b), fmt.Sprintf("b%d_a", b), w2, fmt.Sprintf("b%d_y2", b))
-		merged = append(merged, fmt.Sprintf("b%d_y2", b))
-	}
-	m.AddNode(graph.NewNode("Sum", "merge", merged, []string{"y"}))
-	m.AddOutput("y")
-	return m
-}
+// The branchy acceptance model lives in core.BranchyModel so the suite's
+// "backend" experiment (cmd/d500bench -experiment backend) and these
+// micro-benchmarks measure the identical workload.
 
 // BenchmarkBackendForward compares forward-pass latency of the execution
 // backends on the branchy multi-operator model (the acceptance workload for
 // the dataflow scheduler: expect ≥1.5× for parallel over sequential at
 // GOMAXPROCS ≥ 4).
 func BenchmarkBackendForward(b *testing.B) {
-	m := benchBranchyModel(8)
+	m := core.BranchyModel(8)
 	rng := tensor.NewRNG(18)
 	feeds := map[string]*tensor.Tensor{"x": tensor.RandNormal(rng, 0, 1, 2, 8, 24, 24)}
-	variants := []struct {
-		name string
-		opts []executor.Option
-	}{
-		{"sequential", nil},
-		{"parallel", []executor.Option{executor.WithBackend(executor.NewParallelBackend(nil))}},
-		{"parallel+arena", []executor.Option{
-			executor.WithBackend(executor.NewParallelBackend(nil)),
-			executor.WithArena(tensor.NewArena())}},
-		{"sequential+arena", []executor.Option{executor.WithArena(tensor.NewArena())}},
-	}
-	for _, v := range variants {
-		b.Run(v.name, func(b *testing.B) {
-			e, err := executor.New(m, v.opts...)
+	for _, v := range core.BackendVariants() {
+		b.Run(v.Name, func(b *testing.B) {
+			e, err := executor.New(m, v.Opts()...)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -175,23 +135,16 @@ func BenchmarkBackendForward(b *testing.B) {
 // BenchmarkBackendTrainingStep compares a full training step (forward +
 // backward + update) across backends on a LeNet-scale CNN.
 func BenchmarkBackendTrainingStep(b *testing.B) {
-	variants := []struct {
-		name string
-		opts []executor.Option
-	}{
-		{"sequential", nil},
-		{"parallel", []executor.Option{executor.WithBackend(executor.NewParallelBackend(nil))}},
-		{"parallel+arena", []executor.Option{
-			executor.WithBackend(executor.NewParallelBackend(nil)),
-			executor.WithArena(tensor.NewArena())}},
-	}
 	ds := training.SyntheticClassification(128, 10, []int{1, 28, 28}, 0.3, 19)
 	batch := training.NewSequentialSampler(ds, 32).Next()
-	for _, v := range variants {
-		b.Run(v.name, func(b *testing.B) {
+	for _, v := range core.BackendVariants() {
+		if v.Name == "sequential+arena" {
+			continue // training comparison covers the three headline variants
+		}
+		b.Run(v.Name, func(b *testing.B) {
 			m := models.LeNet(models.Config{Classes: 10, Channels: 1, Height: 28, Width: 28,
 				WithHead: true, Seed: 20})
-			e := executor.MustNew(m, v.opts...)
+			e := executor.MustNew(m, v.Opts()...)
 			e.SetTraining(true)
 			d := training.NewDriver(e, training.NewMomentum(0.05, 0.9))
 			b.ReportAllocs()

@@ -1,162 +1,157 @@
 // Command d500bench regenerates every table and figure of the Deep500
-// paper's evaluation (§V) on the Deep500-Go reproduction stack.
+// paper's evaluation (§V) on the Deep500-Go reproduction stack and emits
+// machine-readable benchmark reports (internal/bench schema).
 //
 // Usage:
 //
-//	d500bench -experiment all            # everything (paper-scale)
+//	d500bench -experiment all                       # everything (paper-scale)
 //	d500bench -experiment fig6conv -quick
+//	d500bench -experiment tables -quick -format json -out bench.json
+//	d500bench -compare old.json new.json            # regression gate
+//	d500bench -experiment tables -quick -baseline BENCH_BASELINE.json
 //	d500bench -list
 //
-// Experiments: tables, fig2, fig6conv, fig6gemm, fig6acc, fig7, overhead,
-// fig8, table3, fig9, fig10, fig11, fig12strong, fig12weak, all.
+// Exit codes: 0 success, 1 experiment failure or classified regression,
+// 2 usage error (unknown experiment id, bad flags).
 package main
 
 import (
-	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"flag"
+
+	"deep500/internal/bench"
 	"deep500/internal/core"
 	"deep500/internal/executor"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	experiment := flag.String("experiment", "all", "experiment id (or 'all')")
 	quick := flag.Bool("quick", false, "scaled-down problem sizes and re-runs")
 	seed := flag.Uint64("seed", 500, "global RNG seed")
 	exec := flag.String("exec", "sequential", "graph execution backend: sequential, parallel")
+	arena := flag.Bool("arena", false, "recycle activation buffers through a tensor arena")
+	format := flag.String("format", "text", "output format: text or json")
+	out := flag.String("out", "", "write the JSON benchmark report to this file")
+	compare := flag.String("compare", "", "compare this baseline report against a second report (positional arg) and exit")
+	baseline := flag.String("baseline", "", "after running, gate the fresh report against this baseline report")
+	threshold := flag.Float64("threshold", bench.DefaultThreshold, "relative median change classified as improvement/regression")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
-	ids := []string{"tables", "fig2", "fig6conv", "fig6gemm", "fig6acc", "fig7",
-		"overhead", "fig8", "table3", "fig9", "fig10", "fig11", "fig12strong",
-		"fig12weak", "validate"}
-	if *list {
-		for _, id := range ids {
-			fmt.Println(id)
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "d500bench: unknown -format %q (text or json)\n", *format)
+		return 2
+	}
+
+	// Pure comparison mode: no experiments run.
+	if *compare != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "d500bench: -compare OLD.json needs exactly one positional argument: NEW.json")
+			return 2
 		}
-		return
+		return compareReports(*compare, flag.Arg(0), *threshold, *format)
 	}
 
 	if _, err := executor.BackendByName(*exec); err != nil {
 		fmt.Fprintln(os.Stderr, "d500bench:", err)
-		os.Exit(1)
+		return 2
 	}
-	o := core.Options{Quick: *quick, Seed: *seed, Exec: *exec}
-	out := os.Stdout
-	run := func(id string) error {
-		switch id {
-		case "tables":
-			core.RenderTableI().Render(out)
-			core.RenderTableII().Render(out)
-		case "fig2":
-			core.RenderFig2().Render(out)
-		case "fig6conv":
-			core.RenderFig6(core.RunFig6Conv(o)).Render(out)
-		case "fig6gemm":
-			core.RenderFig6(core.RunFig6Gemm(o)).Render(out)
-		case "fig6acc":
-			t := &core.Table{Title: "§V-B: operator correctness vs fp32 direct reference",
-				Headers: []string{"Algorithm(backend)", "Median l-inf"}}
-			for _, r := range core.RunFig6Accuracy(o) {
-				t.AddRow(r.Backend, fmt.Sprintf("%.3g", r.MedianLInf))
-			}
-			t.AddNote("paper reports ≈7e-4 median l-inf between Deep500 and frameworks")
-			t.Render(out)
-		case "fig7":
-			res, err := core.RunFig7(o)
-			if err != nil {
-				return err
-			}
-			core.RenderFig7(res).Render(out)
-		case "overhead":
-			res, err := core.RunOverhead(o)
-			if err != nil {
-				return err
-			}
-			core.RenderOverhead(res).Render(out)
-		case "fig8":
-			dir, cleanup, err := core.TempWorkDir()
-			if err != nil {
-				return err
-			}
-			defer cleanup()
-			res, err := core.RunFig8(o, dir)
-			if err != nil {
-				return err
-			}
-			core.RenderFig8(res).Render(out)
-		case "table3":
-			dir, cleanup, err := core.TempWorkDir()
-			if err != nil {
-				return err
-			}
-			defer cleanup()
-			rows, err := core.RunTable3(o, dir)
-			if err != nil {
-				return err
-			}
-			core.RenderTable3(rows).Render(out)
-		case "fig9":
-			curves, err := core.RunFig9(o)
-			if err != nil {
-				return err
-			}
-			core.RenderConvergence("Fig. 9: optimizer convergence (ResNet-8 scaled, synthetic CIFAR-10)", curves).Render(out)
-		case "fig10":
-			curves, err := core.RunFig10(o)
-			if err != nil {
-				return err
-			}
-			core.RenderConvergence("Fig. 10: Adam across backends, native vs Deep500 reference", curves).Render(out)
-		case "fig11":
-			points, err := core.RunFig11(o)
-			if err != nil {
-				return err
-			}
-			core.RenderFig11(points).Render(out)
-		case "fig12strong":
-			rows, err := core.RunFig12Strong(o)
-			if err != nil {
-				return err
-			}
-			core.RenderFig12("Fig. 12 (left): strong scaling, ResNet-50, global B=1024", rows).Render(out)
-		case "fig12weak":
-			rows, err := core.RunFig12Weak(o)
-			if err != nil {
-				return err
-			}
-			core.RenderFig12("Fig. 12 (right): weak scaling, ResNet-50", rows).Render(out)
-		case "validate":
-			results, err := core.RunValidationSuite(o)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintln(out, "\n== validation suite (paper §III-E / §IV) ==")
-			failed := 0
-			for _, r := range results {
-				fmt.Fprintln(out, " ", r)
-				if !r.Passed {
-					failed++
-				}
-			}
-			if failed > 0 {
-				return fmt.Errorf("%d validation checks failed", failed)
-			}
-		default:
-			return fmt.Errorf("unknown experiment %q (use -list)", id)
+	o := core.Options{Quick: *quick, Seed: *seed, Exec: *exec, Arena: *arena}
+	suite := bench.NewSuite()
+	core.RegisterExperiments(suite, o)
+
+	if *list {
+		for _, id := range suite.IDs() {
+			fmt.Println(id)
 		}
-		return nil
+		return 0
 	}
 
 	targets := []string{*experiment}
 	if *experiment == "all" {
-		targets = ids
+		targets = suite.IDs()
 	}
 	for _, id := range targets {
-		if err := run(id); err != nil {
-			fmt.Fprintf(os.Stderr, "d500bench: %s: %v\n", id, err)
-			os.Exit(1)
+		if !suite.Has(id) {
+			fmt.Fprintf(os.Stderr, "d500bench: unknown experiment %q; known ids:\n", id)
+			for _, known := range suite.IDs() {
+				fmt.Fprintln(os.Stderr, "  "+known)
+			}
+			return 2
 		}
 	}
+
+	env := bench.CaptureEnv()
+	env.ExecBackend = *exec
+	env.Arena = *arena
+	env.Quick = *quick
+	env.Seed = *seed
+
+	var human io.Writer = os.Stdout
+	if *format == "json" {
+		human = io.Discard // stdout carries the report itself
+	}
+	report, err := suite.Run(targets, bench.RunConfig{Out: human, Env: env})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "d500bench: %v\n", err)
+		return 1
+	}
+	if *format == "json" {
+		if err := report.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "d500bench: %v\n", err)
+			return 1
+		}
+	}
+	if *out != "" {
+		if err := report.WriteFile(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "d500bench: %v\n", err)
+			return 1
+		}
+	}
+	if *baseline != "" {
+		old, err := bench.ReadReport(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "d500bench: %v\n", err)
+			return 1
+		}
+		cmp := bench.Compare(old, report, bench.CompareConfig{Threshold: *threshold})
+		cmp.Render(os.Stderr)
+		if cmp.Regressed > 0 {
+			fmt.Fprintf(os.Stderr, "d500bench: %d metric(s) regressed against %s\n", cmp.Regressed, *baseline)
+			return 1
+		}
+	}
+	return 0
+}
+
+func compareReports(oldPath, newPath string, threshold float64, format string) int {
+	oldR, err := bench.ReadReport(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "d500bench: %v\n", err)
+		return 1
+	}
+	newR, err := bench.ReadReport(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "d500bench: %v\n", err)
+		return 1
+	}
+	cmp := bench.Compare(oldR, newR, bench.CompareConfig{Threshold: threshold})
+	if format == "json" {
+		if err := cmp.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "d500bench: %v\n", err)
+			return 1
+		}
+	} else {
+		cmp.Render(os.Stdout)
+	}
+	if cmp.Regressed > 0 {
+		fmt.Fprintf(os.Stderr, "d500bench: %d metric(s) regressed\n", cmp.Regressed)
+		return 1
+	}
+	return 0
 }

@@ -7,4 +7,11 @@
 // The root package carries only the repository-level benchmark harness
 // (bench_test.go): one benchmark per paper table/figure plus ablations of
 // the design choices called out in DESIGN.md §5.
+//
+// Machine-readable benchmark results live in internal/bench: d500bench
+// emits bench.Report JSON (environment capture, raw samples, derived
+// stats), and bench.Compare classifies metric deltas between two reports
+// as improved/regressed/neutral — the regression gate CI applies against
+// the committed BENCH_BASELINE.json. See README.md §"Benchmarking &
+// regression gates" for the schema and the baseline-refresh workflow.
 package deep500

@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// DefaultThreshold is the relative median change a metric must exceed —
+// on top of disjoint median±MAD windows — to be classified as improved or
+// regressed. 20% matches the CI gate in .github/workflows/ci.yml.
+const DefaultThreshold = 0.20
+
+// Class is the comparator's verdict for one metric.
+type Class string
+
+const (
+	ClassImproved  Class = "improved"
+	ClassRegressed Class = "regressed"
+	ClassNeutral   Class = "neutral"
+)
+
+// CompareConfig tunes the significance check.
+type CompareConfig struct {
+	// Threshold is the minimum relative median change (|new-old|/old) for a
+	// classification; 0 means DefaultThreshold.
+	Threshold float64
+}
+
+// Delta is the comparison of one metric present in both reports.
+type Delta struct {
+	Experiment string  `json:"experiment"`
+	Metric     string  `json:"metric"`
+	Unit       string  `json:"unit"`
+	OldMedian  float64 `json:"old_median"`
+	NewMedian  float64 `json:"new_median"`
+	Change     float64 `json:"change"` // (new-old)/old
+	Class      Class   `json:"class"`
+	Reason     string  `json:"reason,omitempty"`
+}
+
+// Comparison is the full machine-readable diff of two reports.
+type Comparison struct {
+	Threshold float64  `json:"threshold"`
+	Deltas    []Delta  `json:"deltas"`
+	OnlyOld   []string `json:"only_in_old,omitempty"`
+	OnlyNew   []string `json:"only_in_new,omitempty"`
+	Improved  int      `json:"improved"`
+	Regressed int      `json:"regressed"`
+	Neutral   int      `json:"neutral"`
+	Notes     []string `json:"notes,omitempty"`
+}
+
+// Compare classifies every metric present in both reports. A metric is
+// significant only when its relative median change exceeds the threshold
+// AND the median±MAD windows of the two sample sets do not overlap; the
+// sign of the change and the record's Direction decide improved vs
+// regressed. Metrics present in only one report are listed, not failed, so
+// adding or retiring an experiment never breaks the gate by itself.
+//
+// Wall-clock ("s"-unit) metrics are demoted to report-only — classified
+// neutral with a reason — when the two environments are not comparable:
+// either side measured on fewer than 2 CPUs (quick-mode CI de-flake; the
+// parallel machinery degenerates there and timings carry no signal), or
+// the reports come from different CPU models or core counts, where a
+// wall-clock delta measures the hardware, not the code. The same demotion
+// applies to wall-clock records with a single sample on either side: with
+// no dispersion estimate the significance test cannot run, and one-shot
+// timing jitter must never fail the gate.
+func Compare(oldR, newR *Report, cfg CompareConfig) *Comparison {
+	threshold := cfg.Threshold
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	cmp := &Comparison{Threshold: threshold}
+
+	wallClockReason := wallClockSkipReason(oldR.Env, newR.Env)
+	if wallClockReason != "" {
+		cmp.Notes = append(cmp.Notes, "wall-clock metrics report-only: "+wallClockReason)
+	}
+
+	newIdx := indexRecords(newR)
+	seen := map[string]bool{}
+	for _, exp := range oldR.Experiments {
+		for _, oldRec := range exp.Records {
+			key := exp.ID + "/" + oldRec.Name
+			newRec, ok := newIdx[key]
+			if !ok {
+				cmp.OnlyOld = append(cmp.OnlyOld, key)
+				continue
+			}
+			seen[key] = true
+			d := classify(exp.ID, oldRec, *newRec, threshold, wallClockReason)
+			cmp.Deltas = append(cmp.Deltas, d)
+			switch d.Class {
+			case ClassImproved:
+				cmp.Improved++
+			case ClassRegressed:
+				cmp.Regressed++
+			default:
+				cmp.Neutral++
+			}
+		}
+	}
+	for _, exp := range newR.Experiments {
+		for _, rec := range exp.Records {
+			if key := exp.ID + "/" + rec.Name; !seen[key] {
+				cmp.OnlyNew = append(cmp.OnlyNew, key)
+			}
+		}
+	}
+	return cmp
+}
+
+func indexRecords(r *Report) map[string]*Record {
+	idx := map[string]*Record{}
+	for i := range r.Experiments {
+		exp := &r.Experiments[i]
+		for j := range exp.Records {
+			idx[exp.ID+"/"+exp.Records[j].Name] = &exp.Records[j]
+		}
+	}
+	return idx
+}
+
+// wallClockSkipReason decides whether wall-clock comparisons between the
+// two environments are sound; empty means they are.
+func wallClockSkipReason(a, b Environment) string {
+	if a.NumCPU > 0 && a.NumCPU < 2 || b.NumCPU > 0 && b.NumCPU < 2 {
+		return "single-CPU environment"
+	}
+	if a.CPUModel != "" && b.CPUModel != "" && a.CPUModel != b.CPUModel {
+		return fmt.Sprintf("CPU model differs (%q vs %q)", a.CPUModel, b.CPUModel)
+	}
+	if a.NumCPU > 0 && b.NumCPU > 0 && a.NumCPU != b.NumCPU {
+		return fmt.Sprintf("CPU count differs (%d vs %d)", a.NumCPU, b.NumCPU)
+	}
+	return ""
+}
+
+func classify(expID string, oldRec, newRec Record, threshold float64, wallClockReason string) Delta {
+	d := Delta{
+		Experiment: expID,
+		Metric:     oldRec.Name,
+		Unit:       oldRec.Unit,
+		OldMedian:  oldRec.Stats.Median,
+		NewMedian:  newRec.Stats.Median,
+		Class:      ClassNeutral,
+	}
+	if oldRec.Stats.Median != 0 {
+		d.Change = (newRec.Stats.Median - oldRec.Stats.Median) / math.Abs(oldRec.Stats.Median)
+	}
+	switch {
+	case oldRec.Stats.N == 0 || newRec.Stats.N == 0:
+		d.Reason = "zero samples"
+		return d
+	case oldRec.Better == ReportOnly || newRec.Better == ReportOnly:
+		d.Reason = "report-only metric"
+		return d
+	case oldRec.Unit == "s" && wallClockReason != "":
+		d.Reason = "wall-clock comparison skipped: " + wallClockReason
+		return d
+	case oldRec.Unit == "s" && (oldRec.Stats.N < 2 || newRec.Stats.N < 2):
+		// A lone wall-clock observation has no dispersion estimate, so the
+		// median±MAD significance test cannot run; one-shot timing jitter
+		// must never fail the gate. (Deterministic non-time metrics still
+		// gate at N=1.)
+		d.Reason = "single wall-clock sample (no dispersion estimate)"
+		return d
+	case oldRec.Stats.Median == 0 && newRec.Stats.Median == 0:
+		return d
+	}
+	// Significance: the median±MAD windows must be disjoint…
+	oldLo, oldHi := oldRec.Stats.Median-oldRec.Stats.MAD, oldRec.Stats.Median+oldRec.Stats.MAD
+	newLo, newHi := newRec.Stats.Median-newRec.Stats.MAD, newRec.Stats.Median+newRec.Stats.MAD
+	if newLo <= oldHi && oldLo <= newHi {
+		d.Reason = "within noise (median±MAD windows overlap)"
+		return d
+	}
+	// …and the relative change must clear the threshold. A zero old median
+	// with a nonzero new one is treated as an unbounded change.
+	rel := d.Change
+	if oldRec.Stats.Median == 0 {
+		rel = math.Inf(1)
+		if newRec.Stats.Median < 0 {
+			rel = math.Inf(-1)
+		}
+		d.Change = rel
+	}
+	if math.Abs(rel) <= threshold {
+		d.Reason = fmt.Sprintf("change %.1f%% within threshold", rel*100)
+		return d
+	}
+	gotWorse := rel > 0
+	if oldRec.Better == HigherIsBetter {
+		gotWorse = rel < 0
+	}
+	if gotWorse {
+		d.Class = ClassRegressed
+	} else {
+		d.Class = ClassImproved
+	}
+	return d
+}
+
+// Render writes the human-readable comparison.
+func (c *Comparison) Render(w io.Writer) {
+	fmt.Fprintf(w, "\n== bench compare (threshold %.0f%%) ==\n", c.Threshold*100)
+	for _, n := range c.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	rows := [][]string{{"Experiment", "Metric", "Unit", "Old", "New", "Change", "Class"}}
+	for _, d := range c.Deltas {
+		change := "n/a"
+		if !math.IsInf(d.Change, 0) {
+			change = fmt.Sprintf("%+.1f%%", d.Change*100)
+		}
+		rows = append(rows, []string{d.Experiment, d.Metric, d.Unit,
+			fmt.Sprintf("%.4g", d.OldMedian), fmt.Sprintf("%.4g", d.NewMedian),
+			change, string(d.Class)})
+	}
+	widths := make([]int, len(rows[0]))
+	for _, r := range rows {
+		for i, cell := range r {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, r := range rows {
+		parts := make([]string, len(r))
+		for i, cell := range r {
+			parts[i] = cell + strings.Repeat(" ", widths[i]-len(cell))
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	for _, k := range c.OnlyOld {
+		fmt.Fprintf(w, "  only in old report: %s\n", k)
+	}
+	for _, k := range c.OnlyNew {
+		fmt.Fprintf(w, "  only in new report: %s\n", k)
+	}
+	fmt.Fprintf(w, "  summary: %d improved, %d regressed, %d neutral\n",
+		c.Improved, c.Regressed, c.Neutral)
+}
+
+// WriteJSON writes the machine-readable comparison.
+func (c *Comparison) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}

@@ -1,0 +1,210 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// multiCPU is an environment where wall-clock comparisons are sound.
+var multiCPU = Environment{NumCPU: 8, GOMAXPROCS: 8, CPUModel: "testcpu"}
+
+func mkReport(env Environment, recs ...Record) *Report {
+	return &Report{
+		SchemaVersion: SchemaVersion,
+		Suite:         "d500bench",
+		Env:           env,
+		Experiments:   []Experiment{{ID: "exp", Records: recs}},
+	}
+}
+
+func delta(t *testing.T, c *Comparison, metric string) Delta {
+	t.Helper()
+	for _, d := range c.Deltas {
+		if d.Metric == metric {
+			return d
+		}
+	}
+	t.Fatalf("metric %q not in deltas: %+v", metric, c.Deltas)
+	return Delta{}
+}
+
+func TestCompareClassifiesLowerIsBetter(t *testing.T) {
+	oldR := mkReport(multiCPU,
+		NewRecord("time", "s", LowerIsBetter, []float64{1, 1, 1}),
+		NewRecord("slow", "s", LowerIsBetter, []float64{1, 1, 1}),
+		NewRecord("steady", "s", LowerIsBetter, []float64{1, 1, 1}))
+	newR := mkReport(multiCPU,
+		NewRecord("time", "s", LowerIsBetter, []float64{0.4, 0.4, 0.4}),
+		NewRecord("slow", "s", LowerIsBetter, []float64{2, 2, 2}),
+		NewRecord("steady", "s", LowerIsBetter, []float64{1.05, 1.05, 1.05}))
+	c := Compare(oldR, newR, CompareConfig{})
+	if got := delta(t, c, "time").Class; got != ClassImproved {
+		t.Fatalf("time: %v", got)
+	}
+	if got := delta(t, c, "slow").Class; got != ClassRegressed {
+		t.Fatalf("slow: %v", got)
+	}
+	if got := delta(t, c, "steady").Class; got != ClassNeutral {
+		t.Fatalf("steady: %v", got)
+	}
+	if c.Improved != 1 || c.Regressed != 1 || c.Neutral != 1 {
+		t.Fatalf("counts: %+v", c)
+	}
+}
+
+func TestCompareClassifiesHigherIsBetter(t *testing.T) {
+	oldR := mkReport(multiCPU,
+		NewRecord("tput", "img/s", HigherIsBetter, []float64{100}),
+		NewRecord("acc", "frac", HigherIsBetter, []float64{0.9}))
+	newR := mkReport(multiCPU,
+		NewRecord("tput", "img/s", HigherIsBetter, []float64{50}),
+		NewRecord("acc", "frac", HigherIsBetter, []float64{1.8}))
+	c := Compare(oldR, newR, CompareConfig{})
+	if got := delta(t, c, "tput").Class; got != ClassRegressed {
+		t.Fatalf("tput: %v", got)
+	}
+	if got := delta(t, c, "acc").Class; got != ClassImproved {
+		t.Fatalf("acc: %v", got)
+	}
+}
+
+func TestCompareMADWindowOverlapIsNeutral(t *testing.T) {
+	// 30% median shift, but both windows are wide (MAD 0.4): within noise.
+	oldR := mkReport(multiCPU, NewRecord("noisy", "s", LowerIsBetter, []float64{0.6, 1.0, 1.4}))
+	newR := mkReport(multiCPU, NewRecord("noisy", "s", LowerIsBetter, []float64{0.9, 1.3, 1.7}))
+	c := Compare(oldR, newR, CompareConfig{})
+	d := delta(t, c, "noisy")
+	if d.Class != ClassNeutral || !strings.Contains(d.Reason, "noise") {
+		t.Fatalf("want neutral/noise, got %+v", d)
+	}
+}
+
+func TestCompareThresholdConfigurable(t *testing.T) {
+	oldR := mkReport(multiCPU, NewRecord("m", "s", LowerIsBetter, []float64{1, 1, 1}))
+	newR := mkReport(multiCPU, NewRecord("m", "s", LowerIsBetter, []float64{1.4, 1.4, 1.4}))
+	if c := Compare(oldR, newR, CompareConfig{}); delta(t, c, "m").Class != ClassRegressed {
+		t.Fatal("40% over default threshold should regress")
+	}
+	if c := Compare(oldR, newR, CompareConfig{Threshold: 0.5}); delta(t, c, "m").Class != ClassNeutral {
+		t.Fatal("40% under a 50% threshold should be neutral")
+	}
+}
+
+func TestCompareZeroSamples(t *testing.T) {
+	oldR := mkReport(multiCPU, NewRecord("empty", "s", LowerIsBetter, nil))
+	newR := mkReport(multiCPU, NewRecord("empty", "s", LowerIsBetter, []float64{5}))
+	c := Compare(oldR, newR, CompareConfig{})
+	d := delta(t, c, "empty")
+	if d.Class != ClassNeutral || !strings.Contains(d.Reason, "zero samples") {
+		t.Fatalf("want neutral/zero samples, got %+v", d)
+	}
+	if c.Regressed != 0 {
+		t.Fatal("zero-sample records must never gate")
+	}
+}
+
+func TestCompareReportOnlyNeverGates(t *testing.T) {
+	oldR := mkReport(multiCPU, NewRecord("info", "ratio", ReportOnly, []float64{0.01}))
+	newR := mkReport(multiCPU, NewRecord("info", "ratio", ReportOnly, []float64{10}))
+	c := Compare(oldR, newR, CompareConfig{})
+	if d := delta(t, c, "info"); d.Class != ClassNeutral {
+		t.Fatalf("report-only metric classified %v", d.Class)
+	}
+}
+
+func TestCompareMismatchedExperimentsListedNotFailed(t *testing.T) {
+	oldR := &Report{SchemaVersion: SchemaVersion, Env: multiCPU, Experiments: []Experiment{
+		{ID: "a", Records: []Record{NewRecord("m", "s", LowerIsBetter, []float64{1})}},
+	}}
+	newR := &Report{SchemaVersion: SchemaVersion, Env: multiCPU, Experiments: []Experiment{
+		{ID: "b", Records: []Record{NewRecord("m", "s", LowerIsBetter, []float64{9})}},
+	}}
+	c := Compare(oldR, newR, CompareConfig{})
+	if len(c.Deltas) != 0 {
+		t.Fatalf("no metric overlaps, deltas: %+v", c.Deltas)
+	}
+	if c.Regressed != 0 {
+		t.Fatal("disjoint reports must not regress")
+	}
+	if len(c.OnlyOld) != 1 || c.OnlyOld[0] != "a/m" {
+		t.Fatalf("OnlyOld: %v", c.OnlyOld)
+	}
+	if len(c.OnlyNew) != 1 || c.OnlyNew[0] != "b/m" {
+		t.Fatalf("OnlyNew: %v", c.OnlyNew)
+	}
+}
+
+// TestCompareSingleCPUSkipsWallClock pins the CI de-flake contract: on a
+// single-CPU environment wall-clock metrics are report-only, while
+// non-time metrics keep gating.
+func TestCompareSingleCPUSkipsWallClock(t *testing.T) {
+	oneCPU := Environment{NumCPU: 1, GOMAXPROCS: 1, CPUModel: "testcpu"}
+	oldR := mkReport(oneCPU,
+		NewRecord("time", "s", LowerIsBetter, []float64{1}),
+		NewRecord("count", "rows", HigherIsBetter, []float64{10}))
+	newR := mkReport(oneCPU,
+		NewRecord("time", "s", LowerIsBetter, []float64{5}),
+		NewRecord("count", "rows", HigherIsBetter, []float64{4}))
+	c := Compare(oldR, newR, CompareConfig{})
+	d := delta(t, c, "time")
+	if d.Class != ClassNeutral || !strings.Contains(d.Reason, "single-CPU") {
+		t.Fatalf("want wall-clock skip, got %+v", d)
+	}
+	if delta(t, c, "count").Class != ClassRegressed {
+		t.Fatal("non-time metrics must still gate on single-CPU environments")
+	}
+}
+
+// TestCompareCrossMachineSkipsWallClock: a wall-clock delta between two CPU
+// models measures the hardware, not the code.
+func TestCompareCrossMachineSkipsWallClock(t *testing.T) {
+	envA := Environment{NumCPU: 8, CPUModel: "cpu-a"}
+	envB := Environment{NumCPU: 8, CPUModel: "cpu-b"}
+	oldR := mkReport(envA, NewRecord("time", "s", LowerIsBetter, []float64{1}))
+	newR := mkReport(envB, NewRecord("time", "s", LowerIsBetter, []float64{5}))
+	c := Compare(oldR, newR, CompareConfig{})
+	if d := delta(t, c, "time"); d.Class != ClassNeutral {
+		t.Fatalf("cross-machine wall clock gated: %+v", d)
+	}
+	if len(c.Notes) == 0 {
+		t.Fatal("expected a comparison note explaining the skip")
+	}
+}
+
+// TestCompareSingleWallClockSampleIsReportOnly: one-shot timings carry no
+// dispersion estimate, so they must never gate; deterministic non-time
+// single observations still do.
+func TestCompareSingleWallClockSampleIsReportOnly(t *testing.T) {
+	oldR := mkReport(multiCPU,
+		NewRecord("oneshot", "s", LowerIsBetter, []float64{1}),
+		NewRecord("tput", "img/s", HigherIsBetter, []float64{100}))
+	newR := mkReport(multiCPU,
+		NewRecord("oneshot", "s", LowerIsBetter, []float64{5}),
+		NewRecord("tput", "img/s", HigherIsBetter, []float64{10}))
+	c := Compare(oldR, newR, CompareConfig{})
+	d := delta(t, c, "oneshot")
+	if d.Class != ClassNeutral || !strings.Contains(d.Reason, "single wall-clock sample") {
+		t.Fatalf("want single-sample skip, got %+v", d)
+	}
+	if delta(t, c, "tput").Class != ClassRegressed {
+		t.Fatal("deterministic single observations must still gate")
+	}
+}
+
+func TestCompareRenderAndJSON(t *testing.T) {
+	oldR := mkReport(multiCPU, NewRecord("m", "s", LowerIsBetter, []float64{1, 1, 1}))
+	newR := mkReport(multiCPU, NewRecord("m", "s", LowerIsBetter, []float64{3, 3, 3}))
+	c := Compare(oldR, newR, CompareConfig{})
+	var human, js bytes.Buffer
+	c.Render(&human)
+	if !strings.Contains(human.String(), "regressed") {
+		t.Fatalf("render output: %s", human.String())
+	}
+	if err := c.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), `"class": "regressed"`) {
+		t.Fatalf("json output: %s", js.String())
+	}
+}

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSuiteRegisterAndRun(t *testing.T) {
+	s := NewSuite()
+	s.Register(Definition{ID: "one", Title: "first", Run: func(c *Context) error {
+		c.Out.Write([]byte("human output\n"))
+		c.RecordValue("metric", "s", LowerIsBetter, 1.5)
+		c.Note("note %d", 7)
+		return nil
+	}})
+	s.Register(Definition{ID: "two", Run: func(c *Context) error {
+		r := c.RecordSamples("dist", "s", LowerIsBetter, []float64{1, 2, 3})
+		r.Warmup = 2
+		return nil
+	}})
+
+	if got := s.IDs(); len(got) != 2 || got[0] != "one" || got[1] != "two" {
+		t.Fatalf("ids: %v", got)
+	}
+	if !s.Has("one") || s.Has("absent") {
+		t.Fatal("Has broken")
+	}
+
+	var human bytes.Buffer
+	env := Environment{NumCPU: 4, ExecBackend: "sequential", Seed: 7}
+	now := func() time.Time { return time.Date(2026, 7, 25, 12, 0, 0, 0, time.UTC) }
+	rep, err := s.Run([]string{"one", "two"}, RunConfig{Out: &human, Env: env, Now: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != SchemaVersion || rep.Suite != "d500bench" {
+		t.Fatalf("report header: %+v", rep)
+	}
+	if rep.CreatedAt != "2026-07-25T12:00:00Z" {
+		t.Fatalf("created_at: %s", rep.CreatedAt)
+	}
+	if rep.Env.Seed != 7 || rep.Env.ExecBackend != "sequential" {
+		t.Fatalf("env not stamped: %+v", rep.Env)
+	}
+	if !strings.Contains(human.String(), "human output") {
+		t.Fatal("human writer not wired")
+	}
+	if len(rep.Experiments) != 2 {
+		t.Fatalf("experiments: %+v", rep.Experiments)
+	}
+	one := rep.Experiments[0]
+	if one.ID != "one" || one.Title != "first" || len(one.Records) != 1 || len(one.Notes) != 1 {
+		t.Fatalf("experiment one: %+v", one)
+	}
+	if one.Records[0].Stats.Median != 1.5 {
+		t.Fatalf("stats: %+v", one.Records[0].Stats)
+	}
+	two := rep.Experiments[1]
+	if two.Records[0].Warmup != 2 || two.Records[0].Stats.N != 3 || two.Records[0].Stats.Median != 2 {
+		t.Fatalf("experiment two: %+v", two.Records[0])
+	}
+}
+
+func TestSuiteDuplicateRegistrationPanics(t *testing.T) {
+	s := NewSuite()
+	run := func(*Context) error { return nil }
+	s.Register(Definition{ID: "dup", Run: run})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration must panic")
+		}
+	}()
+	s.Register(Definition{ID: "dup", Run: run})
+}
+
+func TestSuiteUnknownIDFails(t *testing.T) {
+	s := NewSuite()
+	s.Register(Definition{ID: "known", Run: func(*Context) error { return nil }})
+	if _, err := s.Run([]string{"missing"}, RunConfig{}); err == nil {
+		t.Fatal("unknown id must error")
+	}
+}
+
+func TestSuiteErrorKeepsPartialResults(t *testing.T) {
+	s := NewSuite()
+	s.Register(Definition{ID: "good", Run: func(c *Context) error {
+		c.RecordValue("v", "s", LowerIsBetter, 1)
+		return nil
+	}})
+	boom := errors.New("boom")
+	s.Register(Definition{ID: "bad", Run: func(*Context) error { return boom }})
+	rep, err := s.Run([]string{"good", "bad"}, RunConfig{})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err: %v", err)
+	}
+	if len(rep.Experiments) != 1 || rep.Experiments[0].ID != "good" {
+		t.Fatalf("partial results lost: %+v", rep.Experiments)
+	}
+}
+
+func TestRecordFLOPSDerivation(t *testing.T) {
+	r := NewRecord("gemm", "s", LowerIsBetter, []float64{0.5})
+	r.Work = 1_000_000
+	r.Finalize()
+	if r.Stats.FLOPS != 2_000_000 {
+		t.Fatalf("FLOPS: %v", r.Stats.FLOPS)
+	}
+	// FLOP/s only makes sense for timings.
+	c := NewRecord("count", "rows", HigherIsBetter, []float64{10})
+	c.Work = 100
+	c.Finalize()
+	if c.Stats.FLOPS != 0 {
+		t.Fatalf("non-timing FLOPS: %v", c.Stats.FLOPS)
+	}
+}

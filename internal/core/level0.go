@@ -23,6 +23,9 @@ type Options struct {
 	// Exec selects the graph-execution backend for every executor an
 	// experiment constructs: "sequential" (default) or "parallel".
 	Exec string
+	// Arena installs a fresh tensor buffer pool into every executor an
+	// experiment constructs (mirrors d500train's -arena flag).
+	Arena bool
 }
 
 // execOpts resolves Exec into executor construction options. An invalid
@@ -33,7 +36,11 @@ func (o Options) execOpts() []executor.Option {
 	if err != nil {
 		panic(err)
 	}
-	return []executor.Option{executor.WithBackend(b)}
+	opts := []executor.Option{executor.WithBackend(b)}
+	if o.Arena {
+		opts = append(opts, executor.WithArena(tensor.NewArena()))
+	}
+	return opts
 }
 
 // measureIters is how many back-to-back invocations one timing sample
@@ -79,11 +86,13 @@ func gemmModel(p GemmProblem, seed uint64) *graph.Model {
 	return m
 }
 
-// Fig6Row is one measurement series of the Level 0 experiment.
+// Fig6Row is one measurement series of the Level 0 experiment. Summary
+// retains the raw samples so the row can be exported into the
+// machine-readable benchmark schema (internal/bench).
 type Fig6Row struct {
 	Backend string
 	Mode    string // "native" or "deep500"
-	Summary metrics.Summary
+	Summary metrics.Distribution
 }
 
 // Fig6Result holds the operator-benchmark outcome.
@@ -146,8 +155,8 @@ func runFig6(kind string, convs []ConvProblem, gemms []GemmProblem, o Options) F
 			}
 		}
 		for _, mode := range modes {
-			res.All = append(res.All, Fig6Row{Backend: p.Name, Mode: mode, Summary: all[mode].Summarize()})
-			res.Spotlight = append(res.Spotlight, Fig6Row{Backend: p.Name, Mode: mode, Summary: spot[mode].Summarize()})
+			res.All = append(res.All, Fig6Row{Backend: p.Name, Mode: mode, Summary: all[mode].Distribution()})
+			res.Spotlight = append(res.Spotlight, Fig6Row{Backend: p.Name, Mode: mode, Summary: spot[mode].Distribution()})
 		}
 	}
 	return res
@@ -290,7 +299,7 @@ func RenderFig6(res Fig6Result) *Table {
 	}
 	t := &Table{Title: title,
 		Headers: []string{"Backend", "Mode", "Median(all)", "CI95(all)", "Median(spotlight)"}}
-	spotIdx := map[string]metrics.Summary{}
+	spotIdx := map[string]metrics.Distribution{}
 	for _, r := range res.Spotlight {
 		spotIdx[r.Backend+"/"+r.Mode] = r.Summary
 	}

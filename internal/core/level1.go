@@ -137,8 +137,8 @@ func RenderFig7(r Fig7Result) *Table {
 
 // OverheadResult is the Level 2 instrumentation-overhead measurement.
 type OverheadResult struct {
-	NativeEpoch       metrics.Summary
-	InstrumentedEpoch metrics.Summary
+	NativeEpoch       metrics.Distribution
+	InstrumentedEpoch metrics.Distribution
 	OverheadFraction  float64
 }
 
@@ -205,7 +205,7 @@ func RunOverhead(o Options) (OverheadResult, error) {
 		}
 		instT.Record(di.Seconds())
 	}
-	res := OverheadResult{NativeEpoch: nativeT.Summarize(), InstrumentedEpoch: instT.Summarize()}
+	res := OverheadResult{NativeEpoch: nativeT.Distribution(), InstrumentedEpoch: instT.Distribution()}
 	if res.NativeEpoch.Median > 0 {
 		res.OverheadFraction = (res.InstrumentedEpoch.Median - res.NativeEpoch.Median) / res.NativeEpoch.Median
 	}

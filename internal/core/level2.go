@@ -16,11 +16,12 @@ import (
 	"deep500/internal/training"
 )
 
-// Fig8Row is one dataset-latency measurement.
+// Fig8Row is one dataset-latency measurement; Summary keeps the raw
+// samples for export into the benchmark schema.
 type Fig8Row struct {
 	Dataset   string
 	Generator string // "real" or "synth", or the distributed variants
-	Summary   metrics.Summary
+	Summary   metrics.Distribution
 }
 
 // Fig8Result is the dataset-latency experiment outcome.
@@ -72,8 +73,8 @@ func RunFig8(o Options, workDir string) (Fig8Result, error) {
 			synth.End()
 		}
 		res.Small = append(res.Small,
-			Fig8Row{spec.Name, "real", real.Summarize()},
-			Fig8Row{spec.Name, "synth", synth.Summarize()})
+			Fig8Row{spec.Name, "real", real.Distribution()},
+			Fig8Row{spec.Name, "synth", synth.Distribution()})
 	}
 
 	// --- ImageNet-scale: record shards × node counts ---
@@ -120,7 +121,7 @@ func RunFig8(o Options, workDir string) (Fig8Result, error) {
 			res.Large = append(res.Large, Fig8Row{
 				Dataset:   "imagenet",
 				Generator: fmt.Sprintf("%dfiles+%dnodes", shards, nNodes),
-				Summary:   lat.Summarize(),
+				Summary:   lat.Distribution(),
 			})
 		}
 	}
@@ -130,7 +131,7 @@ func RunFig8(o Options, workDir string) (Fig8Result, error) {
 		datasets.SynthBatch(imagenetSpec, batch, o.seed()+uint64(r))
 		synth.End()
 	}
-	res.Large = append(res.Large, Fig8Row{"imagenet", "synth", synth.Summarize()})
+	res.Large = append(res.Large, Fig8Row{"imagenet", "synth", synth.Distribution()})
 	return res, nil
 }
 

@@ -37,6 +37,8 @@ type Summary struct {
 	Min, Max          float64
 	CI95Low, CI95High float64 // nonparametric CI of the median
 	P25, P75          float64
+	P95               float64
+	MAD               float64 // median absolute deviation from the median
 	StdDev            float64
 }
 
@@ -111,17 +113,52 @@ func Summarize(samples []float64) Summary {
 		sq += (v - mean) * (v - mean)
 	}
 	lo, hi := medianCIIndices(n)
+	median := Percentile(sorted, 50)
 	return Summary{
 		N:        n,
 		Mean:     mean,
 		StdDev:   math.Sqrt(sq / float64(n)),
-		Median:   Percentile(sorted, 50),
+		Median:   median,
 		Min:      sorted[0],
 		Max:      sorted[n-1],
 		P25:      Percentile(sorted, 25),
 		P75:      Percentile(sorted, 75),
+		P95:      Percentile(sorted, 95),
+		MAD:      MAD(sorted, median),
 		CI95Low:  sorted[lo],
 		CI95High: sorted[hi],
+	}
+}
+
+// MAD returns the median absolute deviation of the samples from center —
+// the robust dispersion estimate the benchmark comparator uses for its
+// significance windows (median ± MAD).
+func MAD(samples []float64, center float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	dev := make([]float64, len(samples))
+	for i, v := range samples {
+		dev[i] = math.Abs(v - center)
+	}
+	sort.Float64s(dev)
+	return Percentile(dev, 50)
+}
+
+// Distribution is a Summary that retains the raw (post-warmup) samples it
+// was computed from, so experiment results can be exported into the
+// machine-readable benchmark schema (internal/bench) instead of being
+// collapsed to printed order statistics.
+type Distribution struct {
+	Summary
+	Samples []float64
+}
+
+// Distribution returns the summary together with a copy of the raw samples.
+func (s *Sampler) Distribution() Distribution {
+	return Distribution{
+		Summary: s.Summarize(),
+		Samples: append([]float64(nil), s.samples...),
 	}
 }
 

@@ -26,6 +26,51 @@ func TestSummarizeEmpty(t *testing.T) {
 	}
 }
 
+func TestSummarizeP95AndMAD(t *testing.T) {
+	s := Summarize([]float64{1, 1, 1, 1, 1})
+	if s.P95 != 1 || s.MAD != 0 {
+		t.Fatalf("constant samples: %+v", s)
+	}
+	s = Summarize([]float64{1, 2, 3, 4, 100})
+	if s.P95 <= s.P75 || s.P95 > s.Max {
+		t.Fatalf("p95 ordering: %+v", s)
+	}
+	// median 3, deviations {2,1,0,1,97} → MAD 1
+	if s.MAD != 1 {
+		t.Fatalf("MAD = %v", s.MAD)
+	}
+}
+
+func TestMADRobustToOutliers(t *testing.T) {
+	base := MAD([]float64{1, 2, 3, 4, 5}, 3)
+	spiked := MAD([]float64{1, 2, 3, 4, 5000}, 3)
+	if base != 1 || spiked != 1 {
+		t.Fatalf("MAD base %v spiked %v", base, spiked)
+	}
+	if MAD(nil, 0) != 0 {
+		t.Fatal("empty MAD")
+	}
+}
+
+func TestSamplerDistribution(t *testing.T) {
+	s := NewSampler("d", "s")
+	for _, v := range []float64{3, 1, 2} {
+		s.Record(v)
+	}
+	d := s.Distribution()
+	if d.Median != 2 || d.N != 3 {
+		t.Fatalf("%+v", d.Summary)
+	}
+	if len(d.Samples) != 3 || d.Samples[0] != 3 {
+		t.Fatalf("samples not retained in order: %v", d.Samples)
+	}
+	// the distribution owns a copy: mutating it must not corrupt the sampler
+	d.Samples[0] = -1
+	if s.Samples()[0] != 3 {
+		t.Fatal("Distribution aliases sampler storage")
+	}
+}
+
 func TestPercentile(t *testing.T) {
 	sorted := []float64{1, 2, 3, 4, 5}
 	if Percentile(sorted, 50) != 3 {
