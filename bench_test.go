@@ -7,6 +7,7 @@ package deep500
 // `go test -bench=. -benchmem` completes in minutes on a laptop.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -57,7 +58,7 @@ func BenchmarkFig6ConvSpotlight(b *testing.B) {
 			feeds := map[string]*tensor.Tensor{"x": x}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := e.Inference(feeds); err != nil {
+				if _, err := e.Inference(context.Background(), feeds); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -118,13 +119,13 @@ func BenchmarkBackendForward(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := e.Inference(feeds); err != nil { // warmup
+			if _, err := e.Inference(context.Background(), feeds); err != nil { // warmup
 				b.Fatal(err)
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := e.Inference(feeds); err != nil {
+				if _, err := e.Inference(context.Background(), feeds); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -150,7 +151,7 @@ func BenchmarkBackendTrainingStep(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := d.Train(batch.Feeds()); err != nil {
+				if _, err := d.Train(context.Background(), batch.Feeds()); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -182,7 +183,7 @@ func BenchmarkFig7Microbatch(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := e.Inference(feeds); err != nil {
+				if _, err := e.Inference(context.Background(), feeds); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -213,7 +214,7 @@ func BenchmarkOverheadTrainingStep(b *testing.B) {
 			batch := s.Next()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := d.Train(batch.Feeds()); err != nil {
+				if _, err := d.Train(context.Background(), batch.Feeds()); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -321,7 +322,7 @@ func BenchmarkFig9OptimizerStep(b *testing.B) {
 			d := training.NewDriver(e, c.mk())
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := d.Train(batch.Feeds()); err != nil {
+				if _, err := d.Train(context.Background(), batch.Feeds()); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -345,10 +346,10 @@ func BenchmarkFig11DivergenceStep(b *testing.B) {
 	batch := training.NewSequentialSampler(ds, 32).Next()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := d1.Train(batch.Feeds()); err != nil {
+		if _, err := d1.Train(context.Background(), batch.Feeds()); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := d2.Train(batch.Feeds()); err != nil {
+		if _, err := d2.Train(context.Background(), batch.Feeds()); err != nil {
 			b.Fatal(err)
 		}
 		for _, name := range e1.Network().Params() {

@@ -1,5 +1,5 @@
 // Command d500bench regenerates every table and figure of the Deep500
-// paper's evaluation (§V) on the Deep500-Go reproduction stack and emits
+// paper's evaluation (§V) through the public d500 Session API and emits
 // machine-readable benchmark reports (internal/bench schema).
 //
 // Usage:
@@ -7,6 +7,7 @@
 //	d500bench -experiment all                       # everything (paper-scale)
 //	d500bench -experiment fig6conv -quick
 //	d500bench -experiment tables -quick -format json -out bench.json
+//	d500bench -experiment all -quick -timeout 2m    # deadline-bounded run
 //	d500bench -compare old.json new.json            # regression gate
 //	d500bench -experiment tables -quick -baseline BENCH_BASELINE.json
 //	d500bench -list
@@ -16,15 +17,16 @@
 package main
 
 import (
+	"context"
+	"errors"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
-	"flag"
-
+	"deep500/d500"
 	"deep500/internal/bench"
-	"deep500/internal/core"
-	"deep500/internal/executor"
 )
 
 func main() { os.Exit(run()) }
@@ -35,6 +37,7 @@ func run() int {
 	seed := flag.Uint64("seed", 500, "global RNG seed")
 	exec := flag.String("exec", "sequential", "graph execution backend: sequential, parallel")
 	arena := flag.Bool("arena", false, "recycle activation buffers through a tensor arena")
+	timeout := flag.Duration("timeout", 0, "abort the suite after this duration (0 = no deadline)")
 	format := flag.String("format", "text", "output format: text or json")
 	out := flag.String("out", "", "write the JSON benchmark report to this file")
 	compare := flag.String("compare", "", "compare this baseline report against a second report (positional arg) and exit")
@@ -57,16 +60,26 @@ func run() int {
 		return compareReports(*compare, flag.Arg(0), *threshold, *format)
 	}
 
-	if _, err := executor.BackendByName(*exec); err != nil {
+	// Session construction validates the -exec flag: unknown backends are
+	// a usage error before any experiment runs.
+	sessOpts := []d500.Option{
+		d500.WithBackendName(*exec),
+		d500.WithSeed(*seed),
+	}
+	if *arena {
+		sessOpts = append(sessOpts, d500.WithArena())
+	}
+	if *quick {
+		sessOpts = append(sessOpts, d500.WithQuick())
+	}
+	sess, err := d500.New(sessOpts...)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "d500bench:", err)
 		return 2
 	}
-	o := core.Options{Quick: *quick, Seed: *seed, Exec: *exec, Arena: *arena}
-	suite := bench.NewSuite()
-	core.RegisterExperiments(suite, o)
 
 	if *list {
-		for _, id := range suite.IDs() {
+		for _, id := range sess.Experiments() {
 			fmt.Println(id)
 		}
 		return 0
@@ -74,33 +87,41 @@ func run() int {
 
 	targets := []string{*experiment}
 	if *experiment == "all" {
-		targets = suite.IDs()
+		targets = sess.Experiments()
 	}
 	for _, id := range targets {
-		if !suite.Has(id) {
+		if !sess.HasExperiment(id) {
 			fmt.Fprintf(os.Stderr, "d500bench: unknown experiment %q; known ids:\n", id)
-			for _, known := range suite.IDs() {
+			for _, known := range sess.Experiments() {
 				fmt.Fprintln(os.Stderr, "  "+known)
 			}
 			return 2
 		}
 	}
 
-	env := bench.CaptureEnv()
-	env.ExecBackend = *exec
-	env.Arena = *arena
-	env.Quick = *quick
-	env.Seed = *seed
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var human io.Writer = os.Stdout
 	if *format == "json" {
 		human = io.Discard // stdout carries the report itself
 	}
-	report, err := suite.Run(targets, bench.RunConfig{Out: human, Env: env})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "d500bench: %v\n", err)
-		return 1
+	report, runErr := sess.Bench(ctx, targets, d500.BenchConfig{Out: human})
+	if runErr != nil {
+		if errors.Is(runErr, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "d500bench: suite stopped at the -timeout %v deadline (%d experiment(s) completed)\n",
+				*timeout, len(report.Experiments))
+		} else {
+			fmt.Fprintf(os.Stderr, "d500bench: %v\n", runErr)
+		}
 	}
+	// The suite preserves experiments that completed before an error or
+	// deadline; write whatever we have so partial runs are not lost.
 	if *format == "json" {
 		if err := report.WriteJSON(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "d500bench: %v\n", err)
@@ -112,6 +133,9 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "d500bench: %v\n", err)
 			return 1
 		}
+	}
+	if runErr != nil {
+		return 1
 	}
 	if *baseline != "" {
 		old, err := bench.ReadReport(*baseline)

@@ -1,20 +1,23 @@
 // Command d500dist runs distributed training on the simulated cluster:
 // real data-parallel SGD across goroutine ranks with the chosen consistency
 // scheme, reporting accuracy, per-node communication volume and simulated
-// makespan (paper Level 3).
+// makespan (paper Level 3). Each rank drives its loop through a d500
+// Session; Ctrl-C cancels decentralized runs between steps (parameter-
+// server runs stop best-effort at the next server round).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
+	"deep500/d500"
 	"deep500/internal/dist"
-	"deep500/internal/executor"
 	"deep500/internal/models"
 	"deep500/internal/mpi"
-	"deep500/internal/training"
 )
 
 func main() {
@@ -26,6 +29,9 @@ func main() {
 	samples := flag.Int("samples", 1920, "synthetic training samples")
 	seed := flag.Uint64("seed", 42, "seed")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	centralized := false
 	switch strings.ToLower(*scheme) {
@@ -39,7 +45,7 @@ func main() {
 
 	cfg := models.Config{Classes: 4, Channels: 1, Height: 8, Width: 8, WithHead: true, Seed: *seed}
 	shape := []int{1, 8, 8}
-	trainDS, testDS := training.SyntheticSplit(*samples, *samples/4, cfg.Classes, shape, 0.25, *seed)
+	trainDS, testDS := d500.SyntheticSplit(*samples, *samples/4, cfg.Classes, shape, 0.25, *seed)
 	stepsPerEpoch := *samples / func() int {
 		w := *nodes
 		if centralized {
@@ -53,12 +59,20 @@ func main() {
 
 	accCh := make(chan float64, 1)
 	makespan, world, err := mpi.Run(*nodes, mpi.Aries(), func(r *mpi.Rank) error {
-		m := models.MLP(cfg, 64)
-		e := executor.MustNew(m)
-		e.SetTraining(true)
+		sess, err := d500.New(d500.WithSeed(*seed))
+		if err != nil {
+			return err
+		}
+		if err := sess.Open(models.MLP(cfg, 64)); err != nil {
+			return err
+		}
 		if centralized && r.ID() == 0 {
-			return dist.RunPSServer(r, training.NewGradientDescent(float32(*lr)),
-				dist.PackParams(e.Network()), dist.ServerConfig{
+			net, err := sess.Network()
+			if err != nil {
+				return err
+			}
+			return dist.RunPSServer(ctx, r, d500.SGD(*lr),
+				dist.PackParams(net), dist.ServerConfig{
 					Mode:           psMode(*scheme),
 					Staleness:      2,
 					StepsPerWorker: stepsPerEpoch * *epochs,
@@ -68,8 +82,11 @@ func main() {
 		if centralized {
 			workerIdx, workers = r.ID()-1, *nodes-1
 		}
-		d := training.NewDriver(e, training.NewGradientDescent(float32(*lr)))
-		var opt training.Optimizer
+		d, err := sess.NewDriver(d500.SGD(*lr))
+		if err != nil {
+			return err
+		}
+		var opt d500.Optimizer
 		switch strings.ToLower(*scheme) {
 		case "dsgd":
 			opt = dist.NewConsistentDecentralized(d, r, mpi.AllreduceRing)
@@ -80,10 +97,17 @@ func main() {
 		case "sparse":
 			opt = dist.NewSparseDecentralized(d, r, 0.2)
 		default:
-			opt = dist.NewCentralizedWorker(e, r)
+			ge, err := sess.GraphExecutor()
+			if err != nil {
+				return err
+			}
+			opt = dist.NewCentralizedWorker(ge, r)
 		}
 		sampler := dist.NewDistributedSampler(trainDS, *batch, workerIdx, workers, *seed)
-		runner := training.NewRunner(opt, sampler, nil)
+		trainer, err := sess.NewTrainer(opt, sampler, nil)
+		if err != nil {
+			return err
+		}
 		for ep := 0; ep < *epochs; ep++ {
 			sampler.Reset()
 			for s := 0; s < stepsPerEpoch; s++ {
@@ -91,7 +115,7 @@ func main() {
 				if b == nil {
 					break
 				}
-				if _, err := runner.Step(b); err != nil {
+				if _, err := trainer.Step(ctx, b); err != nil {
 					return err
 				}
 			}
@@ -101,8 +125,11 @@ func main() {
 			reporter = 1
 		}
 		if r.ID() == reporter {
-			test := training.NewSequentialSampler(testDS, 64)
-			accCh <- runner.Evaluate(test)
+			acc, err := trainer.Evaluate(ctx, d500.SequentialSampler(testDS, 64))
+			if err != nil {
+				return err
+			}
+			accCh <- acc
 		}
 		return nil
 	})

@@ -9,7 +9,7 @@ import (
 	"fmt"
 	"os"
 
-	"deep500/internal/core"
+	"deep500/d500"
 	"deep500/internal/frameworks"
 	"deep500/internal/graph"
 	"deep500/internal/models"
@@ -26,15 +26,15 @@ func main() {
 
 	any := false
 	if *table == 1 {
-		core.RenderTableI().Render(os.Stdout)
+		d500.RenderTableI(os.Stdout)
 		any = true
 	}
 	if *table == 2 {
-		core.RenderTableII().Render(os.Stdout)
+		d500.RenderTableII(os.Stdout)
 		any = true
 	}
 	if *fig == 2 {
-		core.RenderFig2().Render(os.Stdout)
+		d500.RenderFig2(os.Stdout)
 		any = true
 	}
 	if *showOps {
@@ -73,8 +73,8 @@ func main() {
 		any = true
 	}
 	if !any {
-		core.RenderTableI().Render(os.Stdout)
-		core.RenderTableII().Render(os.Stdout)
-		core.RenderFig2().Render(os.Stdout)
+		d500.RenderTableI(os.Stdout)
+		d500.RenderTableII(os.Stdout)
+		d500.RenderFig2(os.Stdout)
 	}
 }

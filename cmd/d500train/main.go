@@ -1,22 +1,22 @@
 // Command d500train trains a model-zoo network on a synthetic dataset with
 // a chosen optimizer and backend, reporting the Level 2 metrics
 // (training/test accuracy, loss curve, time-to-accuracy) — a runnable
-// version of the paper's training-loop manager.
+// version of the paper's training-loop manager, driven entirely through
+// the public d500 Session API. Ctrl-C cancels the run between steps.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
-	"deep500/internal/executor"
-	"deep500/internal/frameworks"
+	"deep500/d500"
 	"deep500/internal/graph"
-	"deep500/internal/metrics"
 	"deep500/internal/models"
-	"deep500/internal/tensor"
-	"deep500/internal/training"
 )
 
 func buildModel(name string, cfg models.Config) (*graph.Model, error) {
@@ -36,33 +36,10 @@ func buildModel(name string, cfg models.Config) (*graph.Model, error) {
 	}
 }
 
-func buildOptimizer(name string, lr float64) (training.ThreeStep, error) {
-	switch strings.ToLower(name) {
-	case "sgd":
-		return training.NewGradientDescent(float32(lr)), nil
-	case "momentum":
-		return training.NewMomentum(float32(lr), 0.9), nil
-	case "nesterov":
-		return training.NewNesterov(float32(lr), 0.9), nil
-	case "adagrad":
-		return training.NewAdaGrad(float32(lr)), nil
-	case "rmsprop":
-		return training.NewRMSProp(float32(lr), 0.9), nil
-	case "adam":
-		return training.NewAdam(float32(lr)), nil
-	case "adam-fused":
-		return training.NewFusedAdam(float32(lr)), nil
-	case "accelegrad":
-		return training.NewAcceleGrad(float32(lr), 1, 1), nil
-	default:
-		return nil, fmt.Errorf("unknown optimizer %q", name)
-	}
-}
-
 func main() {
 	model := flag.String("model", "lenet", "model: mlp, lenet, resnet8, resnet18, wrn16")
 	opt := flag.String("optimizer", "momentum", "optimizer: sgd, momentum, nesterov, adagrad, rmsprop, adam, adam-fused, accelegrad")
-	backend := flag.String("backend", "reference", "backend: reference, tfgo, torchgo, cf2go")
+	backend := flag.String("backend", "reference", "framework backend: reference, tfgo, torchgo, cf2go")
 	execName := flag.String("exec", "sequential", "graph execution backend: sequential, parallel")
 	arena := flag.Bool("arena", false, "recycle activation buffers through a tensor arena")
 	epochs := flag.Int("epochs", 5, "training epochs")
@@ -74,6 +51,9 @@ func main() {
 	save := flag.String("save", "", "save the trained model as D5NX to this path")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	cfg := models.Config{Classes: 10, Channels: 3, Height: 16, Width: 16,
 		WithHead: true, Seed: *seed, WidthScale: 0.5}
 	if *model == "mlp" || *model == "lenet" {
@@ -83,47 +63,43 @@ func main() {
 	m, err := buildModel(*model, cfg)
 	fatalIf(err)
 
-	execB, err := executor.BackendByName(*execName)
-	fatalIf(err)
-	opts := []executor.Option{executor.WithBackend(execB)}
+	opts := []d500.Option{
+		d500.WithBackendName(*execName),
+		d500.WithFramework(*backend),
+		d500.WithSeed(*seed),
+		d500.WithHook(d500.ConsoleHook(os.Stdout)),
+	}
 	if *arena {
-		opts = append(opts, executor.WithArena(tensor.NewArena()))
+		opts = append(opts, d500.WithArena())
 	}
-	var exec *executor.Executor
-	if *backend == "reference" {
-		exec, err = executor.New(m, opts...)
-	} else {
-		prof, ok := frameworks.ByName(*backend)
-		if !ok {
-			fatalIf(fmt.Errorf("unknown backend %q", *backend))
-		}
-		exec, err = prof.NewExecutor(m, opts...)
-	}
+	sess, err := d500.New(opts...)
 	fatalIf(err)
-	exec.SetTraining(true)
+	fatalIf(sess.Open(m))
 
-	ts, err := buildOptimizer(*opt, *lr)
+	ts, err := d500.OptimizerByName(*opt, *lr)
 	fatalIf(err)
 
 	shape := []int{cfg.Channels, cfg.Height, cfg.Width}
-	train, test := training.SyntheticSplit(*samples, *samples/4, cfg.Classes, shape, 0.3, *seed)
-	r := training.NewRunner(
-		training.NewDriver(exec, ts),
-		training.NewShuffleSampler(train, *batch, *seed),
-		training.NewSequentialSampler(test, *batch))
-	r.TTA = metrics.NewTimeToAccuracy("tta", *target)
-	r.TTA.Start()
-	r.AfterEpoch = func(epoch int, testAcc float64) {
-		fmt.Printf("epoch %2d  test accuracy %.4f  last loss %.4f\n",
-			epoch, testAcc, r.LossCurve.Last())
-	}
-	fmt.Printf("training %s (%d params) with %s on %s backend, B=%d, lr=%g\n",
-		m.Name, m.ParamCount(), *opt, *backend, *batch, *lr)
-	fatalIf(r.RunEpochs(*epochs))
+	train, test := d500.SyntheticSplit(*samples, *samples/4, cfg.Classes, shape, 0.3, *seed)
 
-	fmt.Printf("\nfinal test accuracy: %.4f (best %.4f)\n", r.TestAcc.Last(), r.TestAcc.Best())
-	if ok, when := r.TTA.Reached(); ok {
-		fmt.Printf("time to %.0f%% accuracy: %v\n", *target*100, when)
+	fmt.Printf("training %s (%d params) with %s on %s backend (%s exec), B=%d, lr=%g\n",
+		m.Name, m.ParamCount(), *opt, sess.Framework(), sess.Backend(), *batch, *lr)
+	res, err := sess.Train(ctx, d500.TrainConfig{
+		Optimizer:      ts,
+		Train:          d500.ShuffleSampler(train, *batch, *seed),
+		Test:           d500.SequentialSampler(test, *batch),
+		Epochs:         *epochs,
+		TargetAccuracy: *target,
+	})
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "d500train: interrupted, run cancelled")
+		os.Exit(130)
+	}
+	fatalIf(err)
+
+	fmt.Printf("\n%s\n", res)
+	if res.TargetReached {
+		fmt.Printf("time to %.0f%% accuracy: %v\n", *target*100, res.TimeToTarget)
 	} else {
 		fmt.Printf("target accuracy %.0f%% not reached\n", *target*100)
 	}

@@ -1,0 +1,26 @@
+// Package d500 is the public API of Deep500-Go: the one supported way to
+// construct and drive the stack that cmd/ binaries, examples and external
+// consumers use instead of reaching into internal/ packages.
+//
+// A Session is assembled from typed functional options and resolves its
+// configuration at construction, returning errors instead of panicking:
+//
+//	sess, err := d500.New(
+//		d500.WithBackend(d500.Parallel),
+//		d500.WithArena(),
+//		d500.WithSeed(42),
+//	)
+//	if err != nil { ... }
+//	if err := sess.Open(model); err != nil { ... }
+//	out, err := sess.Infer(ctx, feeds)
+//
+// Every execution entry point — Infer, Train, Evaluate, Bench, Trainer
+// steps — takes a context.Context that is observed between operator
+// dispatches, training steps and suite experiments, so callers get
+// cancellation and deadlines through the full execution chain.
+//
+// Observation happens through a single structured event stream: install a
+// Hook with WithHook and receive typed StepEnd / EpochEnd / EvalEnd /
+// BenchSample events. ConsoleHook renders that stream as the progress
+// lines and sample tables the binaries print.
+package d500

@@ -1,0 +1,104 @@
+package d500
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Event is a structured observation from a Session: a training step or
+// epoch finishing, an evaluation completing, or a benchmark sample being
+// recorded. The concrete types are StepEnd, EpochEnd, EvalEnd and
+// BenchSample; consumers type-switch on the value they receive.
+type Event interface{ event() }
+
+// StepEnd is emitted after every optimization step.
+type StepEnd struct {
+	// Step is the 1-based global step counter of the run.
+	Step int
+	// Loss is the step's loss output.
+	Loss float64
+	// Accuracy is the step's minibatch accuracy output.
+	Accuracy float64
+}
+
+// EpochEnd is emitted after every training epoch (including its periodic
+// evaluation, when a test set is configured).
+type EpochEnd struct {
+	// Epoch is the 1-based epoch number.
+	Epoch int
+	// TestAccuracy is the post-epoch test-set accuracy (0 without a test
+	// set).
+	TestAccuracy float64
+	// LastLoss is the most recent training loss observation.
+	LastLoss float64
+}
+
+// EvalEnd is emitted when a standalone evaluation completes.
+type EvalEnd struct {
+	// Accuracy is the sample-weighted mean accuracy over the sampler.
+	Accuracy float64
+}
+
+// BenchSample is emitted for every record a benchmark experiment appends
+// to the machine-readable report, while the suite is still running.
+type BenchSample struct {
+	// Experiment is the suite experiment id ("fig6conv", "backend", ...).
+	Experiment string
+	// Metric is the record name within the experiment.
+	Metric string
+	// Unit is the record's unit ("s", "B", "frac", ...).
+	Unit string
+	// Value is the record's median.
+	Value float64
+	// Samples is how many raw observations back the value.
+	Samples int
+}
+
+func (StepEnd) event()     {}
+func (EpochEnd) event()    {}
+func (EvalEnd) event()     {}
+func (BenchSample) event() {}
+
+// Hook consumes the session event stream. Hooks run synchronously on the
+// training/benchmark goroutine: keep them fast, or hand off to a channel.
+type Hook func(Event)
+
+// MultiHook fans one event stream out to several consumers in order; nil
+// entries are skipped.
+func MultiHook(hooks ...Hook) Hook {
+	return func(e Event) {
+		for _, h := range hooks {
+			if h != nil {
+				h(e)
+			}
+		}
+	}
+}
+
+// ConsoleHook renders the event stream as human-readable progress lines —
+// the table renderers the binaries previously hand-rolled, reimplemented
+// as one stream consumer. StepEnd events are sampled (every 50th) to keep
+// terminals readable; every other event renders unconditionally.
+func ConsoleHook(w io.Writer) Hook {
+	if w == nil {
+		return func(Event) {}
+	}
+	return func(e Event) {
+		switch ev := e.(type) {
+		case StepEnd:
+			if ev.Step%50 == 0 {
+				fmt.Fprintf(w, "step %5d  loss %.4f  batch acc %.3f\n", ev.Step, ev.Loss, ev.Accuracy)
+			}
+		case EpochEnd:
+			fmt.Fprintf(w, "epoch %2d  test accuracy %.4f  last loss %.4f\n", ev.Epoch, ev.TestAccuracy, ev.LastLoss)
+		case EvalEnd:
+			fmt.Fprintf(w, "evaluation  accuracy %.4f\n", ev.Accuracy)
+		case BenchSample:
+			fmt.Fprintf(w, "bench %-12s %-32s %12.6g %s (%d samples)\n", ev.Experiment, ev.Metric, ev.Value, ev.Unit, ev.Samples)
+		}
+	}
+}
+
+// timing helper shared by TrainResult rendering.
+func fdur(d time.Duration) string { return d.Round(time.Millisecond).String() }

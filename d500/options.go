@@ -1,0 +1,178 @@
+package d500
+
+import (
+	"fmt"
+	"strings"
+
+	"deep500/internal/frameworks"
+)
+
+// Backend selects the graph-execution strategy of a Session's executors.
+type Backend int
+
+const (
+	// Sequential is the paper's reference execution model: nodes run one
+	// after another in topological order on the calling goroutine.
+	Sequential Backend = iota
+	// Parallel is the dependency-counting dataflow scheduler: independent
+	// branches of the graph execute concurrently over the shared worker
+	// pool.
+	Parallel
+)
+
+// String returns the canonical backend name ("sequential", "parallel").
+func (b Backend) String() string {
+	switch b {
+	case Sequential:
+		return "sequential"
+	case Parallel:
+		return "parallel"
+	}
+	return fmt.Sprintf("Backend(%d)", int(b))
+}
+
+// valid reports whether b is a declared Backend constant.
+func (b Backend) valid() bool { return b == Sequential || b == Parallel }
+
+// ParseBackend resolves a backend selector from a CLI flag or config
+// string. Valid names: "sequential" (or ""), "parallel". Unknown names
+// return an error instead of panicking, so flag validation can surface
+// them before any experiment runs.
+func ParseBackend(name string) (Backend, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "sequential":
+		return Sequential, nil
+	case "parallel":
+		return Parallel, nil
+	}
+	return Sequential, fmt.Errorf("d500: unknown execution backend %q (valid: sequential, parallel)", name)
+}
+
+// Frameworks returns the names New accepts for WithFramework, reference
+// first.
+func Frameworks() []string {
+	names := []string{"reference"}
+	for _, p := range frameworks.All() {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// config is the resolved Session configuration; options validate eagerly
+// so New fails fast with a descriptive error.
+type config struct {
+	backend     Backend
+	framework   string
+	arena       bool
+	seed        uint64 // always non-zero after New (defaultSeed fallback)
+	poolWorkers int
+	quick       bool
+	hook        Hook
+}
+
+// Option configures a Session at construction. Options are applied in
+// order; the first error aborts New.
+type Option func(*config) error
+
+// WithBackend selects the graph-execution backend (Sequential by default).
+func WithBackend(b Backend) Option {
+	return func(c *config) error {
+		if !b.valid() {
+			return fmt.Errorf("d500: invalid backend %d (use d500.Sequential or d500.Parallel)", int(b))
+		}
+		c.backend = b
+		return nil
+	}
+}
+
+// WithBackendName is WithBackend over a string selector — the flag-friendly
+// form binaries use.
+func WithBackendName(name string) Option {
+	return func(c *config) error {
+		b, err := ParseBackend(name)
+		if err != nil {
+			return err
+		}
+		c.backend = b
+		return nil
+	}
+}
+
+// WithFramework selects an emulated framework profile ("tfgo", "torchgo",
+// "cf2go") instead of the uninstrumented reference executor. The name is
+// resolved at New: unknown frameworks error immediately.
+func WithFramework(name string) Option {
+	return func(c *config) error {
+		name = strings.ToLower(strings.TrimSpace(name))
+		if name == "" || name == "reference" {
+			c.framework = ""
+			return nil
+		}
+		if _, ok := frameworks.ByName(name); !ok {
+			return fmt.Errorf("d500: unknown framework backend %q (valid: %s)",
+				name, strings.Join(Frameworks(), ", "))
+		}
+		c.framework = name
+		return nil
+	}
+}
+
+// WithArena routes operator output allocation through a recycling tensor
+// arena: intermediate activations are returned to a buffer pool at the end
+// of each pass instead of being garbage.
+func WithArena() Option {
+	return func(c *config) error {
+		c.arena = true
+		return nil
+	}
+}
+
+// WithSeed sets the seed driving every generator the session constructs
+// (model init, synthetic data, benchmark problems). Zero selects the
+// default seed (500), matching the benchmark suite's convention, so the
+// seed recorded in benchmark reports is always the seed that ran.
+func WithSeed(seed uint64) Option {
+	return func(c *config) error {
+		if seed == 0 {
+			seed = defaultSeed
+		}
+		c.seed = seed
+		return nil
+	}
+}
+
+// defaultSeed mirrors core.Options' zero-seed convention.
+const defaultSeed = 500
+
+// WithPool gives the session a dedicated worker pool of the given size for
+// the parallel scheduler and kernel fan-outs, instead of the process-wide
+// shared pool. Sizes below 1 are rejected.
+func WithPool(workers int) Option {
+	return func(c *config) error {
+		if workers < 1 {
+			return fmt.Errorf("d500: WithPool requires at least 1 worker, got %d", workers)
+		}
+		c.poolWorkers = workers
+		return nil
+	}
+}
+
+// WithQuick scales benchmark problem sizes and rerun counts down so the
+// full suite completes in seconds (the -quick flag of d500bench).
+func WithQuick() Option {
+	return func(c *config) error {
+		c.quick = true
+		return nil
+	}
+}
+
+// WithHook installs the session's event hook: the single observation
+// channel through which training steps, epoch boundaries, evaluations and
+// benchmark samples are reported. Use MultiHook to fan out to several
+// consumers.
+func WithHook(h Hook) Option {
+	return func(c *config) error {
+		c.hook = h
+		return nil
+	}
+}

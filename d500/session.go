@@ -1,0 +1,193 @@
+package d500
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"deep500/internal/bench"
+	"deep500/internal/executor"
+	"deep500/internal/frameworks"
+	"deep500/internal/graph"
+	"deep500/internal/kernels"
+	"deep500/internal/tensor"
+	"deep500/internal/training"
+)
+
+// Session is a fully resolved Deep500-Go configuration: execution backend,
+// framework profile, allocation strategy, seed and event hook. Open binds
+// it to a model; Infer, Train, Evaluate and Bench then drive the stack
+// with context-aware execution throughout.
+//
+// A Session is not safe for concurrent method calls; open one session per
+// goroutine (sessions are cheap — the heavy state is the model's executor,
+// built by Open).
+type Session struct {
+	cfg  config
+	prof *frameworks.Profile
+	pool *kernels.Pool
+
+	model *graph.Model
+	exec  *executor.Executor
+
+	// benchSuite caches the registered experiment registry (see suite()).
+	benchSuite *bench.Suite
+}
+
+// New resolves the options into a Session, validating everything eagerly:
+// unknown backends, unknown framework names and invalid pool sizes return
+// errors here, never panics later.
+func New(opts ...Option) (*Session, error) {
+	c := config{backend: Sequential, seed: defaultSeed}
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(&c); err != nil {
+			return nil, err
+		}
+	}
+	s := &Session{cfg: c}
+	if c.framework != "" {
+		p, ok := frameworks.ByName(c.framework)
+		if !ok { // unreachable: WithFramework validated, but never panic
+			return nil, fmt.Errorf("d500: unknown framework backend %q", c.framework)
+		}
+		s.prof = &p
+	}
+	if c.poolWorkers > 0 {
+		s.pool = kernels.NewPool(c.poolWorkers)
+	}
+	return s, nil
+}
+
+// Backend returns the session's execution backend.
+func (s *Session) Backend() Backend { return s.cfg.backend }
+
+// Framework returns the emulated framework profile name ("reference" when
+// the session uses the uninstrumented reference executor).
+func (s *Session) Framework() string {
+	if s.cfg.framework == "" {
+		return "reference"
+	}
+	return s.cfg.framework
+}
+
+// Seed returns the seed driving the session's generators.
+func (s *Session) Seed() uint64 { return s.cfg.seed }
+
+// Model returns the opened model, nil before Open.
+func (s *Session) Model() *graph.Model { return s.model }
+
+// errNotOpen is returned by execution methods before Open succeeds.
+var errNotOpen = errors.New("d500: session has no open model (call Open first)")
+
+// execOptions builds fresh executor construction options; arenas are per
+// executor so Open-ing a new model never shares buffers with the old one.
+func (s *Session) execOptions() []executor.Option {
+	var b executor.ExecBackend = executor.SequentialBackend{}
+	if s.cfg.backend == Parallel {
+		b = executor.NewParallelBackend(s.pool)
+	}
+	opts := []executor.Option{executor.WithBackend(b)}
+	if s.cfg.arena {
+		opts = append(opts, executor.WithArena(tensor.NewArena()))
+	}
+	return opts
+}
+
+// Open validates the model, builds its executor under the session's
+// configuration and makes it the session's active model. Re-opening with a
+// different model replaces the previous executor.
+func (s *Session) Open(m *graph.Model) error {
+	if m == nil {
+		return errors.New("d500: Open requires a non-nil model")
+	}
+	var (
+		e   *executor.Executor
+		err error
+	)
+	if s.prof != nil {
+		e, err = s.prof.NewExecutor(m, s.execOptions()...)
+	} else {
+		e, err = executor.New(m, s.execOptions()...)
+	}
+	if err != nil {
+		return fmt.Errorf("d500: opening model %q: %w", m.Name, err)
+	}
+	s.model, s.exec = m, e
+	return nil
+}
+
+// Network exposes the live network of the open model — parameters,
+// gradients and feeds — which the distributed schemes pack and scatter.
+func (s *Session) Network() (*executor.Network, error) {
+	if s.exec == nil {
+		return nil, errNotOpen
+	}
+	return s.exec.Network(), nil
+}
+
+// SetTraining switches training-dependent operators (dropout, batch
+// normalization) between training and inference behaviour — the escape
+// hatch for step-level loops driven through NewDriver/NewTrainer.
+// Session.Train and Evaluate manage the mode themselves.
+func (s *Session) SetTraining(on bool) error {
+	if s.exec == nil {
+		return errNotOpen
+	}
+	s.exec.SetTraining(on)
+	return nil
+}
+
+// GraphExecutor exposes the open model's executor behind the internal
+// GraphExecutor interface — the handle the Level 3 worker schemes
+// (dist.NewCentralizedWorker) bind to.
+func (s *Session) GraphExecutor() (executor.GraphExecutor, error) {
+	if s.exec == nil {
+		return nil, errNotOpen
+	}
+	return s.exec, nil
+}
+
+// Infer runs one forward pass over the open model and returns its declared
+// outputs. Cancelling ctx aborts the pass between operator dispatches.
+func (s *Session) Infer(ctx context.Context, feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	if s.exec == nil {
+		return nil, errNotOpen
+	}
+	return s.exec.Inference(ctx, feeds)
+}
+
+// Evaluate computes mean accuracy of the open model over a sampler in
+// inference mode and emits an EvalEnd event. The model output carrying
+// batch accuracy defaults to "acc"; pass a name to override it (the
+// counterpart of TrainConfig.AccOutput). Inference failures — and a model
+// that never produces the accuracy output — are returned as errors, never
+// reported as 0% accuracy. The executor's training/inference mode is
+// restored afterwards.
+func (s *Session) Evaluate(ctx context.Context, data Sampler, accOutput ...string) (float64, error) {
+	if s.exec == nil {
+		return 0, errNotOpen
+	}
+	if data == nil {
+		return 0, errors.New("d500: Evaluate requires a sampler")
+	}
+	name := "acc"
+	if len(accOutput) > 0 && accOutput[0] != "" {
+		name = accOutput[0]
+	}
+	acc, err := training.EvaluateExecutor(ctx, s.exec, data, name)
+	if err != nil {
+		return 0, err
+	}
+	s.emit(EvalEnd{Accuracy: acc})
+	return acc, nil
+}
+
+// emit delivers an event to the session hook, if any.
+func (s *Session) emit(e Event) {
+	if s.cfg.hook != nil {
+		s.cfg.hook(e)
+	}
+}

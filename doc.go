@@ -1,8 +1,16 @@
 // Package deep500 is the root of Deep500-Go, a from-scratch Go reproduction
 // of "A Modular Benchmarking Infrastructure for High-Performance and
-// Reproducible Deep Learning" (Ben-Nun et al., IPDPS 2019). See README.md
-// for the architecture overview, DESIGN.md for the system inventory and
-// substitutions, and EXPERIMENTS.md for paper-vs-measured results.
+// Reproducible Deep Learning" (Ben-Nun et al., IPDPS 2019).
+//
+// The supported entry point is the d500 package: a d500.Session assembled
+// from typed functional options (WithBackend, WithFramework, WithArena,
+// WithSeed, WithPool, WithHook) with Open/Infer/Train/Evaluate/Bench
+// methods, context-aware execution through the whole chain, and a
+// structured event stream (StepEnd/EpochEnd/EvalEnd/BenchSample) as the
+// single observation channel. Everything under internal/ is an
+// implementation detail; cmd/ and examples/ consume only the public API.
+// See README.md §"Public API" for the migration table from the old
+// internal entry points.
 //
 // The root package carries only the repository-level benchmark harness
 // (bench_test.go): one benchmark per paper table/figure plus ablations of

@@ -1,29 +1,30 @@
 // Custom optimizer: the paper's AcceleGrad walkthrough (Listing 7).
 //
 // A user-defined optimizer is written against the novel three-step
-// interface (new_input / prepare_param / update_rule) and compared against
-// the built-in optimizers on the same task — including a trajectory
-// validation against the reference implementation (test_optimizer) and the
+// interface (new_input / prepare_param / update_rule) — implemented here
+// against the public d500.ThreeStep type — and compared against the
+// built-in optimizers on the same task, including a trajectory validation
+// against the reference implementation (test_optimizer) and the
 // accuracy-vs-time tradeoff the paper plots in Fig. 9.
 //
 // Run: go run ./examples/accelegrad
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
 	"time"
 
-	"deep500/internal/executor"
+	"deep500/d500"
 	"deep500/internal/models"
 	"deep500/internal/tensor"
-	"deep500/internal/training"
 	"deep500/internal/validation"
 )
 
 // myAcceleGrad is a from-scratch reimplementation of Listing 7 — written
-// here (rather than reusing training.NewAcceleGrad) to show what a user
+// here (rather than reusing d500.AcceleGrad) to show what a user
 // implements: three small methods, algorithmic form intact.
 type myAcceleGrad struct {
 	lr, d, g, eps float32
@@ -81,28 +82,46 @@ func (o *myAcceleGrad) UpdateRule(grad, oldParam *tensor.Tensor, name string) *t
 	return out
 }
 
+// compile-time check: the custom optimizer satisfies the public interface.
+var _ d500.ThreeStep = (*myAcceleGrad)(nil)
+
 func main() {
+	ctx := context.Background()
 	shape := []int{1, 8, 8}
-	train, test := training.SyntheticSplit(1024, 256, 4, shape, 0.25, 11)
-	mkDriver := func(ts training.ThreeStep) *training.Driver {
+	train, test := d500.SyntheticSplit(1024, 256, 4, shape, 0.25, 11)
+
+	// mkSession opens a fresh session per optimizer so every run starts
+	// from identical initialization.
+	mkSession := func() *d500.Session {
+		sess, err := d500.New(d500.WithSeed(5))
+		if err != nil {
+			log.Fatal(err)
+		}
 		m := models.MLP(models.Config{Classes: 4, Channels: 1, Height: 8, Width: 8,
 			WithHead: true, Seed: 5}, 64)
-		e := executor.MustNew(m)
-		e.SetTraining(true)
-		return training.NewDriver(e, ts)
+		if err := sess.Open(m); err != nil {
+			log.Fatal(err)
+		}
+		return sess
+	}
+	mkDriver := func(ts d500.ThreeStep) *d500.Driver {
+		d, err := mkSession().NewDriver(ts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return d
 	}
 
 	// Validate the custom optimizer's trajectory against the library's
 	// reference AcceleGrad (test_optimizer, §IV-E).
-	var batches []*training.Batch
-	s := training.NewSequentialSampler(train, 32)
+	var batches []*d500.Batch
+	s := d500.SequentialSampler(train, 32)
 	for i := 0; i < 8; i++ {
 		batches = append(batches, s.Next())
 	}
-	res, traj := validation.TestOptimizer(
-		mkDriver(newMyAcceleGrad(0.02)),
-		mkDriver(training.NewAcceleGrad(0.02, 1, 1)),
-		batches, 1e-4)
+	d1 := mkDriver(newMyAcceleGrad(0.02))
+	d2 := mkDriver(d500.AcceleGrad(0.02, 1, 1))
+	res, traj := validation.TestOptimizer(d1, d2, batches, 1e-4)
 	fmt.Println(res)
 	fmt.Printf("trajectory divergence after %d steps: l2=%.3g\n",
 		len(traj), traj[len(traj)-1].L2)
@@ -110,20 +129,24 @@ func main() {
 	// Compare convergence and wallclock against the optimizer zoo.
 	for _, c := range []struct {
 		name string
-		ts   training.ThreeStep
+		ts   d500.ThreeStep
 	}{
 		{"AcceleGrad (custom)", newMyAcceleGrad(0.02)},
-		{"Adam (reference)", training.NewAdam(0.002)},
-		{"Adam (native fused)", training.NewFusedAdam(0.002)},
-		{"AdaGrad", training.NewAdaGrad(0.02)},
+		{"Adam (reference)", d500.Adam(0.002)},
+		{"Adam (native fused)", d500.FusedAdam(0.002)},
+		{"AdaGrad", d500.AdaGrad(0.02)},
 	} {
-		r := training.NewRunner(mkDriver(c.ts),
-			training.NewShuffleSampler(train, 32, 1),
-			training.NewSequentialSampler(test, 32))
+		sess := mkSession()
 		start := time.Now()
-		if err := r.RunEpochs(5); err != nil {
+		res, err := sess.Train(ctx, d500.TrainConfig{
+			Optimizer: c.ts,
+			Train:     d500.ShuffleSampler(train, 32, 1),
+			Test:      d500.SequentialSampler(test, 32),
+			Epochs:    5,
+		})
+		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-22s final acc %.4f  time %v\n", c.name, r.TestAcc.Last(), time.Since(start))
+		fmt.Printf("%-22s final acc %.4f  time %v\n", c.name, res.FinalTestAccuracy, time.Since(start))
 	}
 }

@@ -4,17 +4,19 @@
 // CustomOperator interface, registered (the analogue of D500_REGISTER_OP),
 // given a graph schema with shape inference, validated with numerical
 // gradient checking, and then used inside a network next to built-in
-// operators — without touching any other part of the stack.
+// operators — executed through the public d500 Session API without
+// touching any other part of the stack.
 //
 // Run: go run ./examples/customop
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
 
-	"deep500/internal/executor"
+	"deep500/d500"
 	"deep500/internal/graph"
 	"deep500/internal/ops"
 	"deep500/internal/tensor"
@@ -130,11 +132,16 @@ func main() {
 	}
 	fmt.Printf("inferred shapes: a=%v b=%v y=%v\n", shapes["a"], shapes["b"], shapes["y"])
 
-	e, err := executor.New(m)
+	// Execute through a public session (custom operators need no special
+	// treatment: Open instantiates them from the registry like built-ins).
+	sess, err := d500.New(d500.WithSeed(3))
 	if err != nil {
 		log.Fatal(err)
 	}
-	out, err := e.Inference(map[string]*tensor.Tensor{"x": x})
+	if err := sess.Open(m); err != nil {
+		log.Fatal(err)
+	}
+	out, err := sess.Infer(context.Background(), map[string]*tensor.Tensor{"x": x})
 	if err != nil {
 		log.Fatal(err)
 	}

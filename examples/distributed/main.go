@@ -3,23 +3,24 @@
 // The same base optimizer is wrapped in four distributed schemes —
 // consistent decentralized (allreduce DSGD), neighbor-gossip DPSGD, model
 // averaging, and a synchronous parameter server — and each is trained on a
-// simulated 4-node cluster with real data movement. The program reports
-// accuracy, per-node communication volume and the simulated makespan,
-// demonstrating that "comparing multiple communication schemes is as easy
-// as replacing an operator" (§V-E).
+// simulated 4-node cluster with real data movement, every rank driving its
+// loop through a public d500 Session. The program reports accuracy,
+// per-node communication volume and the simulated makespan, demonstrating
+// that "comparing multiple communication schemes is as easy as replacing
+// an operator" (§V-E).
 //
 // Run: go run ./examples/distributed
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"deep500/d500"
 	"deep500/internal/dist"
-	"deep500/internal/executor"
 	"deep500/internal/models"
 	"deep500/internal/mpi"
-	"deep500/internal/training"
 )
 
 const (
@@ -30,26 +31,31 @@ const (
 )
 
 func main() {
+	ctx := context.Background()
 	shape := []int{1, 8, 8}
-	trainDS, testDS := training.SyntheticSplit(1536, 384, 4, shape, 0.25, 21)
+	trainDS, testDS := d500.SyntheticSplit(1536, 384, 4, shape, 0.25, 21)
 
 	type scheme struct {
 		name        string
 		centralized bool
-		mk          func(d *training.Driver, e *executor.Executor, r *mpi.Rank) training.Optimizer
+		mk          func(sess *d500.Session, d *d500.Driver, r *mpi.Rank) (d500.Optimizer, error)
 	}
 	schemes := []scheme{
-		{"ConsistentDecentralized (DSGD)", false, func(d *training.Driver, _ *executor.Executor, r *mpi.Rank) training.Optimizer {
-			return dist.NewConsistentDecentralized(d, r, mpi.AllreduceRing)
+		{"ConsistentDecentralized (DSGD)", false, func(_ *d500.Session, d *d500.Driver, r *mpi.Rank) (d500.Optimizer, error) {
+			return dist.NewConsistentDecentralized(d, r, mpi.AllreduceRing), nil
 		}},
-		{"NeighborAveraging (DPSGD)", false, func(d *training.Driver, _ *executor.Executor, r *mpi.Rank) training.Optimizer {
-			return dist.NewNeighborAveraging(d, r)
+		{"NeighborAveraging (DPSGD)", false, func(_ *d500.Session, d *d500.Driver, r *mpi.Rank) (d500.Optimizer, error) {
+			return dist.NewNeighborAveraging(d, r), nil
 		}},
-		{"ModelAveraging (MAVG, k=2)", false, func(d *training.Driver, _ *executor.Executor, r *mpi.Rank) training.Optimizer {
-			return dist.NewModelAveraging(d, r, 2)
+		{"ModelAveraging (MAVG, k=2)", false, func(_ *d500.Session, d *d500.Driver, r *mpi.Rank) (d500.Optimizer, error) {
+			return dist.NewModelAveraging(d, r, 2), nil
 		}},
-		{"ConsistentCentralized (PSSGD)", true, func(_ *training.Driver, e *executor.Executor, r *mpi.Rank) training.Optimizer {
-			return dist.NewCentralizedWorker(e, r)
+		{"ConsistentCentralized (PSSGD)", true, func(sess *d500.Session, _ *d500.Driver, r *mpi.Rank) (d500.Optimizer, error) {
+			ge, err := sess.GraphExecutor()
+			if err != nil {
+				return nil, err
+			}
+			return dist.NewCentralizedWorker(ge, r), nil
 		}},
 	}
 
@@ -62,24 +68,42 @@ func main() {
 		accCh := make(chan float64, 1)
 		volCh := make(chan int64, 1)
 		makespan, _, err := mpi.Run(nodes, mpi.Aries(), func(r *mpi.Rank) error {
+			sess, err := d500.New(d500.WithSeed(9))
+			if err != nil {
+				return err
+			}
 			m := models.MLP(models.Config{Classes: 4, Channels: 1, Height: 8, Width: 8,
 				WithHead: true, Seed: 9}, 64)
-			e := executor.MustNew(m)
-			e.SetTraining(true)
+			if err := sess.Open(m); err != nil {
+				return err
+			}
 			stepsPerEpoch := 1536 / workers / batch
 			if sc.centralized && r.ID() == 0 {
-				return dist.RunPSServer(r, training.NewGradientDescent(lr),
-					dist.PackParams(e.Network()),
+				net, err := sess.Network()
+				if err != nil {
+					return err
+				}
+				return dist.RunPSServer(ctx, r, d500.SGD(lr),
+					dist.PackParams(net),
 					dist.ServerConfig{Mode: dist.PSSync, StepsPerWorker: stepsPerEpoch * epochs})
 			}
 			workerIdx := r.ID()
 			if sc.centralized {
 				workerIdx--
 			}
-			d := training.NewDriver(e, training.NewGradientDescent(lr))
-			opt := sc.mk(d, e, r)
+			d, err := sess.NewDriver(d500.SGD(lr))
+			if err != nil {
+				return err
+			}
+			opt, err := sc.mk(sess, d, r)
+			if err != nil {
+				return err
+			}
 			sampler := dist.NewDistributedSampler(trainDS, batch, workerIdx, workers, 13)
-			runner := training.NewRunner(opt, sampler, nil)
+			trainer, err := sess.NewTrainer(opt, sampler, nil)
+			if err != nil {
+				return err
+			}
 			for ep := 0; ep < epochs; ep++ {
 				sampler.Reset()
 				for s := 0; s < stepsPerEpoch; s++ {
@@ -87,13 +111,17 @@ func main() {
 					if b == nil {
 						break
 					}
-					if _, err := runner.Step(b); err != nil {
+					if _, err := trainer.Step(ctx, b); err != nil {
 						return err
 					}
 				}
 			}
 			if workerIdx == 0 {
-				accCh <- runner.Evaluate(training.NewSequentialSampler(testDS, 64))
+				acc, err := trainer.Evaluate(ctx, d500.SequentialSampler(testDS, 64))
+				if err != nil {
+					return err
+				}
+				accCh <- acc
 				volCh <- r.SentBytes
 			}
 			return nil

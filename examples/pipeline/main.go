@@ -16,9 +16,9 @@ import (
 	"path/filepath"
 	"time"
 
+	"deep500/d500"
 	"deep500/internal/datasets"
 	"deep500/internal/metrics"
-	"deep500/internal/training"
 )
 
 const (
@@ -65,7 +65,7 @@ func main() {
 		log.Fatal(err)
 	}
 	timeIt("raw binary (in-memory, no decode)", func() error {
-		s := training.NewSequentialSampler(raw, batch)
+		s := d500.SequentialSampler(raw, batch)
 		s.Next()
 		return nil
 	})

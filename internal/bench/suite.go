@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -76,12 +77,22 @@ type RunConfig struct {
 	Env Environment
 	// Now overrides the report clock (tests); nil uses time.Now.
 	Now func() time.Time
+	// Observe, when non-nil, is invoked for every record an experiment
+	// appends, as it is appended — the hook the d500 event stream consumes
+	// to surface BenchSample events while the suite is still running.
+	Observe func(experimentID string, r Record)
 }
 
 // Run executes the named experiments in order and assembles the report.
-// Experiments that were run before an error occurred stay in the returned
-// report so partial results are not lost.
-func (s *Suite) Run(ids []string, cfg RunConfig) (*Report, error) {
+// The context is checked before each experiment, so cancellation or an
+// expired deadline stops the suite at an experiment boundary and is also
+// visible to experiments through Context.Ctx. Experiments that were run
+// before an error occurred stay in the returned report so partial results
+// are not lost.
+func (s *Suite) Run(ctx context.Context, ids []string, cfg RunConfig) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := cfg.Out
 	if out == nil {
 		out = io.Discard
@@ -97,15 +108,18 @@ func (s *Suite) Run(ids []string, cfg RunConfig) (*Report, error) {
 		Env:           cfg.Env,
 	}
 	for _, id := range ids {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
 		def, ok := s.Lookup(id)
 		if !ok {
 			return rep, fmt.Errorf("unknown experiment %q (known: %v)", id, s.IDs())
 		}
-		ctx := &Context{Out: out, exp: Experiment{ID: def.ID, Title: def.Title}}
-		if err := def.Run(ctx); err != nil {
+		c := &Context{Ctx: ctx, Out: out, observe: cfg.Observe, exp: Experiment{ID: def.ID, Title: def.Title}}
+		if err := def.Run(c); err != nil {
 			return rep, fmt.Errorf("%s: %w", id, err)
 		}
-		rep.Experiments = append(rep.Experiments, ctx.exp)
+		rep.Experiments = append(rep.Experiments, c.exp)
 	}
 	return rep, nil
 }
@@ -113,9 +127,14 @@ func (s *Suite) Run(ids []string, cfg RunConfig) (*Report, error) {
 // Context is handed to each experiment's RunFunc: human output plus the
 // record sink for the machine-readable report.
 type Context struct {
+	// Ctx is the run's context; experiments that execute graphs or training
+	// loops must pass it down so cancellation propagates mid-experiment.
+	Ctx context.Context
 	// Out is where tables render in text mode (io.Discard in json mode).
 	Out io.Writer
-	exp Experiment
+
+	observe func(experimentID string, r Record)
+	exp     Experiment
 }
 
 // Record appends a fully built record and returns a pointer to the stored
@@ -123,6 +142,9 @@ type Context struct {
 // pointer before the next append.
 func (c *Context) Record(r Record) *Record {
 	c.exp.Records = append(c.exp.Records, r)
+	if c.observe != nil {
+		c.observe(c.exp.ID, r)
+	}
 	return &c.exp.Records[len(c.exp.Records)-1]
 }
 

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -32,7 +33,7 @@ func TestSuiteRegisterAndRun(t *testing.T) {
 	var human bytes.Buffer
 	env := Environment{NumCPU: 4, ExecBackend: "sequential", Seed: 7}
 	now := func() time.Time { return time.Date(2026, 7, 25, 12, 0, 0, 0, time.UTC) }
-	rep, err := s.Run([]string{"one", "two"}, RunConfig{Out: &human, Env: env, Now: now})
+	rep, err := s.Run(context.Background(), []string{"one", "two"}, RunConfig{Out: &human, Env: env, Now: now})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestSuiteDuplicateRegistrationPanics(t *testing.T) {
 func TestSuiteUnknownIDFails(t *testing.T) {
 	s := NewSuite()
 	s.Register(Definition{ID: "known", Run: func(*Context) error { return nil }})
-	if _, err := s.Run([]string{"missing"}, RunConfig{}); err == nil {
+	if _, err := s.Run(context.Background(), []string{"missing"}, RunConfig{}); err == nil {
 		t.Fatal("unknown id must error")
 	}
 }
@@ -92,12 +93,83 @@ func TestSuiteErrorKeepsPartialResults(t *testing.T) {
 	}})
 	boom := errors.New("boom")
 	s.Register(Definition{ID: "bad", Run: func(*Context) error { return boom }})
-	rep, err := s.Run([]string{"good", "bad"}, RunConfig{})
+	rep, err := s.Run(context.Background(), []string{"good", "bad"}, RunConfig{})
 	if !errors.Is(err, boom) {
 		t.Fatalf("err: %v", err)
 	}
 	if len(rep.Experiments) != 1 || rep.Experiments[0].ID != "good" {
 		t.Fatalf("partial results lost: %+v", rep.Experiments)
+	}
+}
+
+func TestSuiteDeadlineExceededStopsRun(t *testing.T) {
+	s := NewSuite()
+	ran := 0
+	slow := func(c *Context) error {
+		ran++
+		// Well-behaved experiments observe Context.Ctx mid-experiment.
+		return c.Ctx.Err()
+	}
+	s.Register(Definition{ID: "a", Run: slow})
+	s.Register(Definition{ID: "b", Run: slow})
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Millisecond))
+	defer cancel()
+	rep, err := s.Run(ctx, []string{"a", "b"}, RunConfig{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if ran != 0 {
+		t.Fatalf("%d experiments ran past an expired deadline", ran)
+	}
+	if len(rep.Experiments) != 0 {
+		t.Fatalf("report should hold no completed experiments: %+v", rep.Experiments)
+	}
+}
+
+func TestSuiteCancelBetweenExperiments(t *testing.T) {
+	s := NewSuite()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Register(Definition{ID: "first", Run: func(c *Context) error {
+		c.RecordValue("v", "s", LowerIsBetter, 1)
+		cancel() // the run must stop before the next experiment
+		return nil
+	}})
+	s.Register(Definition{ID: "second", Run: func(*Context) error {
+		t.Fatal("second experiment ran after cancellation")
+		return nil
+	}})
+	rep, err := s.Run(ctx, []string{"first", "second"}, RunConfig{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want Canceled, got %v", err)
+	}
+	if len(rep.Experiments) != 1 {
+		t.Fatalf("partial results lost: %+v", rep.Experiments)
+	}
+}
+
+func TestSuiteObserveStreamsRecords(t *testing.T) {
+	s := NewSuite()
+	s.Register(Definition{ID: "exp", Run: func(c *Context) error {
+		c.RecordValue("m1", "s", LowerIsBetter, 1)
+		c.RecordSamples("m2", "B", HigherIsBetter, []float64{1, 2, 3})
+		return nil
+	}})
+	type obs struct {
+		id, name string
+		median   float64
+	}
+	var seen []obs
+	_, err := s.Run(context.Background(), []string{"exp"}, RunConfig{
+		Observe: func(id string, r Record) {
+			seen = append(seen, obs{id, r.Name, r.Stats.Median})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 || seen[0] != (obs{"exp", "m1", 1}) || seen[1] != (obs{"exp", "m2", 2}) {
+		t.Fatalf("observed: %+v", seen)
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -92,7 +93,7 @@ type BackendBenchRow struct {
 // mode hand-rolls a short timing loop with runtime.ReadMemStats allocator
 // deltas; full mode defers to testing.Benchmark for calibrated iteration
 // counts and per-op allocation counters.
-func RunBackendMicrobench(o Options) ([]BackendBenchRow, error) {
+func RunBackendMicrobench(ctx context.Context, o Options) ([]BackendBenchRow, error) {
 	rng := tensor.NewRNG(o.seed())
 	fwdModel := BranchyModel(8)
 	fwdFeeds := map[string]*tensor.Tensor{"x": tensor.RandNormal(rng, 0, 1, 2, 8, 24, 24)}
@@ -111,7 +112,7 @@ func RunBackendMicrobench(o Options) ([]BackendBenchRow, error) {
 			return nil, err
 		}
 		fwd := func() error {
-			_, err := e.Inference(fwdFeeds)
+			_, err := e.Inference(ctx, fwdFeeds)
 			return err
 		}
 		row, err := measureOp(o, v.Name, "forward", fwd)
@@ -132,7 +133,7 @@ func RunBackendMicrobench(o Options) ([]BackendBenchRow, error) {
 		te.SetTraining(true)
 		d := training.NewDriver(te, training.NewMomentum(0.05, 0.9))
 		step := func() error {
-			_, err := d.Train(batch.Feeds())
+			_, err := d.Train(ctx, batch.Feeds())
 			return err
 		}
 		row, err = measureOp(o, v.Name, "train-step", step)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"path/filepath"
 	"strings"
@@ -65,7 +66,11 @@ func TestFig6ConvShapes(t *testing.T) {
 	const attempts = 3
 	var res Fig6Result
 	for attempt := 1; ; attempt++ {
-		res = RunFig6Conv(quick)
+		var err error
+		res, err = RunFig6Conv(context.Background(), quick)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(res.All) == 0 {
 			t.Fatal("no rows")
 		}
@@ -96,7 +101,10 @@ func TestFig6ConvShapes(t *testing.T) {
 }
 
 func TestFig6GemmRuns(t *testing.T) {
-	res := RunFig6Gemm(quick)
+	res, err := RunFig6Gemm(context.Background(), quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.All) != 7 { // 3 backends × 2 modes + deepbench native
 		t.Fatalf("rows = %d", len(res.All))
 	}
@@ -128,7 +136,7 @@ func TestFig6Accuracy(t *testing.T) {
 }
 
 func TestFig7Shapes(t *testing.T) {
-	res, err := RunFig7(quick)
+	res, err := RunFig7(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +164,7 @@ func TestFig7Shapes(t *testing.T) {
 }
 
 func TestOverheadSmall(t *testing.T) {
-	res, err := RunOverhead(quick)
+	res, err := RunOverhead(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +289,7 @@ func TestTable3TurboBeatsBasic(t *testing.T) {
 }
 
 func TestFig9Convergence(t *testing.T) {
-	curves, err := RunFig9(quick)
+	curves, err := RunFig9(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +305,7 @@ func TestFig9Convergence(t *testing.T) {
 }
 
 func TestFig10Convergence(t *testing.T) {
-	curves, err := RunFig10(quick)
+	curves, err := RunFig10(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,7 +315,7 @@ func TestFig10Convergence(t *testing.T) {
 }
 
 func TestFig11DivergenceGrows(t *testing.T) {
-	points, err := RunFig11(quick)
+	points, err := RunFig11(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}

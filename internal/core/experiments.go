@@ -36,11 +36,11 @@ func RegisterExperiments(s *bench.Suite, o Options) {
 		Run: func(c *bench.Context) error { return runTable3Exp(c, o) }})
 	s.Register(bench.Definition{ID: "fig9", Title: "Fig. 9: optimizer convergence",
 		Run: func(c *bench.Context) error {
-			return runConvergenceExp(c, "Fig. 9: optimizer convergence (ResNet-8 scaled, synthetic CIFAR-10)", func() ([]ConvergenceCurve, error) { return RunFig9(o) })
+			return runConvergenceExp(c, "Fig. 9: optimizer convergence (ResNet-8 scaled, synthetic CIFAR-10)", func() ([]ConvergenceCurve, error) { return RunFig9(c.Ctx, o) })
 		}})
 	s.Register(bench.Definition{ID: "fig10", Title: "Fig. 10: Adam across backends",
 		Run: func(c *bench.Context) error {
-			return runConvergenceExp(c, "Fig. 10: Adam across backends, native vs Deep500 reference", func() ([]ConvergenceCurve, error) { return RunFig10(o) })
+			return runConvergenceExp(c, "Fig. 10: Adam across backends, native vs Deep500 reference", func() ([]ConvergenceCurve, error) { return RunFig10(c.Ctx, o) })
 		}})
 	s.Register(bench.Definition{ID: "fig11", Title: "Fig. 11: Adam formulation divergence",
 		Run: func(c *bench.Context) error { return runFig11Exp(c, o) }})
@@ -132,14 +132,21 @@ func runFig2Exp(c *bench.Context) error {
 
 func runFig6Exp(c *bench.Context, o Options, kind string) error {
 	var res Fig6Result
+	var err error
 	var work int64
 	if kind == "conv" {
-		res = RunFig6Conv(o)
+		res, err = RunFig6Conv(c.Ctx, o)
+		if err != nil {
+			return err
+		}
 		p := DeepBenchConv(o.Quick)[0]
 		work = kernels.ConvShape{N: p.N, C: p.C, H: p.H, W: p.W, M: p.M,
 			KH: p.K, KW: p.K, StrideH: p.Stride, StrideW: p.Stride, PadH: p.Pad, PadW: p.Pad}.FLOPs()
 	} else {
-		res = RunFig6Gemm(o)
+		res, err = RunFig6Gemm(c.Ctx, o)
+		if err != nil {
+			return err
+		}
 		p := DeepBenchGemm(o.Quick)[0]
 		work = kernels.GemmFLOPs(p.M, p.K, p.N)
 	}
@@ -169,7 +176,7 @@ func runFig6AccExp(c *bench.Context, o Options) error {
 }
 
 func runFig7Exp(c *bench.Context, o Options) error {
-	res, err := RunFig7(o)
+	res, err := RunFig7(c.Ctx, o)
 	if err != nil {
 		return err
 	}
@@ -193,7 +200,7 @@ func runFig7Exp(c *bench.Context, o Options) error {
 }
 
 func runOverheadExp(c *bench.Context, o Options) error {
-	res, err := RunOverhead(o)
+	res, err := RunOverhead(c.Ctx, o)
 	if err != nil {
 		return err
 	}
@@ -266,7 +273,7 @@ func runConvergenceExp(c *bench.Context, title string, run func() ([]Convergence
 }
 
 func runFig11Exp(c *bench.Context, o Options) error {
-	points, err := RunFig11(o)
+	points, err := RunFig11(c.Ctx, o)
 	if err != nil {
 		return err
 	}
@@ -322,7 +329,7 @@ func runValidateExp(c *bench.Context, o Options) error {
 }
 
 func runBackendExp(c *bench.Context, o Options) error {
-	rows, err := RunBackendMicrobench(o)
+	rows, err := RunBackendMicrobench(c.Ctx, o)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -31,7 +32,7 @@ func TestRegistryCoversEveryExperiment(t *testing.T) {
 
 func TestTablesExperimentEmitsRecordsAndRenders(t *testing.T) {
 	var human bytes.Buffer
-	rep, err := quickSuite().Run([]string{"tables", "fig2"},
+	rep, err := quickSuite().Run(context.Background(), []string{"tables", "fig2"},
 		bench.RunConfig{Out: &human, Env: bench.Environment{NumCPU: 8, CPUModel: "test"}})
 	if err != nil {
 		t.Fatal(err)
@@ -63,7 +64,7 @@ func TestTablesExperimentEmitsRecordsAndRenders(t *testing.T) {
 // exits clean; doubling one timing sample set classifies it regressed.
 func TestSelfCompareNeutralAndInjectedSlowdownRegresses(t *testing.T) {
 	env := bench.Environment{NumCPU: 8, GOMAXPROCS: 8, CPUModel: "test"}
-	rep, err := quickSuite().Run([]string{"tables"}, bench.RunConfig{Env: env})
+	rep, err := quickSuite().Run(context.Background(), []string{"tables"}, bench.RunConfig{Env: env})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestSelfCompareNeutralAndInjectedSlowdownRegresses(t *testing.T) {
 
 	// Rebuild the report with a 2× slowdown injected into the wall-clock
 	// record, as a CI regression would appear.
-	slow, err := quickSuite().Run([]string{"tables"}, bench.RunConfig{Env: env})
+	slow, err := quickSuite().Run(context.Background(), []string{"tables"}, bench.RunConfig{Env: env})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestSelfCompareNeutralAndInjectedSlowdownRegresses(t *testing.T) {
 
 func TestBackendExperimentRecordsAllocs(t *testing.T) {
 	var human bytes.Buffer
-	rep, err := quickSuite().Run([]string{"backend"},
+	rep, err := quickSuite().Run(context.Background(), []string{"backend"},
 		bench.RunConfig{Out: &human, Env: bench.Environment{NumCPU: 8}})
 	if err != nil {
 		t.Fatal(err)

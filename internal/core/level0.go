@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -29,18 +30,25 @@ type Options struct {
 }
 
 // execOpts resolves Exec into executor construction options. An invalid
-// name panics: experiment results must never be silently attributed to a
-// backend that did not run (d500bench validates the flag up front).
-func (o Options) execOpts() []executor.Option {
+// name returns an error: experiment results must never be silently
+// attributed to a backend that did not run, and the caller (d500.New or
+// cmd flag validation) surfaces the error instead of panicking.
+func (o Options) execOpts() ([]executor.Option, error) {
 	b, err := executor.BackendByName(o.Exec)
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	opts := []executor.Option{executor.WithBackend(b)}
 	if o.Arena {
 		opts = append(opts, executor.WithArena(tensor.NewArena()))
 	}
-	return opts
+	return opts, nil
+}
+
+// Validate checks that the options name a known execution backend.
+func (o Options) Validate() error {
+	_, err := executor.BackendByName(o.Exec)
+	return err
 }
 
 // measureIters is how many back-to-back invocations one timing sample
@@ -105,16 +113,16 @@ type Fig6Result struct {
 // RunFig6Conv reproduces Fig. 6a: convolution runtime across backends with
 // the DeepBench bare-kernel baseline, measured both natively and under
 // Deep500 instrumentation.
-func RunFig6Conv(o Options) Fig6Result {
-	return runFig6("conv", DeepBenchConv(o.Quick), nil, o)
+func RunFig6Conv(ctx context.Context, o Options) (Fig6Result, error) {
+	return runFig6(ctx, "conv", DeepBenchConv(o.Quick), nil, o)
 }
 
 // RunFig6Gemm reproduces Fig. 6b: matrix-multiplication runtime.
-func RunFig6Gemm(o Options) Fig6Result {
-	return runFig6("gemm", nil, DeepBenchGemm(o.Quick), o)
+func RunFig6Gemm(ctx context.Context, o Options) (Fig6Result, error) {
+	return runFig6(ctx, "gemm", nil, DeepBenchGemm(o.Quick), o)
 }
 
-func runFig6(kind string, convs []ConvProblem, gemms []GemmProblem, o Options) Fig6Result {
+func runFig6(ctx context.Context, kind string, convs []ConvProblem, gemms []GemmProblem, o Options) (Fig6Result, error) {
 	res := Fig6Result{Kind: kind}
 	reruns := o.reruns()
 	backends := frameworks.All()
@@ -132,20 +140,29 @@ func runFig6(kind string, convs []ConvProblem, gemms []GemmProblem, o Options) F
 			spot[mode] = metrics.NewSampler(p.Name+"/"+mode, "s").WithReruns(reruns)
 		}
 		for pi := 0; pi < nProblems; pi++ {
-			runners := make(map[string]func() float64, len(modes))
+			runners := make(map[string]func() (float64, error), len(modes))
 			for _, mode := range modes {
+				var err error
 				if kind == "conv" {
-					runners[mode] = convRunner(convs[pi], p, mode == "deep500", o)
+					runners[mode], err = convRunner(ctx, convs[pi], p, mode == "deep500", o)
 				} else {
-					runners[mode] = gemmRunner(gemms[pi], p, mode == "deep500", o)
+					runners[mode], err = gemmRunner(ctx, gemms[pi], p, mode == "deep500", o)
 				}
-				runners[mode]() // warmup
+				if err != nil {
+					return res, err
+				}
+				if _, err := runners[mode](); err != nil { // warmup
+					return res, err
+				}
 			}
 			// Interleave native and instrumented samples so both modes see
 			// the same allocator/GC conditions (pairwise methodology).
 			for r := 0; r < reruns; r++ {
 				for _, mode := range modes {
-					v := runners[mode]()
+					v, err := runners[mode]()
+					if err != nil {
+						return res, err
+					}
 					if pi == 0 {
 						spot[mode].Record(v)
 					} else {
@@ -159,12 +176,12 @@ func runFig6(kind string, convs []ConvProblem, gemms []GemmProblem, o Options) F
 			res.Spotlight = append(res.Spotlight, Fig6Row{Backend: p.Name, Mode: mode, Summary: spot[mode].Distribution()})
 		}
 	}
-	return res
+	return res, nil
 }
 
 // convRunner builds a measurement closure for one conv problem on one
 // backend. The DeepBench profile calls the kernel directly with no graph.
-func convRunner(p ConvProblem, prof frameworks.Profile, instrumented bool, o Options) func() float64 {
+func convRunner(ctx context.Context, p ConvProblem, prof frameworks.Profile, instrumented bool, o Options) (func() (float64, error), error) {
 	rng := tensor.NewRNG(o.seed())
 	if prof.Name == "deepbench" {
 		s := kernels.ConvShape{N: p.N, C: p.C, H: p.H, W: p.W, M: p.M,
@@ -172,56 +189,68 @@ func convRunner(p ConvProblem, prof frameworks.Profile, instrumented bool, o Opt
 		in := tensor.RandNormal(rng, 0, 1, p.N, p.C, p.H, p.W)
 		w := tensor.RandNormal(rng, 0, 0.2, p.M, p.C, p.K, p.K)
 		out := make([]float32, s.OutputSize())
-		return func() float64 {
+		return func() (float64, error) {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
 			start := time.Now()
 			for i := 0; i < measureIters; i++ {
 				kernels.Conv2D(kernels.ConvIm2Col, s, in.Data(), w.Data(), nil, out)
 			}
-			return time.Since(start).Seconds() / measureIters
-		}
+			return time.Since(start).Seconds() / measureIters, nil
+		}, nil
 	}
 	prof.MemoryCapacity = 0 // benchmarking, not OOM testing
-	e, err := prof.NewExecutor(convModel(p, o.seed()), o.execOpts()...)
+	execOpts, err := o.execOpts()
 	if err != nil {
-		panic(err)
+		return nil, err
+	}
+	e, err := prof.NewExecutor(convModel(p, o.seed()), execOpts...)
+	if err != nil {
+		return nil, err
 	}
 	if instrumented {
-		wc := metrics.NewWallclockTime("op")
 		fo := metrics.NewFrameworkOverhead()
-		_ = wc
 		e.Events = fo.Events()
 	}
 	x := tensor.RandNormal(rng, 0, 1, p.N, p.C, p.H, p.W)
 	feeds := map[string]*tensor.Tensor{"x": x}
-	return func() float64 {
+	return func() (float64, error) {
 		start := time.Now()
 		for i := 0; i < measureIters; i++ {
-			if _, err := e.Inference(feeds); err != nil {
-				panic(err)
+			if _, err := e.Inference(ctx, feeds); err != nil {
+				return 0, err
 			}
 		}
-		return time.Since(start).Seconds() / measureIters
-	}
+		return time.Since(start).Seconds() / measureIters, nil
+	}, nil
 }
 
-func gemmRunner(p GemmProblem, prof frameworks.Profile, instrumented bool, o Options) func() float64 {
+func gemmRunner(ctx context.Context, p GemmProblem, prof frameworks.Profile, instrumented bool, o Options) (func() (float64, error), error) {
 	rng := tensor.NewRNG(o.seed())
 	if prof.Name == "deepbench" {
 		a := tensor.RandNormal(rng, 0, 1, p.M, p.K)
 		b := tensor.RandNormal(rng, 0, 1, p.K, p.N)
 		c := make([]float32, p.M*p.N)
-		return func() float64 {
+		return func() (float64, error) {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
 			start := time.Now()
 			for i := 0; i < measureIters; i++ {
 				kernels.Gemm(kernels.GemmParallel, a.Data(), b.Data(), c, p.M, p.K, p.N)
 			}
-			return time.Since(start).Seconds() / measureIters
-		}
+			return time.Since(start).Seconds() / measureIters, nil
+		}, nil
 	}
 	prof.MemoryCapacity = 0
-	e, err := prof.NewExecutor(gemmModel(p, o.seed()), o.execOpts()...)
+	execOpts, err := o.execOpts()
 	if err != nil {
-		panic(err)
+		return nil, err
+	}
+	e, err := prof.NewExecutor(gemmModel(p, o.seed()), execOpts...)
+	if err != nil {
+		return nil, err
 	}
 	if instrumented {
 		fo := metrics.NewFrameworkOverhead()
@@ -229,15 +258,15 @@ func gemmRunner(p GemmProblem, prof frameworks.Profile, instrumented bool, o Opt
 	}
 	x := tensor.RandNormal(rng, 0, 1, p.M, p.K)
 	feeds := map[string]*tensor.Tensor{"x": x}
-	return func() float64 {
+	return func() (float64, error) {
 		start := time.Now()
 		for i := 0; i < measureIters; i++ {
-			if _, err := e.Inference(feeds); err != nil {
-				panic(err)
+			if _, err := e.Inference(ctx, feeds); err != nil {
+				return 0, err
 			}
 		}
-		return time.Since(start).Seconds() / measureIters
-	}
+		return time.Since(start).Seconds() / measureIters, nil
+	}, nil
 }
 
 // Fig6AccRow is one backend's accuracy-vs-reference measurement.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -38,7 +39,7 @@ type Fig7Result struct {
 // execution down. Model width and batch are scaled in quick mode; the
 // device capacity is derived from the measured peak so the experiment is
 // robust to scaling.
-func RunFig7(o Options) (Fig7Result, error) {
+func RunFig7(ctx context.Context, o Options) (Fig7Result, error) {
 	batch := 468 / 4 // scaled stand-in for the paper's 468
 	width := 0.125
 	if o.Quick {
@@ -63,7 +64,7 @@ func RunFig7(o Options) (Fig7Result, error) {
 	rng := tensor.NewRNG(o.seed())
 	x := tensor.RandNormal(rng, 0, 1, batch, cfg.Channels, cfg.Height, cfg.Width)
 	feeds := map[string]*tensor.Tensor{"x": x}
-	if _, err := probe.Inference(feeds); err != nil {
+	if _, err := probe.Inference(ctx, feeds); err != nil {
 		return Fig7Result{}, err
 	}
 	peak := probe.Memory.Peak()
@@ -94,7 +95,7 @@ func RunFig7(o Options) (Fig7Result, error) {
 			}
 			cell := Fig7Cell{Backend: prof.Name, Variant: variant}
 			// warmup pass (also detects OOM), then the timed pass
-			_, err = e.Inference(feeds)
+			_, err = e.Inference(ctx, feeds)
 			var oom *executor.OOMError
 			switch {
 			case errors.As(err, &oom):
@@ -104,7 +105,7 @@ func RunFig7(o Options) (Fig7Result, error) {
 				return res, err
 			default:
 				start := time.Now()
-				if _, err := e.Inference(feeds); err != nil {
+				if _, err := e.Inference(ctx, feeds); err != nil {
 					return res, err
 				}
 				cell.TimeSeconds = time.Since(start).Seconds()
@@ -145,7 +146,7 @@ type OverheadResult struct {
 // RunOverhead reproduces the §V-D "Optimization Overhead" experiment: epoch
 // time of a native training loop vs the same loop under full Deep500
 // instrumentation (events + metrics). The paper reports <1% overhead.
-func RunOverhead(o Options) (OverheadResult, error) {
+func RunOverhead(ctx context.Context, o Options) (OverheadResult, error) {
 	epochs := o.reruns()
 	cfg := models.Config{Classes: 10, Channels: 1, Height: 16, Width: 16,
 		WithHead: true, Seed: o.seed()}
@@ -159,7 +160,11 @@ func RunOverhead(o Options) (OverheadResult, error) {
 
 	mkRunner := func(instrument bool) (*training.Runner, error) {
 		m := models.MLP(cfg, hidden)
-		e := executor.MustNew(m, o.execOpts()...)
+		execOpts, err := o.execOpts()
+		if err != nil {
+			return nil, err
+		}
+		e := executor.MustNew(m, execOpts...)
 		e.SetTraining(true)
 		if instrument {
 			fo := metrics.NewFrameworkOverhead()
@@ -185,21 +190,21 @@ func RunOverhead(o Options) (OverheadResult, error) {
 	// Warm both configurations, then interleave epoch measurements so both
 	// see identical cache/allocator/GC conditions (paired methodology, as
 	// in the Level 0 experiment).
-	if _, err := native.EpochTime(); err != nil {
+	if _, err := native.EpochTime(ctx); err != nil {
 		return OverheadResult{}, err
 	}
-	if _, err := inst.EpochTime(); err != nil {
+	if _, err := inst.EpochTime(ctx); err != nil {
 		return OverheadResult{}, err
 	}
 	nativeT := metrics.NewSampler("native epoch", "s").WithReruns(epochs)
 	instT := metrics.NewSampler("instrumented epoch", "s").WithReruns(epochs)
 	for ep := 0; ep < epochs; ep++ {
-		dn, err := native.EpochTime()
+		dn, err := native.EpochTime(ctx)
 		if err != nil {
 			return OverheadResult{}, err
 		}
 		nativeT.Record(dn.Seconds())
-		di, err := inst.EpochTime()
+		di, err := inst.EpochTime(ctx)
 		if err != nil {
 			return OverheadResult{}, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -294,7 +295,7 @@ type ConvergenceCurve struct {
 // over time) of native fused optimizers vs Deep500 reference optimizers vs
 // the custom AcceleGrad, all over the cf2go backend on a synthetic
 // CIFAR-10-scale task with a scaled ResNet.
-func RunFig9(o Options) ([]ConvergenceCurve, error) {
+func RunFig9(ctx context.Context, o Options) ([]ConvergenceCurve, error) {
 	epochs := 10
 	nTrain, nTest := 2048, 512
 	width := 0.25
@@ -323,7 +324,11 @@ func RunFig9(o Options) ([]ConvergenceCurve, error) {
 	var out []ConvergenceCurve
 	for _, opt := range optimizers {
 		m := models.ResNet(8, cfg)
-		e, err := frameworks.CF2Go.NewExecutor(m, o.execOpts()...)
+		execOpts, err := o.execOpts()
+		if err != nil {
+			return nil, err
+		}
+		e, err := frameworks.CF2Go.NewExecutor(m, execOpts...)
 		if err != nil {
 			return nil, err
 		}
@@ -334,7 +339,7 @@ func RunFig9(o Options) ([]ConvergenceCurve, error) {
 			training.NewShuffleSampler(train, batch, o.seed()),
 			training.NewSequentialSampler(test, batch))
 		start := time.Now()
-		if err := r.RunEpochs(epochs); err != nil {
+		if err := r.RunEpochs(ctx, epochs); err != nil {
 			return nil, err
 		}
 		out = append(out, ConvergenceCurve{
@@ -349,7 +354,7 @@ func RunFig9(o Options) ([]ConvergenceCurve, error) {
 
 // RunFig10 reproduces Fig. 10: the Adam optimizer across two backends, each
 // in native (fused) and Deep500-reference form.
-func RunFig10(o Options) ([]ConvergenceCurve, error) {
+func RunFig10(ctx context.Context, o Options) ([]ConvergenceCurve, error) {
 	epochs := 8
 	nTrain, nTest := 1024, 256
 	batch := 64
@@ -375,7 +380,11 @@ func RunFig10(o Options) ([]ConvergenceCurve, error) {
 		m := models.ResNet(8, cfg)
 		prof := c.prof
 		prof.OpOverhead /= 8
-		e, err := prof.NewExecutor(m, o.execOpts()...)
+		execOpts, err := o.execOpts()
+		if err != nil {
+			return nil, err
+		}
+		e, err := prof.NewExecutor(m, execOpts...)
 		if err != nil {
 			return nil, err
 		}
@@ -385,7 +394,7 @@ func RunFig10(o Options) ([]ConvergenceCurve, error) {
 			training.NewShuffleSampler(train, batch, o.seed()),
 			training.NewSequentialSampler(test, batch))
 		start := time.Now()
-		if err := r.RunEpochs(epochs); err != nil {
+		if err := r.RunEpochs(ctx, epochs); err != nil {
 			return nil, err
 		}
 		out = append(out, ConvergenceCurve{Name: c.name,
@@ -430,16 +439,20 @@ type Fig11Point struct {
 // formulations (reference vs TF-style ε placement) training the same MLP
 // from the same initialization on identical batches, per layer over
 // iterations.
-func RunFig11(o Options) ([]Fig11Point, error) {
+func RunFig11(ctx context.Context, o Options) ([]Fig11Point, error) {
 	iters := 750
 	if o.Quick {
 		iters = 40
 	}
 	cfg := models.Config{Classes: 10, Channels: 1, Height: 16, Width: 16,
 		WithHead: true, Seed: o.seed()}
+	execOpts, err := o.execOpts()
+	if err != nil {
+		return nil, err
+	}
 	mk := func(v training.AdamVariant) (*executor.Executor, *training.Driver) {
 		m := models.MLP(cfg, 128, 64)
-		e := executor.MustNew(m, o.execOpts()...)
+		e := executor.MustNew(m, execOpts...)
 		e.SetTraining(true)
 		return e, training.NewDriver(e, training.NewAdamVariant(0.001, v))
 	}
@@ -459,10 +472,10 @@ func RunFig11(o Options) ([]Fig11Point, error) {
 			sampler.Reset()
 			b = sampler.Next()
 		}
-		if _, err := d1.Train(b.Feeds()); err != nil {
+		if _, err := d1.Train(ctx, b.Feeds()); err != nil {
 			return nil, err
 		}
-		if _, err := d2.Train(b.Feeds()); err != nil {
+		if _, err := d2.Train(ctx, b.Feeds()); err != nil {
 			return nil, err
 		}
 		if it%every != 0 {

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -118,7 +119,7 @@ func TestDSGDMatchesSerial(t *testing.T) {
 	serialSampler := training.NewSequentialSampler(ds, batch)
 	for i := 0; i < steps; i++ {
 		b := serialSampler.Next()
-		if _, err := sd.Train(b.Feeds()); err != nil {
+		if _, err := sd.Train(context.Background(), b.Feeds()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -143,7 +144,7 @@ func TestDSGDMatchesSerial(t *testing.T) {
 				"x":      tensor.From(x, half, 1, 6, 6),
 				"labels": tensor.From(labels, half),
 			}
-			if _, err := opt.Train(feeds); err != nil {
+			if _, err := opt.Train(context.Background(), feeds); err != nil {
 				return err
 			}
 		}
@@ -179,7 +180,7 @@ func TestPSServerModes(t *testing.T) {
 			_, _, err := mpi.Run(nodes, mpi.Aries(), func(r *mpi.Rank) error {
 				e := testModel(9)
 				if r.ID() == 0 {
-					return RunPSServer(r, training.NewGradientDescent(0.05),
+					return RunPSServer(context.Background(), r, training.NewGradientDescent(0.05),
 						PackParams(e.Network()),
 						ServerConfig{Mode: mode, Staleness: 1, StepsPerWorker: steps})
 				}
@@ -191,7 +192,7 @@ func TestPSServerModes(t *testing.T) {
 						s.Reset()
 						b = s.Next()
 					}
-					out, err := opt.Train(b.Feeds())
+					out, err := opt.Train(context.Background(), b.Feeds())
 					if err != nil {
 						return err
 					}
@@ -230,7 +231,7 @@ func TestDecentralizedSchemesRun(t *testing.T) {
 					if b == nil {
 						break
 					}
-					if _, err := opt.Train(b.Feeds()); err != nil {
+					if _, err := opt.Train(context.Background(), b.Feeds()); err != nil {
 						return err
 					}
 				}

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"math"
 
 	"deep500/internal/executor"
@@ -33,8 +34,8 @@ func NewConsistentDecentralized(d *training.Driver, r *mpi.Rank, algo mpi.Allred
 }
 
 // Train runs one allreduce-synchronized step.
-func (o *ConsistentDecentralized) Train(feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
-	return o.d.Train(feeds)
+func (o *ConsistentDecentralized) Train(ctx context.Context, feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	return o.d.Train(ctx, feeds)
 }
 
 // Executor returns the wrapped executor.
@@ -56,8 +57,8 @@ func NewNeighborAveraging(d *training.Driver, r *mpi.Rank) *NeighborAveraging {
 }
 
 // Train runs a local step then averages parameters with the ring neighbors.
-func (o *NeighborAveraging) Train(feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
-	out, err := o.d.Train(feeds)
+func (o *NeighborAveraging) Train(ctx context.Context, feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	out, err := o.d.Train(ctx, feeds)
 	if err != nil {
 		return nil, err
 	}
@@ -113,8 +114,8 @@ func NewModelAveraging(d *training.Driver, r *mpi.Rank, k int) *ModelAveraging {
 }
 
 // Train runs one local step, averaging models every k-th step.
-func (o *ModelAveraging) Train(feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
-	out, err := o.d.Train(feeds)
+func (o *ModelAveraging) Train(ctx context.Context, feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	out, err := o.d.Train(ctx, feeds)
 	if err != nil {
 		return nil, err
 	}
@@ -187,8 +188,8 @@ func NewSparseDecentralized(d *training.Driver, r *mpi.Rank, density float64) *S
 }
 
 // Train runs one sparsified allreduce step.
-func (o *SparseDecentralized) Train(feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
-	return o.d.Train(feeds)
+func (o *SparseDecentralized) Train(ctx context.Context, feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	return o.d.Train(ctx, feeds)
 }
 
 // Executor returns the wrapped executor.

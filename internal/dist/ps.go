@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 
 	"deep500/internal/executor"
@@ -51,7 +52,13 @@ type ServerConfig struct {
 // rank 0): it owns the packed parameter vector, applies the base
 // optimizer's update rule to every (averaged) incoming gradient, and
 // returns fresh parameters to workers according to the consistency mode.
-func RunPSServer(r *mpi.Rank, rule training.ThreeStep, params *Params, cfg ServerConfig) error {
+// The context is checked between server iterations: cancellation makes the
+// server return ctx.Err() instead of waiting for further gradients (workers
+// sharing the context stop sending at the same boundary).
+func RunPSServer(ctx context.Context, r *mpi.Rank, rule training.ThreeStep, params *Params, cfg ServerConfig) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	workers := r.Size() - 1
 	if workers < 1 {
 		return fmt.Errorf("dist: parameter server needs at least one worker rank")
@@ -75,6 +82,9 @@ func RunPSServer(r *mpi.Rank, rule training.ThreeStep, params *Params, cfg Serve
 	switch cfg.Mode {
 	case PSSync:
 		for step := 0; step < cfg.StepsPerWorker; step++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			sum := make([]float32, params.Len())
 			for w := 1; w <= workers; w++ {
 				g := r.Recv(w)
@@ -89,6 +99,9 @@ func RunPSServer(r *mpi.Rank, rule training.ThreeStep, params *Params, cfg Serve
 		}
 	case PSAsync:
 		for done := 0; done < workers*cfg.StepsPerWorker; done++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			g, src := r.RecvAny()
 			apply(g, 1)
 			r.Send(src, params.Vec, mpi.SimActual)
@@ -115,6 +128,9 @@ func RunPSServer(r *mpi.Rank, rule training.ThreeStep, params *Params, cfg Serve
 			}
 		}
 		for done := 0; done < workers*cfg.StepsPerWorker; done++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			g, src := r.RecvAny()
 			apply(g, 1)
 			steps[src]++
@@ -135,7 +151,7 @@ func RunPSServer(r *mpi.Rank, rule training.ThreeStep, params *Params, cfg Serve
 // computes local gradients, ships them to rank 0, and installs whatever
 // parameters the server returns. It satisfies training.Optimizer.
 type CentralizedWorker struct {
-	e      *executor.Executor
+	e      executor.GraphExecutor
 	r      *mpi.Rank
 	layout *Params
 	// Loss is the loss tensor name (default "loss").
@@ -143,14 +159,14 @@ type CentralizedWorker struct {
 }
 
 // NewCentralizedWorker binds an executor and a rank to the server on rank 0.
-func NewCentralizedWorker(e *executor.Executor, r *mpi.Rank) *CentralizedWorker {
+func NewCentralizedWorker(e executor.GraphExecutor, r *mpi.Rank) *CentralizedWorker {
 	return &CentralizedWorker{e: e, r: r, layout: PackParams(e.Network()), Loss: "loss"}
 }
 
 // Train computes a local gradient, round-trips it through the server, and
 // adopts the returned parameters.
-func (o *CentralizedWorker) Train(feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
-	out, err := o.e.InferenceAndBackprop(feeds, o.Loss)
+func (o *CentralizedWorker) Train(ctx context.Context, feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	out, err := o.e.InferenceAndBackprop(ctx, feeds, o.Loss)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package executor
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -15,12 +16,14 @@ import (
 // dependencies, via (*Executor).execNode. Two implementations ship:
 // SequentialBackend, the paper's "verified yet slow" topological
 // interpreter, and ParallelBackend, a dependency-counting dataflow
-// scheduler over the shared kernels.Pool worker budget.
+// scheduler over the shared kernels.Pool worker budget. Backends must
+// observe ctx between node dispatches: a cancelled context aborts the pass
+// and surfaces ctx.Err() from RunForward.
 type ExecBackend interface {
 	// Name identifies the backend ("sequential", "parallel").
 	Name() string
 	// RunForward executes the forward node schedule of one pass.
-	RunForward(e *Executor) error
+	RunForward(ctx context.Context, e *Executor) error
 }
 
 // BackendByName resolves a backend selector from a CLI flag or option
@@ -42,9 +45,13 @@ type SequentialBackend struct{}
 // Name returns "sequential".
 func (SequentialBackend) Name() string { return "sequential" }
 
-// RunForward executes nodes one after another in topological order.
-func (SequentialBackend) RunForward(e *Executor) error {
+// RunForward executes nodes one after another in topological order,
+// checking the context before every node.
+func (SequentialBackend) RunForward(ctx context.Context, e *Executor) error {
 	for _, n := range e.order {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if e.stopRequested() {
 			break
 		}
@@ -98,8 +105,10 @@ func (st *schedState) pop() *graph.Node {
 	return n
 }
 
-// RunForward executes the schedule with dependency counting.
-func (b *ParallelBackend) RunForward(e *Executor) error {
+// RunForward executes the schedule with dependency counting. The context
+// is checked before every node dispatch: cancellation marks the scheduler
+// stopped, drains in-flight work, and returns ctx.Err().
+func (b *ParallelBackend) RunForward(ctx context.Context, e *Executor) error {
 	deps := e.depGraph()
 	st := &schedState{waits: make(map[*graph.Node]int, len(e.order))}
 	st.cond = sync.NewCond(&st.mu)
@@ -116,7 +125,7 @@ func (b *ParallelBackend) RunForward(e *Executor) error {
 		if len(st.ready) > 0 {
 			n := st.pop()
 			st.mu.Unlock()
-			b.runChain(e, deps, st, n)
+			b.runChain(ctx, e, deps, st, n)
 			st.mu.Lock()
 			continue
 		}
@@ -132,16 +141,20 @@ func (b *ParallelBackend) RunForward(e *Executor) error {
 // runChain executes n, then keeps executing newly-ready successors on this
 // goroutine, offloading surplus ready nodes to borrowed pool workers.
 // It returns when no runnable node is available to this goroutine.
-func (b *ParallelBackend) runChain(e *Executor, deps *depInfo, st *schedState, n *graph.Node) {
+func (b *ParallelBackend) runChain(ctx context.Context, e *Executor, deps *depInfo, st *schedState, n *graph.Node) {
 	for {
 		var err error
 		st.mu.Lock()
 		stopped := st.stopped
 		st.mu.Unlock()
 		if !stopped {
-			if e.stopRequested() {
+			switch {
+			case ctx.Err() != nil:
 				stopped = true
-			} else {
+				err = ctx.Err()
+			case e.stopRequested():
+				stopped = true
+			default:
 				err = e.execNode(n)
 			}
 		}
@@ -174,7 +187,7 @@ func (b *ParallelBackend) runChain(e *Executor, deps *depInfo, st *schedState, n
 			m := st.pop()
 			st.running++
 			go func(m *graph.Node) {
-				b.runChain(e, deps, st, m)
+				b.runChain(ctx, e, deps, st, m)
 				st.mu.Lock()
 				st.running--
 				st.cond.Broadcast()

@@ -1,6 +1,7 @@
 package executor
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -78,13 +79,13 @@ func TestParallelBackendConformance(t *testing.T) {
 				"parallel+arena": MustNew(m, WithBackend(NewParallelBackend(nil)), WithArena(tensor.NewArena())),
 			}
 
-			refOut, err := seq.Inference(feeds)
+			refOut, err := seq.Inference(context.Background(), feeds)
 			if err != nil {
 				t.Fatal(err)
 			}
 			for vname, par := range variants {
 				for pass := 0; pass < 3; pass++ { // repeat to exercise arena reuse
-					got, err := par.Inference(feeds)
+					got, err := par.Inference(context.Background(), feeds)
 					if err != nil {
 						t.Fatalf("%s: %v", vname, err)
 					}
@@ -101,11 +102,11 @@ func TestParallelBackendConformance(t *testing.T) {
 			}
 
 			// Gradient conformance through InferenceAndBackprop.
-			if _, err := seq.InferenceAndBackprop(feeds, "loss"); err != nil {
+			if _, err := seq.InferenceAndBackprop(context.Background(), feeds, "loss"); err != nil {
 				t.Fatal(err)
 			}
 			for vname, par := range variants {
-				if _, err := par.InferenceAndBackprop(feeds, "loss"); err != nil {
+				if _, err := par.InferenceAndBackprop(context.Background(), feeds, "loss"); err != nil {
 					t.Fatalf("%s: %v", vname, err)
 				}
 				refGrads := seq.Network().Gradients()
@@ -131,7 +132,7 @@ func TestArenaRecyclesActivations(t *testing.T) {
 	e := MustNew(m, WithArena(ar))
 	feeds := feedsFor(m, 2, 5)
 	for i := 0; i < 4; i++ {
-		if _, err := e.Inference(feeds); err != nil {
+		if _, err := e.Inference(context.Background(), feeds); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -169,7 +170,7 @@ func TestBackendByName(t *testing.T) {
 func TestParallelBackendErrorPropagates(t *testing.T) {
 	m := models.MLP(models.Config{Classes: 4, Channels: 1, Height: 4, Width: 4, WithHead: true, Seed: 1}, 8)
 	e := MustNew(m, WithBackend(NewParallelBackend(nil)))
-	_, err := e.Inference(map[string]*tensor.Tensor{}) // no "x", no "labels"
+	_, err := e.Inference(context.Background(), map[string]*tensor.Tensor{}) // no "x", no "labels"
 	if err == nil {
 		t.Fatal("expected missing-feed error")
 	}

@@ -1,6 +1,7 @@
 package executor
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -14,19 +15,24 @@ import (
 // GraphExecutor controls DNN execution: inference, and inference combined
 // with backpropagation (paper §IV-D). Implementations include the reference
 // executor in this package and the emulated framework backends in
-// internal/frameworks.
+// internal/frameworks. Every execution entry point takes a context: passes
+// observe cancellation and deadlines between operator invocations and
+// return the context's error.
 type GraphExecutor interface {
 	// Network returns the executed network.
 	Network() *Network
 	// Inference runs a forward pass with the given input feeds and returns
 	// the model's declared outputs.
-	Inference(feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error)
+	Inference(ctx context.Context, feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error)
 	// InferenceAndBackprop runs forward and backward from the named loss
 	// tensor; parameter gradients are afterwards available on the Network.
-	InferenceAndBackprop(feeds map[string]*tensor.Tensor, loss string) (map[string]*tensor.Tensor, error)
+	InferenceAndBackprop(ctx context.Context, feeds map[string]*tensor.Tensor, loss string) (map[string]*tensor.Tensor, error)
 	// SetTraining switches training-dependent operators (dropout, batch
 	// normalization) between training and inference behaviour.
 	SetTraining(training bool)
+	// Training reports the current mode, so evaluation helpers can
+	// restore whatever mode the executor was in.
+	Training() bool
 }
 
 // Executor is the Deep500 reference graph executor: an interpreter over
@@ -143,6 +149,9 @@ func (e *Executor) Backend() ExecBackend { return e.backend }
 // Network returns the live network.
 func (e *Executor) Network() *Network { return e.net }
 
+// Training reports whether the executor is in training mode.
+func (e *Executor) Training() bool { return e.training }
+
 // SetTraining propagates the training flag to all training-aware operators.
 func (e *Executor) SetTraining(training bool) {
 	e.training = training
@@ -190,8 +199,15 @@ func (e *Executor) stopRequested() bool {
 }
 
 // forward runs the forward pass through the configured backend, populating
-// e.values/nodeIns/nodeOuts.
-func (e *Executor) forward(feeds map[string]*tensor.Tensor) error {
+// e.values/nodeIns/nodeOuts. A nil ctx is treated as context.Background()
+// so pre-context call sites that pass nil stay safe.
+func (e *Executor) forward(ctx context.Context, feeds map[string]*tensor.Tensor) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	ev := e.Events
 	if ev != nil && ev.BeforeInference != nil {
 		ev.BeforeInference()
@@ -211,7 +227,7 @@ func (e *Executor) forward(feeds map[string]*tensor.Tensor) error {
 		e.values[name] = t
 	}
 
-	err := e.backend.RunForward(e)
+	err := e.backend.RunForward(ctx, e)
 
 	if err == nil && ev != nil && ev.AfterInference != nil {
 		ev.AfterInference(time.Since(start))
@@ -334,8 +350,10 @@ func (e *Executor) freeActivations() {
 }
 
 // Inference runs a forward pass and returns the model's declared outputs.
-func (e *Executor) Inference(feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
-	if err := e.forward(feeds); err != nil {
+// Cancelling ctx aborts the pass between node executions and returns the
+// context's error.
+func (e *Executor) Inference(ctx context.Context, feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	if err := e.forward(ctx, feeds); err != nil {
 		e.freeActivations()
 		return nil, err
 	}
@@ -356,8 +374,13 @@ func (e *Executor) collectOutputs() map[string]*tensor.Tensor {
 
 // InferenceAndBackprop runs forward then backpropagates from the named loss
 // tensor. Parameter gradients become available via Network().Gradients().
-func (e *Executor) InferenceAndBackprop(feeds map[string]*tensor.Tensor, loss string) (map[string]*tensor.Tensor, error) {
-	if err := e.forward(feeds); err != nil {
+// Cancelling ctx aborts either pass between node executions and returns the
+// context's error.
+func (e *Executor) InferenceAndBackprop(ctx context.Context, feeds map[string]*tensor.Tensor, loss string) (map[string]*tensor.Tensor, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := e.forward(ctx, feeds); err != nil {
 		e.freeActivations()
 		return nil, err
 	}
@@ -379,6 +402,9 @@ func (e *Executor) InferenceAndBackprop(feeds map[string]*tensor.Tensor, loss st
 	e.net.ClearGradients()
 	for i := len(e.order) - 1; i >= 0; i-- {
 		n := e.order[i]
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if ev != nil && ev.Stop != nil && ev.Stop() {
 			break
 		}

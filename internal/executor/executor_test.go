@@ -1,6 +1,7 @@
 package executor
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -41,7 +42,7 @@ func xorData() (x, labels *tensor.Tensor) {
 func TestInferenceProducesOutputs(t *testing.T) {
 	e := MustNew(xorModel())
 	x, labels := xorData()
-	out, err := e.Inference(map[string]*tensor.Tensor{"x": x, "labels": labels})
+	out, err := e.Inference(context.Background(), map[string]*tensor.Tensor{"x": x, "labels": labels})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestInferenceProducesOutputs(t *testing.T) {
 func TestMissingFeedError(t *testing.T) {
 	e := MustNew(xorModel())
 	x, _ := xorData()
-	if _, err := e.Inference(map[string]*tensor.Tensor{"x": x}); err == nil {
+	if _, err := e.Inference(context.Background(), map[string]*tensor.Tensor{"x": x}); err == nil {
 		t.Fatal("expected error on missing feed")
 	}
 }
@@ -64,7 +65,7 @@ func TestMissingFeedError(t *testing.T) {
 func TestBackpropGradientsAvailable(t *testing.T) {
 	e := MustNew(xorModel())
 	x, labels := xorData()
-	if _, err := e.InferenceAndBackprop(map[string]*tensor.Tensor{"x": x, "labels": labels}, "l"); err != nil {
+	if _, err := e.InferenceAndBackprop(context.Background(), map[string]*tensor.Tensor{"x": x, "labels": labels}, "l"); err != nil {
 		t.Fatal(err)
 	}
 	grads := e.Network().Gradients()
@@ -92,7 +93,7 @@ func TestXORLearns(t *testing.T) {
 	lr := float32(0.5)
 	var acc float32
 	for it := 0; it < 800; it++ {
-		out, err := e.InferenceAndBackprop(feeds, "l")
+		out, err := e.InferenceAndBackprop(context.Background(), feeds, "l")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -121,7 +122,7 @@ func TestEventsFire(t *testing.T) {
 		AfterBackprop:   func(d time.Duration) { bpDur = d },
 	}
 	x, labels := xorData()
-	if _, err := e.InferenceAndBackprop(map[string]*tensor.Tensor{"x": x, "labels": labels}, "l"); err != nil {
+	if _, err := e.InferenceAndBackprop(context.Background(), map[string]*tensor.Tensor{"x": x, "labels": labels}, "l"); err != nil {
 		t.Fatal(err)
 	}
 	if ops != 5 {
@@ -144,7 +145,7 @@ func TestEarlyStop(t *testing.T) {
 		Stop:    func() bool { return count >= 2 },
 	}
 	x, labels := xorData()
-	_, err := e.Inference(map[string]*tensor.Tensor{"x": x, "labels": labels})
+	_, err := e.Inference(context.Background(), map[string]*tensor.Tensor{"x": x, "labels": labels})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestExecutorOOMAndRecovery(t *testing.T) {
 	e := MustNew(model)
 	e.Memory = NewMemoryModel(64) // absurdly small: first activation must fail
 	x, labels := xorData()
-	_, err := e.Inference(map[string]*tensor.Tensor{"x": x, "labels": labels})
+	_, err := e.Inference(context.Background(), map[string]*tensor.Tensor{"x": x, "labels": labels})
 	var oom *OOMError
 	if !errors.As(err, &oom) {
 		t.Fatalf("want OOM, got %v", err)
@@ -199,7 +200,7 @@ func TestExecutorOOMAndRecovery(t *testing.T) {
 	}
 	// Enough memory: same executor succeeds.
 	e.Memory = NewMemoryModel(1 << 20)
-	if _, err := e.Inference(map[string]*tensor.Tensor{"x": x, "labels": labels}); err != nil {
+	if _, err := e.Inference(context.Background(), map[string]*tensor.Tensor{"x": x, "labels": labels}); err != nil {
 		t.Fatal(err)
 	}
 	if e.Memory.Used() != 0 {
@@ -213,7 +214,7 @@ func TestExecutorOOMAndRecovery(t *testing.T) {
 func TestFLOPCounting(t *testing.T) {
 	e := MustNew(xorModel())
 	x, labels := xorData()
-	if _, err := e.Inference(map[string]*tensor.Tensor{"x": x, "labels": labels}); err != nil {
+	if _, err := e.Inference(context.Background(), map[string]*tensor.Tensor{"x": x, "labels": labels}); err != nil {
 		t.Fatal(err)
 	}
 	// fc1: 2*4*2*8 = 128, fc2: 2*4*8*2 = 128, plus elementwise terms
@@ -248,12 +249,12 @@ func TestSetTrainingPropagates(t *testing.T) {
 	e := MustNew(m)
 	x := tensor.Full(1, 16, 4)
 	e.SetTraining(false)
-	out, _ := e.Inference(map[string]*tensor.Tensor{"x": x})
+	out, _ := e.Inference(context.Background(), map[string]*tensor.Tensor{"x": x})
 	if !tensor.AllClose(out["y"], x, 0, 0) {
 		t.Fatal("inference dropout should be identity")
 	}
 	e.SetTraining(true)
-	out, _ = e.Inference(map[string]*tensor.Tensor{"x": x})
+	out, _ = e.Inference(context.Background(), map[string]*tensor.Tensor{"x": x})
 	if tensor.AllClose(out["y"], x, 0, 0) {
 		t.Fatal("training dropout should perturb")
 	}
@@ -266,10 +267,10 @@ func TestOpOverheadSlowsExecution(t *testing.T) {
 	slow := MustNew(xorModel())
 	slow.OpOverhead = 2 * time.Millisecond
 	t0 := time.Now()
-	fast.Inference(feeds)
+	fast.Inference(context.Background(), feeds)
 	fastDur := time.Since(t0)
 	t0 = time.Now()
-	slow.Inference(feeds)
+	slow.Inference(context.Background(), feeds)
 	slowDur := time.Since(t0)
 	if slowDur < fastDur+5*time.Millisecond {
 		t.Fatalf("overhead not applied: fast %v slow %v", fastDur, slowDur)

@@ -1,6 +1,7 @@
 package executor
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -48,12 +49,12 @@ func TestPropEndToEndGradients(t *testing.T) {
 		}
 		feeds := map[string]*tensor.Tensor{"x": x, "labels": labels}
 
-		if _, err := e.InferenceAndBackprop(feeds, "loss"); err != nil {
+		if _, err := e.InferenceAndBackprop(context.Background(), feeds, "loss"); err != nil {
 			t.Log(err)
 			return false
 		}
 		lossAt := func() float64 {
-			out, err := e.Inference(feeds)
+			out, err := e.Inference(context.Background(), feeds)
 			if err != nil {
 				return math.NaN()
 			}
@@ -108,7 +109,7 @@ func TestGradientAccumulationAcrossConsumers(t *testing.T) {
 		"x":      tensor.RandNormal(rng, 0, 1, 3, 4),
 		"target": tensor.RandNormal(rng, 0, 1, 3, 4),
 	}
-	if _, err := e.InferenceAndBackprop(feeds, "loss"); err != nil {
+	if _, err := e.InferenceAndBackprop(context.Background(), feeds, "loss"); err != nil {
 		t.Fatal(err)
 	}
 	w, _ := e.Network().FetchTensor("w")
@@ -118,7 +119,7 @@ func TestGradientAccumulationAcrossConsumers(t *testing.T) {
 	}
 	const h = 1e-2
 	lossAt := func() float64 {
-		out, err := e.Inference(feeds)
+		out, err := e.Inference(context.Background(), feeds)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package frameworks
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -38,7 +39,7 @@ func TestAllBackendsAgreeNumerically(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name, err)
 		}
-		out, err := e.Inference(cloneFeeds(f))
+		out, err := e.Inference(context.Background(), cloneFeeds(f))
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name, err)
 		}
@@ -72,13 +73,13 @@ func TestDispatchOverheadOrdering(t *testing.T) {
 			t.Fatal(err)
 		}
 		// warmup
-		if _, err := e.Inference(cloneFeeds(f)); err != nil {
+		if _, err := e.Inference(context.Background(), cloneFeeds(f)); err != nil {
 			t.Fatal(err)
 		}
 		best := time.Hour
 		for i := 0; i < 3; i++ {
 			start := time.Now()
-			e.Inference(cloneFeeds(f))
+			e.Inference(context.Background(), cloneFeeds(f))
 			if d := time.Since(start); d < best {
 				best = d
 			}
@@ -109,7 +110,7 @@ func TestMemoryCapacityOOM(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := tensor.NewRNG(7)
-	_, err = e.Inference(feeds(rng, 64))
+	_, err = e.Inference(context.Background(), feeds(rng, 64))
 	var oom *executor.OOMError
 	if !errors.As(err, &oom) {
 		t.Fatalf("want OOM, got %v", err)
@@ -129,7 +130,7 @@ func TestAllocOverheadTriggersEarlierOOM(t *testing.T) {
 			t.Fatal(err)
 		}
 		rng := tensor.NewRNG(8)
-		_, err = e.Inference(feeds(rng, batch))
+		_, err = e.Inference(context.Background(), feeds(rng, batch))
 		return err == nil
 	}
 	// find a batch that fits tfgo but not torchgo
@@ -193,7 +194,7 @@ func TestMicrobatchAsymmetry(t *testing.T) {
 	rng := tensor.NewRNG(9)
 	x := tensor.RandNormal(rng, 0, 1, 8, 4)
 	for _, e := range []*executor.Executor{etf, etorch} {
-		out, err := e.Inference(map[string]*tensor.Tensor{"x": x})
+		out, err := e.Inference(context.Background(), map[string]*tensor.Tensor{"x": x})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -216,7 +217,7 @@ func TestBackendsTrainable(t *testing.T) {
 		f := feeds(rng, 8)
 		var first, last float32
 		for i := 0; i < 10; i++ {
-			out, err := e.InferenceAndBackprop(cloneFeeds(f), "loss")
+			out, err := e.InferenceAndBackprop(context.Background(), cloneFeeds(f), "loss")
 			if err != nil {
 				t.Fatalf("%s: %v", p.Name, err)
 			}

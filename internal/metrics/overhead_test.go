@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"context"
 	"testing"
 
 	"deep500/internal/executor"
@@ -22,7 +23,7 @@ func TestFrameworkOverheadOnRealExecutor(t *testing.T) {
 	e.Events = fo.Events()
 	x := tensor.RandNormal(rng, 0, 1, 8, 16)
 	for i := 0; i < 5; i++ {
-		if _, err := e.Inference(map[string]*tensor.Tensor{"x": x}); err != nil {
+		if _, err := e.Inference(context.Background(), map[string]*tensor.Tensor{"x": x}); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package models
 
 import (
+	"context"
 	"testing"
 
 	"deep500/internal/executor"
@@ -118,7 +119,7 @@ func TestModelsRunForwardAndBackward(t *testing.T) {
 		batch := 2
 		x := tensor.RandNormal(rng, 0, 1, batch, c, h, w)
 		labels := tensor.From([]float32{0, 1}, batch)
-		out, err := e.InferenceAndBackprop(map[string]*tensor.Tensor{"x": x, "labels": labels}, "loss")
+		out, err := e.InferenceAndBackprop(context.Background(), map[string]*tensor.Tensor{"x": x, "labels": labels}, "loss")
 		if err != nil {
 			t.Fatalf("%s: %v", m.Name, err)
 		}

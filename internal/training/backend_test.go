@@ -1,6 +1,7 @@
 package training
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -36,11 +37,15 @@ func TestRunnerBackendParity(t *testing.T) {
 		var res result
 		r.AfterStep = func(_ int, loss, _ float64) { res.losses = append(res.losses, loss) }
 		for epoch := 0; epoch < 2; epoch++ {
-			if _, err := r.RunEpoch(); err != nil {
+			if _, err := r.RunEpoch(context.Background()); err != nil {
 				t.Fatal(err)
 			}
 		}
-		res.acc = r.Evaluate(r.TestSet)
+		acc, err := r.Evaluate(context.Background(), r.TestSet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.acc = acc
 		return res
 	}
 

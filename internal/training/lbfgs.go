@@ -1,6 +1,8 @@
 package training
 
 import (
+	"context"
+
 	"deep500/internal/executor"
 	"deep500/internal/tensor"
 )
@@ -137,8 +139,8 @@ func (l *LBFGS) direction(g []float32) []float32 {
 
 // Train runs one L-BFGS step: gradient evaluation, two-loop direction,
 // fixed-step update, history maintenance.
-func (l *LBFGS) Train(feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
-	out, err := l.exec.InferenceAndBackprop(feeds, l.Loss)
+func (l *LBFGS) Train(ctx context.Context, feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	out, err := l.exec.InferenceAndBackprop(ctx, feeds, l.Loss)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package training
 
 import (
+	"context"
 	"testing"
 )
 
@@ -9,7 +10,7 @@ func TestLBFGSConverges(t *testing.T) {
 	train, test := synthSamplers(32)
 	opt := NewLBFGS(e, 0.2, 8)
 	r := NewRunner(opt, train, test)
-	if err := r.RunEpochs(6); err != nil {
+	if err := r.RunEpochs(context.Background(), 6); err != nil {
 		t.Fatal(err)
 	}
 	if acc := r.TestAcc.Last(); acc < 0.9 {
@@ -23,7 +24,7 @@ func TestLBFGSCurvatureHistoryBounded(t *testing.T) {
 	opt := NewLBFGS(e, 0.1, 3)
 	for i := 0; i < 10; i++ {
 		train.Reset()
-		if _, err := opt.Train(train.Next().Feeds()); err != nil {
+		if _, err := opt.Train(context.Background(), train.Next().Feeds()); err != nil {
 			t.Fatal(err)
 		}
 	}

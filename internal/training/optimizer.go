@@ -1,6 +1,8 @@
 package training
 
 import (
+	"context"
+
 	"deep500/internal/executor"
 	"deep500/internal/tensor"
 )
@@ -10,8 +12,8 @@ import (
 // satisfy it, wrapping a base optimizer with communication (Listing 9).
 type Optimizer interface {
 	// Train runs one optimization step and returns the model outputs
-	// (loss, accuracy, ...).
-	Train(feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error)
+	// (loss, accuracy, ...). Cancelling ctx aborts the underlying passes.
+	Train(ctx context.Context, feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error)
 	// Executor returns the underlying graph executor.
 	Executor() executor.GraphExecutor
 }
@@ -84,7 +86,7 @@ func (d *Driver) ThreeStep() ThreeStep { return d.ts }
 
 // Train runs one iteration: prepare parameters, inference+backprop, apply
 // update rule (optionally transformed by GradHook) — Listing 9's sequence.
-func (d *Driver) Train(feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+func (d *Driver) Train(ctx context.Context, feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
 	net := d.exec.Network()
 	d.ts.NewInput()
 	for _, name := range net.Params() {
@@ -96,7 +98,7 @@ func (d *Driver) Train(feeds map[string]*tensor.Tensor) (map[string]*tensor.Tens
 			net.FeedTensor(name, adjusted)
 		}
 	}
-	out, err := d.exec.InferenceAndBackprop(feeds, d.Loss)
+	out, err := d.exec.InferenceAndBackprop(ctx, feeds, d.Loss)
 	if err != nil {
 		return nil, err
 	}

@@ -1,9 +1,11 @@
 package training
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"deep500/internal/executor"
 	"deep500/internal/metrics"
 	"deep500/internal/tensor"
 )
@@ -32,6 +34,9 @@ type Runner struct {
 	step int
 }
 
+// Steps returns the number of optimization steps completed so far.
+func (r *Runner) Steps() int { return r.step }
+
 // NewRunner returns a runner with default metric cadences (training
 // accuracy every step, test accuracy every epoch).
 func NewRunner(opt Optimizer, train, test Sampler) *Runner {
@@ -46,8 +51,8 @@ func NewRunner(opt Optimizer, train, test Sampler) *Runner {
 }
 
 // Step runs a single optimization step on one batch and returns the loss.
-func (r *Runner) Step(b *Batch) (float64, error) {
-	out, err := r.Opt.Train(b.Feeds())
+func (r *Runner) Step(ctx context.Context, b *Batch) (float64, error) {
+	out, err := r.Opt.Train(ctx, b.Feeds())
 	if err != nil {
 		return 0, err
 	}
@@ -75,17 +80,24 @@ func (r *Runner) Step(b *Batch) (float64, error) {
 }
 
 // RunEpoch trains over one pass of the training sampler and returns the
-// mean loss.
-func (r *Runner) RunEpoch() (float64, error) {
+// mean loss. The context is checked between steps, so cancellation stops
+// the epoch at a batch boundary.
+func (r *Runner) RunEpoch(ctx context.Context) (float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	r.TrainSet.Reset()
 	var total float64
 	var n int
 	for {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		b := r.TrainSet.Next()
 		if b == nil {
 			break
 		}
-		loss, err := r.Step(b)
+		loss, err := r.Step(ctx, b)
 		if err != nil {
 			return 0, err
 		}
@@ -98,15 +110,23 @@ func (r *Runner) RunEpoch() (float64, error) {
 	return total / float64(n), nil
 }
 
-// RunEpochs trains for n epochs with per-epoch evaluation.
-func (r *Runner) RunEpochs(n int) error {
+// RunEpochs trains for n epochs with per-epoch evaluation. Cancelling ctx
+// stops training between steps and surfaces the context's error.
+func (r *Runner) RunEpochs(ctx context.Context, n int) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for epoch := 1; epoch <= n; epoch++ {
-		if _, err := r.RunEpoch(); err != nil {
+		if _, err := r.RunEpoch(ctx); err != nil {
 			return err
 		}
 		var testAcc float64
 		if r.TestSet != nil {
-			testAcc = r.Evaluate(r.TestSet)
+			var err error
+			testAcc, err = r.Evaluate(ctx, r.TestSet)
+			if err != nil {
+				return err
+			}
 			if r.TestAcc != nil {
 				r.TestAcc.Observe(r.step, epoch, testAcc)
 			}
@@ -122,37 +142,56 @@ func (r *Runner) RunEpochs(n int) error {
 }
 
 // Evaluate computes mean accuracy of the model over a sampler (inference
-// mode, no parameter updates).
-func (r *Runner) Evaluate(s Sampler) float64 {
-	exec := r.Opt.Executor()
+// mode, no parameter updates). Inference failures are returned, never
+// folded into the accuracy: a broken model reports an error instead of a
+// silent 0% score.
+func (r *Runner) Evaluate(ctx context.Context, s Sampler) (float64, error) {
+	return EvaluateExecutor(ctx, r.Opt.Executor(), s, r.AccOutput)
+}
+
+// EvaluateExecutor runs a sampler through an executor in inference mode
+// and returns the sample-weighted mean of the named accuracy output. The
+// executor's previous training/inference mode is restored afterwards, so
+// evaluating through a session that never trained does not flip it into
+// training mode. Batches whose outputs lack the accuracy tensor are an
+// error, never a silent 0% score.
+func EvaluateExecutor(ctx context.Context, exec executor.GraphExecutor, s Sampler, accOutput string) (float64, error) {
+	if accOutput == "" {
+		accOutput = "acc"
+	}
+	prev := exec.Training()
 	exec.SetTraining(false)
-	defer exec.SetTraining(true)
+	defer exec.SetTraining(prev)
 	s.Reset()
 	var correctWeighted float64
-	var total int
+	var total, batches int
 	for {
 		b := s.Next()
 		if b == nil {
 			break
 		}
-		out, err := exec.Inference(b.Feeds())
+		batches++
+		out, err := exec.Inference(ctx, b.Feeds())
 		if err != nil {
-			return 0
+			return 0, fmt.Errorf("training: evaluation inference failed: %w", err)
 		}
-		if t, ok := out[r.AccOutput]; ok && t.Size() == 1 {
+		if t, ok := out[accOutput]; ok && t.Size() == 1 {
 			correctWeighted += float64(t.Data()[0]) * float64(b.Size())
 			total += b.Size()
 		}
 	}
 	if total == 0 {
-		return 0
+		if batches > 0 {
+			return 0, fmt.Errorf("training: model produced no scalar %q output during evaluation", accOutput)
+		}
+		return 0, nil
 	}
-	return correctWeighted / float64(total)
+	return correctWeighted / float64(total), nil
 }
 
 // EpochTime measures the wallclock duration of one training epoch without
 // touching metric state — used by the Level 2 overhead experiment.
-func (r *Runner) EpochTime() (time.Duration, error) {
+func (r *Runner) EpochTime(ctx context.Context) (time.Duration, error) {
 	r.TrainSet.Reset()
 	start := time.Now()
 	for {
@@ -160,7 +199,7 @@ func (r *Runner) EpochTime() (time.Duration, error) {
 		if b == nil {
 			break
 		}
-		if _, err := r.Opt.Train(b.Feeds()); err != nil {
+		if _, err := r.Opt.Train(ctx, b.Feeds()); err != nil {
 			return 0, err
 		}
 	}

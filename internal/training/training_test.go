@@ -1,6 +1,7 @@
 package training
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -111,7 +112,7 @@ func optimizerConverges(t *testing.T, name string, ts ThreeStep, epochs int) {
 	e := mlpExec(t, 5)
 	train, test := synthSamplers(32)
 	r := NewRunner(NewDriver(e, ts), train, test)
-	if err := r.RunEpochs(epochs); err != nil {
+	if err := r.RunEpochs(context.Background(), epochs); err != nil {
 		t.Fatalf("%s: %v", name, err)
 	}
 	if acc := r.TestAcc.Last(); acc < 0.9 {
@@ -153,10 +154,10 @@ func TestFusedMatchesReferenceAdam(t *testing.T) {
 	b := train.Next()
 	d1 := NewDriver(e1, NewAdam(0.01))
 	d2 := NewDriver(e2, NewFusedAdam(0.01))
-	if _, err := d1.Train(b.Feeds()); err != nil {
+	if _, err := d1.Train(context.Background(), b.Feeds()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d2.Train(b.Feeds()); err != nil {
+	if _, err := d2.Train(context.Background(), b.Feeds()); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range e1.Network().Params() {
@@ -180,10 +181,10 @@ func TestAdamVariantsDiverge(t *testing.T) {
 	for i := 0; i < 30; i++ {
 		train.Reset()
 		b := train.Next()
-		if _, err := d1.Train(b.Feeds()); err != nil {
+		if _, err := d1.Train(context.Background(), b.Feeds()); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := d2.Train(b.Feeds()); err != nil {
+		if _, err := d2.Train(context.Background(), b.Feeds()); err != nil {
 			t.Fatal(err)
 		}
 		var div float64
@@ -226,7 +227,7 @@ func TestRunnerMetricspopulated(t *testing.T) {
 	var steps, epochs int
 	r.AfterStep = func(step int, loss, acc float64) { steps++ }
 	r.AfterEpoch = func(epoch int, testAcc float64) { epochs++ }
-	if err := r.RunEpochs(2); err != nil {
+	if err := r.RunEpochs(context.Background(), 2); err != nil {
 		t.Fatal(err)
 	}
 	if steps == 0 || epochs != 2 {
@@ -257,7 +258,7 @@ func TestGradHookRuns(t *testing.T) {
 		hooked++
 		return g
 	}
-	if _, err := d.Train(train.Next().Feeds()); err != nil {
+	if _, err := d.Train(context.Background(), train.Next().Feeds()); err != nil {
 		t.Fatal(err)
 	}
 	if hooked != len(e.Network().Params()) {
@@ -272,7 +273,7 @@ func TestEvaluateUsesInferenceMode(t *testing.T) {
 	r := NewRunner(NewDriver(e, NewGradientDescent(0.1)), train, test)
 	before, _ := e.Network().FetchTensor(e.Network().Params()[0])
 	snapshot := before.Clone()
-	r.Evaluate(test)
+	r.Evaluate(context.Background(), test)
 	after, _ := e.Network().FetchTensor(e.Network().Params()[0])
 	if !tensor.AllClose(after, snapshot, 0, 0) {
 		t.Fatal("evaluation mutated parameters")

@@ -1,6 +1,7 @@
 package transform
 
 import (
+	"context"
 	"testing"
 
 	"deep500/internal/executor"
@@ -17,7 +18,7 @@ func TestPipelinePartitionPreservesSemantics(t *testing.T) {
 		"labels": tensor.From([]float32{1, 7}, 2),
 	}
 	eFull := executor.MustNew(full)
-	want, err := eFull.Inference(cloneFeeds(feeds))
+	want, err := eFull.Inference(context.Background(), cloneFeeds(feeds))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestPipelinePartitionPreservesSemantics(t *testing.T) {
 				}
 				stageFeeds[in.Name] = v
 			}
-			out, err := e.Inference(stageFeeds)
+			out, err := e.Inference(context.Background(), stageFeeds)
 			if err != nil {
 				t.Fatalf("k=%d stage %d: %v", k, si, err)
 			}

@@ -1,6 +1,7 @@
 package transform
 
 import (
+	"context"
 	"testing"
 
 	"deep500/internal/executor"
@@ -80,7 +81,7 @@ func TestApplyMicrobatchPreservesSemantics(t *testing.T) {
 
 	orig := convModel(-1)
 	e1 := executor.MustNew(orig)
-	want, err := e1.Inference(map[string]*tensor.Tensor{"x": x})
+	want, err := e1.Inference(context.Background(), map[string]*tensor.Tensor{"x": x})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestApplyMicrobatchPreservesSemantics(t *testing.T) {
 		t.Fatal(err)
 	}
 	e2 := executor.MustNew(transformed)
-	got, err := e2.Inference(map[string]*tensor.Tensor{"x": x})
+	got, err := e2.Inference(context.Background(), map[string]*tensor.Tensor{"x": x})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestMicrobatchModelReducesPeakMemory(t *testing.T) {
 	rng := tensor.NewRNG(9)
 	x := tensor.RandNormal(rng, 0, 1, batch, 3, 16, 16)
 	e := executor.MustNew(m)
-	if _, err := e.Inference(map[string]*tensor.Tensor{"x": x}); err != nil {
+	if _, err := e.Inference(context.Background(), map[string]*tensor.Tensor{"x": x}); err != nil {
 		t.Fatal(err)
 	}
 }

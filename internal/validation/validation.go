@@ -7,6 +7,7 @@
 package validation
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -151,11 +152,11 @@ func TestGradient(op ops.Operator, inputs []*tensor.Tensor, checkInputs []bool, 
 // (Level 1 test_executor). Outputs present in only one executor fail.
 func TestExecutor(got, ref executor.GraphExecutor, feeds map[string]*tensor.Tensor, tol float64) Result {
 	res := Result{Name: "test_executor", Passed: true}
-	g, err := got.Inference(cloneFeeds(feeds))
+	g, err := got.Inference(context.Background(), cloneFeeds(feeds))
 	if err != nil {
 		return Result{Name: res.Name, Details: "executor error: " + err.Error()}
 	}
-	w, err := ref.Inference(cloneFeeds(feeds))
+	w, err := ref.Inference(context.Background(), cloneFeeds(feeds))
 	if err != nil {
 		return Result{Name: res.Name, Details: "reference error: " + err.Error()}
 	}
@@ -183,10 +184,10 @@ func TestExecutor(got, ref executor.GraphExecutor, feeds map[string]*tensor.Tens
 // a backward pass from the same loss (Level 1 test_executor_backprop).
 func TestExecutorBackprop(got, ref executor.GraphExecutor, feeds map[string]*tensor.Tensor, loss string, tol float64) Result {
 	res := Result{Name: "test_executor_backprop", Passed: true}
-	if _, err := got.InferenceAndBackprop(cloneFeeds(feeds), loss); err != nil {
+	if _, err := got.InferenceAndBackprop(context.Background(), cloneFeeds(feeds), loss); err != nil {
 		return Result{Name: res.Name, Details: "executor error: " + err.Error()}
 	}
-	if _, err := ref.InferenceAndBackprop(cloneFeeds(feeds), loss); err != nil {
+	if _, err := ref.InferenceAndBackprop(context.Background(), cloneFeeds(feeds), loss); err != nil {
 		return Result{Name: res.Name, Details: "reference error: " + err.Error()}
 	}
 	refGrads := ref.Network().Gradients()
@@ -229,10 +230,10 @@ func TestOptimizer(got, ref training.Optimizer, batches []*training.Batch, tol f
 	res := Result{Name: "test_optimizer", Passed: true}
 	var traj []TrajectoryPoint
 	for step, b := range batches {
-		if _, err := got.Train(b.Feeds()); err != nil {
+		if _, err := got.Train(context.Background(), b.Feeds()); err != nil {
 			return Result{Name: res.Name, Details: err.Error()}, traj
 		}
-		if _, err := ref.Train(b.Feeds()); err != nil {
+		if _, err := ref.Train(context.Background(), b.Feeds()); err != nil {
 			return Result{Name: res.Name, Details: err.Error()}, traj
 		}
 		pt := TrajectoryPoint{Step: step + 1, PerParam: make(map[string]tensor.DiffNorms)}
@@ -316,14 +317,18 @@ func TestTraining(opt training.Optimizer, train, test training.Sampler, epochs i
 		report.FinalTestAccuracy = testAcc
 	}
 	for e := 0; e < epochs; e++ {
-		loss, err := r.RunEpoch()
+		loss, err := r.RunEpoch(context.Background())
 		if err != nil {
 			return report, err
 		}
 		report.EpochLosses = append(report.EpochLosses, loss)
 		report.FinalLoss = loss
 		if test != nil {
-			report.FinalTestAccuracy = r.Evaluate(test)
+			acc, err := r.Evaluate(context.Background(), test)
+			if err != nil {
+				return report, err
+			}
+			report.FinalTestAccuracy = acc
 		}
 	}
 	report.Converged = report.FinalTestAccuracy >= targetAcc
