@@ -6,6 +6,8 @@
 //
 //	d500bench -experiment all                       # everything (paper-scale)
 //	d500bench -experiment fig6conv -quick
+//	d500bench -experiment tables,compile -quick     # comma-separated ids
+//	d500bench -experiment compile -quick -opt       # compile pipeline everywhere
 //	d500bench -experiment tables -quick -format json -out bench.json
 //	d500bench -experiment all -quick -timeout 2m    # deadline-bounded run
 //	d500bench -compare old.json new.json            # regression gate
@@ -24,6 +26,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 
 	"deep500/d500"
 	"deep500/internal/bench"
@@ -32,11 +35,12 @@ import (
 func main() { os.Exit(run()) }
 
 func run() int {
-	experiment := flag.String("experiment", "all", "experiment id (or 'all')")
+	experiment := flag.String("experiment", "all", "comma-separated experiment ids (or 'all')")
 	quick := flag.Bool("quick", false, "scaled-down problem sizes and re-runs")
 	seed := flag.Uint64("seed", 500, "global RNG seed")
 	exec := flag.String("exec", "sequential", "graph execution backend: sequential, parallel")
 	arena := flag.Bool("arena", false, "recycle activation buffers through a tensor arena")
+	opt := flag.Bool("opt", false, "run the compile pipeline (fusion/folding/DCE) over every experiment model")
 	timeout := flag.Duration("timeout", 0, "abort the suite after this duration (0 = no deadline)")
 	format := flag.String("format", "text", "output format: text or json")
 	out := flag.String("out", "", "write the JSON benchmark report to this file")
@@ -69,6 +73,9 @@ func run() int {
 	if *arena {
 		sessOpts = append(sessOpts, d500.WithArena())
 	}
+	if *opt {
+		sessOpts = append(sessOpts, d500.WithOptimize())
+	}
 	if *quick {
 		sessOpts = append(sessOpts, d500.WithQuick())
 	}
@@ -85,9 +92,26 @@ func run() int {
 		return 0
 	}
 
-	targets := []string{*experiment}
+	// Outside -compare mode no positional arguments are meaningful; a stray
+	// word (e.g. a value after a boolean flag) silently stops flag parsing,
+	// so reject it loudly instead of running a misconfigured suite.
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "d500bench: unexpected argument %q (flags must precede it; boolean flags like -opt take no value)\n", flag.Arg(0))
+		return 2
+	}
+
+	var targets []string
+	for _, id := range strings.Split(*experiment, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			targets = append(targets, id)
+		}
+	}
 	if *experiment == "all" {
 		targets = sess.Experiments()
+	}
+	if len(targets) == 0 {
+		fmt.Fprintln(os.Stderr, "d500bench: -experiment names no experiments")
+		return 2
 	}
 	for _, id := range targets {
 		if !sess.HasExperiment(id) {

@@ -42,6 +42,7 @@ func main() {
 	backend := flag.String("backend", "reference", "framework backend: reference, tfgo, torchgo, cf2go")
 	execName := flag.String("exec", "sequential", "graph execution backend: sequential, parallel")
 	arena := flag.Bool("arena", false, "recycle activation buffers through a tensor arena")
+	optimize := flag.Bool("opt", false, "compile the graph before execution (fusion/folding/DCE)")
 	epochs := flag.Int("epochs", 5, "training epochs")
 	batch := flag.Int("batch", 64, "minibatch size")
 	lr := flag.Float64("lr", 0.02, "learning rate")
@@ -50,6 +51,12 @@ func main() {
 	target := flag.Float64("target", 0.9, "time-to-accuracy target")
 	save := flag.String("save", "", "save the trained model as D5NX to this path")
 	flag.Parse()
+	// A stray positional (e.g. "d500train -opt adam", where boolean -opt
+	// consumes no value and "adam" stops flag parsing) would otherwise run
+	// silently misconfigured with every later flag ignored.
+	if flag.NArg() > 0 {
+		fatalIf(fmt.Errorf("unexpected argument %q (boolean flags like -opt and -arena take no value; did you mean -optimizer?)", flag.Arg(0)))
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -72,9 +79,15 @@ func main() {
 	if *arena {
 		opts = append(opts, d500.WithArena())
 	}
+	if *optimize {
+		opts = append(opts, d500.WithOptimize())
+	}
 	sess, err := d500.New(opts...)
 	fatalIf(err)
 	fatalIf(sess.Open(m))
+	if stats, ok := sess.OptimizeStats(); ok {
+		fmt.Println(stats)
+	}
 
 	ts, err := d500.OptimizerByName(*opt, *lr)
 	fatalIf(err)

@@ -23,10 +23,11 @@ type BenchConfig struct {
 // coreOptions maps the session configuration onto the experiment options.
 func (s *Session) coreOptions() core.Options {
 	return core.Options{
-		Quick: s.cfg.quick,
-		Seed:  s.cfg.seed,
-		Exec:  s.cfg.backend.String(),
-		Arena: s.cfg.arena,
+		Quick:    s.cfg.quick,
+		Seed:     s.cfg.seed,
+		Exec:     s.cfg.backend.String(),
+		Arena:    s.cfg.arena,
+		Optimize: s.cfg.optimize,
 	}
 }
 
@@ -62,6 +63,7 @@ func (s *Session) Bench(ctx context.Context, ids []string, cfg BenchConfig) (*Be
 	env := bench.CaptureEnv()
 	env.ExecBackend = s.cfg.backend.String()
 	env.Arena = s.cfg.arena
+	env.Optimize = s.cfg.optimize
 	env.Quick = s.cfg.quick
 	env.Seed = s.cfg.seed
 	return suite.Run(ctx, ids, bench.RunConfig{

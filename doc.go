@@ -4,13 +4,17 @@
 //
 // The supported entry point is the d500 package: a d500.Session assembled
 // from typed functional options (WithBackend, WithFramework, WithArena,
-// WithSeed, WithPool, WithHook) with Open/Infer/Train/Evaluate/Bench
-// methods, context-aware execution through the whole chain, and a
-// structured event stream (StepEnd/EpochEnd/EvalEnd/BenchSample) as the
-// single observation channel. Everything under internal/ is an
-// implementation detail; cmd/ and examples/ consume only the public API.
-// See README.md §"Public API" for the migration table from the old
-// internal entry points.
+// WithOptimize, WithSeed, WithPool, WithHook) with
+// Open/Infer/Train/Evaluate/Bench methods, context-aware execution
+// through the whole chain, and a structured event stream
+// (StepEnd/EpochEnd/EvalEnd/BenchSample) as the single observation
+// channel. Everything under internal/ is an implementation detail; cmd/
+// and examples/ consume only the public API. See README.md §"Public API"
+// for the migration table from the old internal entry points, and
+// ARCHITECTURE.md for the layer map, the dataflow of one Session.Train
+// call, and the graph-compilation pipeline (internal/compile: constant
+// folding, dead-node elimination, operator fusion) documented pass by
+// pass.
 //
 // The root package carries only the repository-level benchmark harness
 // (bench_test.go): one benchmark per paper table/figure plus ablations of

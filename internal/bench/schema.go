@@ -63,6 +63,7 @@ type Environment struct {
 	GOMAXPROCS  int    `json:"gomaxprocs"`
 	ExecBackend string `json:"exec_backend,omitempty"`
 	Arena       bool   `json:"arena"`
+	Optimize    bool   `json:"optimize"`
 	Quick       bool   `json:"quick"`
 	Seed        uint64 `json:"seed"`
 }

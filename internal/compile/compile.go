@@ -1,0 +1,142 @@
+// Package compile implements the graph-compilation pipeline of Deep500-Go:
+// optimization passes that rewrite a D5NX node graph before either
+// execution backend runs it (paper §III-A, Use Case 1 — the performance gap
+// between frameworks is dominated by whether logically-separate operations
+// execute as one fused kernel or as many small dispatched ops).
+//
+// Three passes ship, applied in order by Optimize:
+//
+//  1. constant folding (fold.go) — nodes whose inputs are all compile-time
+//     constants are evaluated once at compile time and replaced by
+//     initializers;
+//  2. dead-node elimination (dce.go) — nodes and initializers unreachable
+//     from the model's declared outputs are removed;
+//  3. operator fusion (fuse.go) — Dense→Bias→Activation and Conv→Bias→ReLU
+//     chains collapse into single FusedGemmAct / FusedConvRelu nodes backed
+//     by one-pass kernels (internal/kernels, internal/ops).
+//
+// Public entry points: Optimize (run a pipeline over a model), Options /
+// Defaults (pass selection), Report (per-pass rewrite statistics). The
+// executor applies the pipeline via executor.WithOptimize; the public API
+// surface is d500.WithOptimize and the -opt flag on d500bench/d500train.
+//
+// Optimize never mutates its input: it rewrites a graph.Model.ShallowClone,
+// so the optimized graph shares parameter storage with the original
+// (training through either updates both) while node structure stays
+// independent.
+package compile
+
+import (
+	"fmt"
+
+	"deep500/internal/graph"
+)
+
+// Options selects the passes Optimize applies. The zero value runs nothing;
+// use Defaults for the standard training-safe pipeline.
+type Options struct {
+	// Fold evaluates nodes whose inputs are all compile-time constants
+	// (outputs of Constant nodes, transitively) and replaces them with
+	// initializers.
+	Fold bool
+	// FoldInitializers additionally treats the model's initializers as
+	// compile-time constants. This bakes current parameter values into the
+	// graph and is therefore only sound for frozen inference graphs — never
+	// enable it on a model that will be trained.
+	FoldInitializers bool
+	// DCE removes nodes (and prunes initializers) unreachable from the
+	// model's declared outputs.
+	DCE bool
+	// Fuse collapses Dense→Bias→Activation and Conv→Bias→ReLU chains into
+	// single fused nodes.
+	Fuse bool
+}
+
+// Defaults returns the standard training-safe pipeline: constant folding
+// (without initializer folding), dead-node elimination, and fusion.
+func Defaults() Options { return Options{Fold: true, DCE: true, Fuse: true} }
+
+// PassStat records one pass application.
+type PassStat struct {
+	// Pass is the pass name ("fold", "dce", "fuse").
+	Pass string
+	// NodesBefore/NodesAfter are graph node counts around the pass.
+	NodesBefore, NodesAfter int
+	// Rewrites counts the pass's unit of work: nodes folded, nodes
+	// eliminated, or chains fused.
+	Rewrites int
+}
+
+// Report summarizes what a pipeline run did to a model.
+type Report struct {
+	// Model is the compiled model's name.
+	Model string
+	// NodesBefore/NodesAfter are whole-pipeline node counts.
+	NodesBefore, NodesAfter int
+	// Folded is the number of nodes replaced by initializers.
+	Folded int
+	// Eliminated is the number of dead nodes removed.
+	Eliminated int
+	// Fused is the number of operator chains collapsed into fused nodes
+	// (each fusion removes one node from the graph).
+	Fused int
+	// PrunedInitializers is the number of unreferenced initializers dropped.
+	PrunedInitializers int
+	// Passes holds per-pass statistics in application order.
+	Passes []PassStat
+}
+
+// String renders the one-line summary the CLIs print.
+func (r *Report) String() string {
+	return fmt.Sprintf("compiled %q: %d → %d nodes (folded %d, eliminated %d, fused %d chains, pruned %d initializers)",
+		r.Model, r.NodesBefore, r.NodesAfter, r.Folded, r.Eliminated, r.Fused, r.PrunedInitializers)
+}
+
+// Optimize validates m, applies the selected passes to a shallow clone and
+// returns the optimized model with a rewrite report. The input model is
+// never mutated; its initializer tensors are shared with the result (see
+// graph.Model.ShallowClone). The optimized model is re-validated before
+// return, so a pass that produces a structurally broken graph surfaces as
+// an error here rather than as an executor failure later.
+func Optimize(m *graph.Model, o Options) (*graph.Model, *Report, error) {
+	if err := m.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("compile: input model: %w", err)
+	}
+	out := m.ShallowClone()
+	rep := &Report{Model: m.Name, NodesBefore: len(m.Nodes)}
+
+	if o.Fold {
+		before := len(out.Nodes)
+		n, err := foldConstants(out, o.FoldInitializers)
+		if err != nil {
+			return nil, nil, fmt.Errorf("compile: fold: %w", err)
+		}
+		rep.Folded = n
+		rep.Passes = append(rep.Passes, PassStat{Pass: "fold", NodesBefore: before, NodesAfter: len(out.Nodes), Rewrites: n})
+	}
+	if o.DCE {
+		before := len(out.Nodes)
+		nodes, inits, err := eliminateDead(out)
+		if err != nil {
+			return nil, nil, fmt.Errorf("compile: dce: %w", err)
+		}
+		rep.Eliminated = nodes
+		rep.PrunedInitializers = inits
+		rep.Passes = append(rep.Passes, PassStat{Pass: "dce", NodesBefore: before, NodesAfter: len(out.Nodes), Rewrites: nodes})
+	}
+	if o.Fuse {
+		before := len(out.Nodes)
+		n, err := fuseChains(out)
+		if err != nil {
+			return nil, nil, fmt.Errorf("compile: fuse: %w", err)
+		}
+		rep.Fused = n
+		rep.Passes = append(rep.Passes, PassStat{Pass: "fuse", NodesBefore: before, NodesAfter: len(out.Nodes), Rewrites: n})
+	}
+
+	rep.NodesAfter = len(out.Nodes)
+	if err := out.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("compile: optimized model invalid (pipeline bug): %w", err)
+	}
+	return out, rep, nil
+}

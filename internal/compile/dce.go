@@ -1,0 +1,57 @@
+package compile
+
+import "deep500/internal/graph"
+
+// eliminateDead removes every node from which no declared model output is
+// reachable, then prunes initializers no remaining node (and no declared
+// output) references. One reverse-topological sweep suffices: a node is
+// live iff any of its outputs is needed, and a live node marks all its
+// inputs needed before earlier nodes are visited. Graph inputs are left
+// untouched — an unused feed is the caller's business, not the graph's.
+// Returns the numbers of nodes removed and initializers pruned.
+func eliminateDead(m *graph.Model) (removedNodes, prunedInits int, err error) {
+	order, err := m.TopoSort()
+	if err != nil {
+		return 0, 0, err
+	}
+	needed := make(map[string]bool, len(m.Outputs))
+	for _, o := range m.Outputs {
+		needed[o] = true
+	}
+	live := make(map[*graph.Node]bool, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		used := false
+		for _, o := range n.Outputs {
+			if needed[o] {
+				used = true
+				break
+			}
+		}
+		if !used {
+			continue
+		}
+		live[n] = true
+		for _, in := range n.Inputs {
+			if in != "" {
+				needed[in] = true
+			}
+		}
+	}
+	kept := m.Nodes[:0]
+	for _, n := range m.Nodes {
+		if live[n] {
+			kept = append(kept, n)
+		} else {
+			removedNodes++
+		}
+	}
+	m.Nodes = kept
+	for name := range m.Initializers {
+		if !needed[name] {
+			delete(m.Initializers, name)
+			prunedInits++
+		}
+	}
+	return removedNodes, prunedInits, nil
+}

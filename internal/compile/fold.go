@@ -1,0 +1,96 @@
+package compile
+
+import (
+	"fmt"
+
+	"deep500/internal/graph"
+	"deep500/internal/ops"
+	"deep500/internal/tensor"
+)
+
+// noFold lists op types the folding pass must never evaluate at compile
+// time: their forward behaviour depends on training mode or internal state
+// (RNG draws, running statistics), so a compile-time evaluation would not
+// equal the runtime one.
+var noFold = map[string]bool{
+	"Dropout":            true,
+	"BatchNormalization": true,
+}
+
+// foldConstants evaluates every node whose inputs are all compile-time
+// constants and replaces it with initializers holding its outputs. The
+// constant set starts as the outputs of zero-input Constant nodes (plus all
+// initializers when foldInitializers is set — inference-only, see
+// Options.FoldInitializers) and grows as folding progresses, so chains of
+// constant computation collapse completely. Returns the number of nodes
+// folded away.
+func foldConstants(m *graph.Model, foldInitializers bool) (int, error) {
+	konst := make(map[string]bool)
+	if foldInitializers {
+		for name := range m.Initializers {
+			konst[name] = true
+		}
+	}
+	folded := 0
+	for {
+		progressed := false
+		order, err := m.TopoSort()
+		if err != nil {
+			return folded, err
+		}
+		for _, n := range order {
+			if noFold[n.OpType] {
+				continue
+			}
+			allConst := true
+			for _, in := range n.Inputs {
+				if in != "" && !konst[in] {
+					allConst = false
+					break
+				}
+			}
+			if !allConst {
+				continue
+			}
+			ins := make([]*tensor.Tensor, len(n.Inputs))
+			for i, name := range n.Inputs {
+				if name != "" {
+					ins[i] = m.Initializers[name]
+				}
+			}
+			op, err := ops.FromNode(n)
+			if err != nil {
+				return folded, err
+			}
+			outs, err := foldForward(n, op, ins)
+			if err != nil {
+				return folded, err
+			}
+			for i, name := range n.Outputs {
+				if i >= len(outs) {
+					break
+				}
+				m.AddInitializer(name, outs[i])
+				konst[name] = true
+			}
+			m.RemoveNode(n)
+			folded++
+			progressed = true
+		}
+		if !progressed {
+			return folded, nil
+		}
+	}
+}
+
+// foldForward evaluates one node, converting operator panics (shape
+// mismatches surface as panics at the op layer) into errors so a bad
+// constant subgraph fails compilation instead of crashing it.
+func foldForward(n *graph.Node, op ops.Operator, ins []*tensor.Tensor) (outs []*tensor.Tensor, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("folding node %q (%s): %v", n.Name, n.OpType, r)
+		}
+	}()
+	return op.Forward(ins), nil
+}

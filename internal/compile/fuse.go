@@ -1,0 +1,109 @@
+package compile
+
+import "deep500/internal/graph"
+
+// gemmActs lists the activation op types FusedGemmAct implements: exactly
+// those whose derivative is expressible in the forward output, so the fused
+// backward pass needs no pre-activation tensor (see kernels.ActGradFromOutput).
+var gemmActs = map[string]bool{"Relu": true, "Sigmoid": true, "Tanh": true}
+
+// fuseChains collapses two-node chains into single fused nodes:
+//
+//	Gemm/MatMul → {Relu,Sigmoid,Tanh}  ⇒  FusedGemmAct   (Dense→Bias→Act)
+//	Conv        → Relu                 ⇒  FusedConvRelu  (Conv→Bias→ReLU)
+//
+// The bias of the "Bias" stage rides as the optional third input of the
+// Gemm/Conv node (this repository's D5NX form of a dense/conv layer), so a
+// fused node replaces up to three logical operations — matrix product or
+// convolution, bias broadcast, activation — with one dispatch and one
+// output buffer.
+//
+// A chain is eligible only when the producer's output is consumed by
+// exactly one node (the activation) and is not a declared model output:
+// fusing a tensor someone else reads — a second consumer, or the caller via
+// the output list — would erase a value the rest of the graph observes.
+// The fused node inherits the producer's name ("fc1+act"), inputs and
+// attributes (plus "act" for FusedGemmAct) and produces the activation's
+// outputs, so parameter gradients keep their tensor names and the
+// dependency DAG shrinks by one edge per fusion — which is also why the
+// parallel scheduler's dispatch overhead drops. Returns the number of
+// chains fused.
+func fuseChains(m *graph.Model) (int, error) {
+	declared := make(map[string]bool, len(m.Outputs))
+	for _, o := range m.Outputs {
+		declared[o] = true
+	}
+	fused := 0
+	for {
+		if !fuseOne(m, declared) {
+			return fused, nil
+		}
+		fused++
+	}
+}
+
+// fuseOne performs the first eligible fusion in topological order and
+// reports whether it changed the graph. Consumer relationships are
+// recomputed per rewrite; graphs are small enough (≤ a few hundred nodes)
+// that the quadratic restart is cheaper than maintaining incremental
+// indices.
+func fuseOne(m *graph.Model, declared map[string]bool) bool {
+	consumers := make(map[string][]*graph.Node, len(m.Nodes))
+	for _, n := range m.Nodes {
+		for _, in := range n.Inputs {
+			if in != "" {
+				consumers[in] = append(consumers[in], n)
+			}
+		}
+	}
+	for _, n := range m.Nodes {
+		if len(n.Outputs) == 0 {
+			continue
+		}
+		out := n.Outputs[0]
+		if declared[out] || len(consumers[out]) != 1 {
+			continue
+		}
+		act := consumers[out][0]
+		switch n.OpType {
+		case "Gemm", "MatMul":
+			if !gemmActs[act.OpType] {
+				continue
+			}
+			attrs := attrList(n)
+			attrs = append(attrs, graph.StringAttr("act", act.OpType))
+			replacePair(m, n, act,
+				graph.NewNode("FusedGemmAct", n.Name+"+"+act.Name, n.Inputs, act.Outputs, attrs...))
+			return true
+		case "Conv":
+			if act.OpType != "Relu" {
+				continue
+			}
+			replacePair(m, n, act,
+				graph.NewNode("FusedConvRelu", n.Name+"+"+act.Name, n.Inputs, act.Outputs, attrList(n)...))
+			return true
+		}
+	}
+	return false
+}
+
+// attrList copies a node's attributes into constructor form.
+func attrList(n *graph.Node) []graph.Attribute {
+	out := make([]graph.Attribute, 0, len(n.Attrs))
+	for _, a := range n.Attrs {
+		out = append(out, a)
+	}
+	return out
+}
+
+// replacePair installs fused at the producer's position and removes the
+// consumed activation node.
+func replacePair(m *graph.Model, producer, consumer, fusedNode *graph.Node) {
+	for i, x := range m.Nodes {
+		if x == producer {
+			m.Nodes[i] = fusedNode
+			break
+		}
+	}
+	m.RemoveNode(consumer)
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"deep500/internal/compile"
 	"deep500/internal/executor"
 	"deep500/internal/frameworks"
 	"deep500/internal/graph"
@@ -27,6 +28,9 @@ type Options struct {
 	// Arena installs a fresh tensor buffer pool into every executor an
 	// experiment constructs (mirrors d500train's -arena flag).
 	Arena bool
+	// Optimize runs the compile pipeline (fusion/folding/DCE) over every
+	// model an experiment constructs (mirrors the -opt flag).
+	Optimize bool
 }
 
 // execOpts resolves Exec into executor construction options. An invalid
@@ -41,6 +45,9 @@ func (o Options) execOpts() ([]executor.Option, error) {
 	opts := []executor.Option{executor.WithBackend(b)}
 	if o.Arena {
 		opts = append(opts, executor.WithArena(tensor.NewArena()))
+	}
+	if o.Optimize {
+		opts = append(opts, executor.WithOptimize(compile.Defaults()))
 	}
 	return opts, nil
 }

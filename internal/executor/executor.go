@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"deep500/internal/compile"
 	"deep500/internal/graph"
 	"deep500/internal/kernels"
 	"deep500/internal/ops"
@@ -57,8 +58,12 @@ type Executor struct {
 
 	backend ExecBackend
 	arena   *tensor.Arena
-	depOnce sync.Once
-	deps    *depInfo
+	// optimize, when non-nil, runs the compile pipeline over the model at
+	// construction; compileReport records what it rewrote.
+	optimize      *compile.Options
+	compileReport *compile.Report
+	depOnce       sync.Once
+	deps          *depInfo
 	// stateMu guards the per-pass maps, the memory model and the FLOP
 	// counter against concurrent node completions under ParallelBackend.
 	stateMu sync.Mutex
@@ -100,25 +105,44 @@ func WithArena(a *tensor.Arena) Option {
 	return func(e *Executor) { e.arena = a }
 }
 
+// WithOptimize runs the compile pipeline (constant folding, dead-node
+// elimination, operator fusion — see internal/compile) over the model
+// before the executor is built, so *both* execution backends consume the
+// optimized graph: the sequential interpreter dispatches fewer nodes, and
+// the parallel scheduler's dependency DAG shrinks with them. The input
+// model is not mutated; parameter tensors are shared between the original
+// and the compiled graph, so training an optimized executor updates the
+// caller's model too.
+func WithOptimize(o compile.Options) Option {
+	return func(e *Executor) { e.optimize = &o }
+}
+
 // New builds a reference executor for the model. It validates the graph,
-// instantiates one operator per node and fails on unknown op types.
+// applies the compile pipeline when WithOptimize is set, instantiates one
+// operator per node and fails on unknown op types.
 func New(m *graph.Model, opts ...Option) (*Executor, error) {
-	if err := m.Validate(); err != nil {
+	e := &Executor{
+		nodeOps: make(map[*graph.Node]ops.Operator),
+		backend: SequentialBackend{},
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if e.optimize != nil {
+		om, rep, err := compile.Optimize(m, *e.optimize)
+		if err != nil {
+			return nil, err
+		}
+		m, e.compileReport = om, rep
+	} else if err := m.Validate(); err != nil {
 		return nil, err
 	}
 	order, err := m.TopoSort()
 	if err != nil {
 		return nil, err
 	}
-	e := &Executor{
-		net:     NewNetwork(m),
-		order:   order,
-		nodeOps: make(map[*graph.Node]ops.Operator, len(order)),
-		backend: SequentialBackend{},
-	}
-	for _, opt := range opts {
-		opt(e)
-	}
+	e.net = NewNetwork(m)
+	e.order = order
 	for _, n := range order {
 		op, err := ops.FromNode(n)
 		if err != nil {
@@ -145,6 +169,10 @@ func MustNew(m *graph.Model, opts ...Option) *Executor {
 
 // Backend returns the active execution backend.
 func (e *Executor) Backend() ExecBackend { return e.backend }
+
+// CompileReport returns the compile pipeline's rewrite report, or nil when
+// the executor was built without WithOptimize.
+func (e *Executor) CompileReport() *compile.Report { return e.compileReport }
 
 // Network returns the live network.
 func (e *Executor) Network() *Network { return e.net }
@@ -258,9 +286,17 @@ func (e *Executor) execNode(n *graph.Node) error {
 		}
 		ins[i] = t
 	}
-	// Workspace accounting for convolutions.
+	// Workspace accounting for convolutions (fused ones delegate to their
+	// embedded Conv2DOp, so -opt graphs charge the same im2col workspace).
 	var workspace int64
-	if conv, ok := op.(*ops.Conv2DOp); ok && e.Memory != nil {
+	var conv *ops.Conv2DOp
+	switch cop := op.(type) {
+	case *ops.Conv2DOp:
+		conv = cop
+	case *ops.FusedConvReluOp:
+		conv = cop.ConvOp()
+	}
+	if conv != nil && e.Memory != nil {
 		x, w := ins[0], ins[1]
 		cs := kernels.ConvShape{N: x.Dim(0), C: x.Dim(1), H: x.Dim(2), W: x.Dim(3),
 			M: w.Dim(0), KH: w.Dim(2), KW: w.Dim(3),

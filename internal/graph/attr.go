@@ -4,6 +4,14 @@
 // standardized operator schemas with shape inference, and a visitor
 // mechanism used to convert models into framework-specific networks
 // (paper Fig. 4).
+//
+// Public entry points: Model (NewModel, AddNode/AddInput/AddOutput/
+// AddInitializer, Validate, TopoSort, InferShapes, Clone/ShallowClone),
+// Node and the Attribute constructors (IntAttr, FloatAttr, StringAttr,
+// IntsAttr, TensorAttr), the schema registry (RegisterSchema,
+// LookupSchema, SchemaNames), serialization (Save/Load, Encode/Decode,
+// EncodeJSON/DecodeJSON) and NewVisitor. The compile pipeline
+// (internal/compile) rewrites Models built here before execution.
 package graph
 
 import (

@@ -278,6 +278,33 @@ func (m *Model) Validate() error {
 	return nil
 }
 
+// ShallowClone returns a structural copy of the model — nodes, inputs,
+// outputs and the initializer *map* are fresh, but initializer tensors are
+// shared with the original. The compile pipeline (internal/compile) rewrites
+// shallow clones so an optimized graph trains the same parameter storage as
+// the model it was compiled from: optimizer updates made through either
+// model's Network are visible to both, and saving the original after
+// training captures the trained weights.
+func (m *Model) ShallowClone() *Model {
+	out := NewModel(m.Name)
+	out.DocString = m.DocString
+	for _, n := range m.Nodes {
+		attrs := make([]Attribute, 0, len(n.Attrs))
+		for _, a := range n.Attrs {
+			attrs = append(attrs, a)
+		}
+		out.AddNode(NewNode(n.OpType, n.Name, n.Inputs, n.Outputs, attrs...))
+	}
+	for _, in := range m.Inputs {
+		out.AddInput(in.Name, in.Shape...)
+	}
+	out.Outputs = append([]string(nil), m.Outputs...)
+	for name, t := range m.Initializers {
+		out.Initializers[name] = t
+	}
+	return out
+}
+
 // Clone returns a deep copy of the model (tensors included).
 func (m *Model) Clone() *Model {
 	out := NewModel(m.Name)

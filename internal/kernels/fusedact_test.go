@@ -1,0 +1,113 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEq(a, b []float32, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(float64(a[i]-b[i])) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBiasActMatchesComposition validates the fused epilogue against the
+// unfused kernels it replaces: broadcast bias add followed by the
+// standalone activation kernel.
+func TestBiasActMatchesComposition(t *testing.T) {
+	const rows, cols = 3, 4
+	src := []float32{
+		-1.5, 0.25, 2, -0.125,
+		0.5, -2, 1.25, 3,
+		-0.75, 0.0625, -4, 0.875,
+	}
+	bias := []float32{0.5, -0.25, 0, 1}
+
+	for _, tc := range []struct {
+		act   Act
+		apply func(in, out []float32)
+	}{
+		{ActReLU, ReLU},
+		{ActSigmoid, Sigmoid},
+		{ActTanh, Tanh},
+		{ActNone, func(in, out []float32) { copy(out, in) }},
+	} {
+		for _, withBias := range []bool{true, false} {
+			// Reference: bias sweep into a fresh buffer, then activation.
+			pre := make([]float32, len(src))
+			copy(pre, src)
+			b := bias
+			if !withBias {
+				b = nil
+			} else {
+				for r := 0; r < rows; r++ {
+					for j := 0; j < cols; j++ {
+						pre[r*cols+j] += bias[j]
+					}
+				}
+			}
+			want := make([]float32, len(src))
+			tc.apply(pre, want)
+
+			got := make([]float32, len(src))
+			copy(got, src)
+			BiasAct(rows, cols, got, b, tc.act)
+			if !almostEq(got, want, 1e-6) {
+				t.Fatalf("BiasAct(%v, bias=%t) = %v, want %v", tc.act, withBias, got, want)
+			}
+		}
+	}
+}
+
+// TestActGradFromOutputMatchesBackwardKernels validates the output-derived
+// backward epilogue against the standalone backward kernels.
+func TestActGradFromOutputMatchesBackwardKernels(t *testing.T) {
+	pre := []float32{-1.5, 0.25, 2, -0.125, 0.5, -2}
+	gradOut := []float32{1, -0.5, 0.25, 2, -1, 0.125}
+	n := len(pre)
+
+	for _, tc := range []struct {
+		act Act
+		fwd func(in, out []float32)
+		bwd func(y []float32) []float32
+	}{
+		{ActReLU, ReLU, func(y []float32) []float32 {
+			// Standalone ReLU backward keys on the forward *input*.
+			want := make([]float32, n)
+			ReLUBackward(pre, gradOut, want)
+			return want
+		}},
+		{ActSigmoid, Sigmoid, func(y []float32) []float32 {
+			want := make([]float32, n)
+			SigmoidBackward(y, gradOut, want)
+			return want
+		}},
+		{ActTanh, Tanh, func(y []float32) []float32 {
+			want := make([]float32, n)
+			TanhBackward(y, gradOut, want)
+			return want
+		}},
+	} {
+		y := make([]float32, n)
+		tc.fwd(pre, y)
+		want := tc.bwd(y)
+		got := make([]float32, n)
+		ActGradFromOutput(tc.act, y, gradOut, got)
+		if !almostEq(got, want, 1e-6) {
+			t.Fatalf("ActGradFromOutput(%v) = %v, want %v", tc.act, got, want)
+		}
+	}
+
+	// ActNone passes the gradient through unchanged.
+	got := make([]float32, n)
+	ActGradFromOutput(ActNone, pre, gradOut, got)
+	if !almostEq(got, gradOut, 0) {
+		t.Fatalf("ActGradFromOutput(ActNone) = %v, want %v", got, gradOut)
+	}
+}

@@ -6,6 +6,14 @@
 // Calling a kernel directly — with no graph, no dispatch, no instrumentation
 // — is this repository's "DeepBench baseline" (§V-B of the paper): the
 // lowest achievable runtime against which framework overhead is measured.
+//
+// Public entry points: Gemm (with GemmAlgo selection) and the transposed
+// variants, Conv2D (ConvAlgo: direct, im2col, Winograd) with ConvShape
+// geometry, the pooling and activation kernels, the fused optimizer
+// kernels (AdamFused, MomentumFused, …, §III-A Use Case 1) and the fused
+// graph-operator epilogues (BiasAct, BiasReLUFused, ActGradFromOutput)
+// used by the compile pipeline's fusion pass. Pool is the single shared
+// worker budget every parallel code path in the repository draws from.
 package kernels
 
 // gemmBlock is the cache-blocking tile edge used by the blocked kernels.

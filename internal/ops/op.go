@@ -10,6 +10,13 @@
 // batch statistics) between a Forward call and the matching Backward call;
 // they are therefore not safe for concurrent reuse — executors instantiate
 // one operator per graph node.
+//
+// Public entry points: the Operator interface, Register / Registered /
+// RegisteredOps (the D500_REGISTER_OP analogue), FromNode (the node →
+// operator factory executors use), and the optional capability interfaces
+// TrainingAware and AllocatorAware. The fused operators FusedGemmAct and
+// FusedConvRelu (fusedact.go) are produced by the compile pipeline's
+// fusion pass (internal/compile), never by hand-built models.
 package ops
 
 import (

@@ -3,6 +3,13 @@
 // The package deliberately mirrors the "tensor descriptor" abstraction of the
 // Deep500 paper (§IV-B): a shape, an element type (fp32 here), and a data
 // layout, decoupled from any particular framework backend.
+//
+// Public entry points: Tensor construction (New, From, Full, Zeros-like
+// via New), elementwise math (Add, Sub, Mul, Div, Map), the deterministic
+// RNG with the He/Xavier initializers (NewRNG, HeInit, XavierInit,
+// RandNormal), and Arena — the ref-counted, size-class recycling buffer
+// pool executors use to stop steady-state passes from allocating garbage
+// (Allocator is the interface operators draw outputs from).
 package tensor
 
 import (

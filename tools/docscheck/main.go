@@ -1,0 +1,160 @@
+// Command docscheck is the repository's documentation linter, run by the
+// CI docs job. It fails (exit 1) on:
+//
+//  1. broken intra-repository markdown links — every relative link target
+//     in every *.md file must exist on disk (fragments are stripped;
+//     external http(s)/mailto links are ignored); and
+//  2. exported identifiers in the public d500/ package missing doc
+//     comments — the public API surface must stay fully documented.
+//
+// Usage: go run ./tools/docscheck [repo-root]   (default ".")
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var problems []string
+	problems = append(problems, checkMarkdownLinks(root)...)
+	problems = append(problems, checkDocComments(filepath.Join(root, "d500"))...)
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("docscheck: markdown links and d500 doc comments OK")
+}
+
+// mdLink matches [text](target); images ![alt](target) share the suffix.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// checkMarkdownLinks verifies every relative link in every markdown file
+// under root resolves to an existing file or directory.
+func checkMarkdownLinks(root string) []string {
+	var problems []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "node_modules" || (strings.HasPrefix(name, ".") && name != ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#") // drop fragment
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), target)
+			if _, err := os.Stat(resolved); err != nil {
+				problems = append(problems, fmt.Sprintf("%s: broken link %q (%s does not exist)", path, m[1], resolved))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		problems = append(problems, fmt.Sprintf("docscheck: walking %s: %v", root, err))
+	}
+	return problems
+}
+
+// checkDocComments parses every non-test Go file in dir and reports
+// exported top-level declarations (functions, methods, types, and the
+// first name of var/const specs) without a doc comment. Grouped specs
+// inherit the group's doc, matching godoc behaviour.
+func checkDocComments(dir string) []string {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return []string{fmt.Sprintf("docscheck: parsing %s: %v", dir, err)}
+	}
+	var problems []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		problems = append(problems, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, kind, name))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || d.Doc != nil {
+						continue
+					}
+					// Methods on unexported receivers stay internal.
+					if d.Recv != nil && !exportedRecv(d.Recv) {
+						continue
+					}
+					kind := "function"
+					if d.Recv != nil {
+						kind = "method"
+					}
+					report(d.Pos(), kind, d.Name.Name)
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+								report(s.Pos(), "type", s.Name.Name)
+							}
+						case *ast.ValueSpec:
+							for _, n := range s.Names {
+								if n.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+									report(s.Pos(), strings.ToLower(d.Tok.String()), n.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// exportedRecv reports whether a method receiver names an exported type.
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if ident, ok := t.(*ast.Ident); ok {
+		return ident.IsExported()
+	}
+	return false
+}
