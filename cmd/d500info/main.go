@@ -1,7 +1,9 @@
 // Command d500info prints the Deep500-Go surveys and registries: the
 // paper's Table I (framework features), Table II (benchmark features),
 // Fig. 2 (nodes-over-time survey), the registered operator set, the model
-// zoo, and the emulated framework backends.
+// zoo, the emulated framework backends, the benchmark experiment registry
+// (the ids d500bench -experiment accepts), and the serving defaults of
+// d500serve.
 package main
 
 import (
@@ -16,12 +18,41 @@ import (
 	"deep500/internal/ops"
 )
 
+// printExperiments lists the registered benchmark experiment ids — the
+// same registry d500bench prints on an unknown -experiment (exit 2).
+func printExperiments() error {
+	sess, err := d500.New()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nBenchmark experiments (d500bench -experiment ids):")
+	for _, id := range sess.Experiments() {
+		fmt.Printf("  %s\n", id)
+	}
+	return nil
+}
+
+// printServe renders the d500serve / d500.NewServer option surface with
+// its resolved defaults.
+func printServe() {
+	d := d500.DefaultServerConfig()
+	fmt.Println("\nServing defaults (d500serve / d500.NewServer):")
+	fmt.Printf("  %-22s %d rows (flag -batch, option WithMaxBatch; 1 disables batching)\n", "max batch", d.MaxBatch)
+	fmt.Printf("  %-22s %v (flag -linger, option WithMaxLinger)\n", "max linger", d.MaxLinger)
+	fmt.Printf("  %-22s %d (flag -replicas, option WithReplicas)\n", "session replicas", d.Replicas)
+	fmt.Printf("  %-22s %d requests (flag -queue, option WithQueueDepth; default replicas×batch×4)\n", "admission queue", d.QueueDepth)
+	fmt.Printf("  %-22s %d workers (shared kernels pool)\n", "worker budget", d.PoolWorkers)
+	fmt.Printf("  %-22s %v (WithSession(WithFramework(...)))\n", "replica frameworks", d.Frameworks)
+}
+
 func main() {
 	table := flag.Int("table", 0, "print survey table 1 or 2")
 	fig := flag.Int("fig", 0, "print survey figure 2")
 	showOps := flag.Bool("ops", false, "list registered operators")
 	showModels := flag.Bool("models", false, "list the model zoo")
 	showBackends := flag.Bool("backends", false, "list emulated framework backends")
+	showExperiments := flag.Bool("experiments", false, "list registered benchmark experiments")
+	showServe := flag.Bool("serve", false, "show d500serve serving options and defaults")
 	flag.Parse()
 
 	any := false
@@ -72,9 +103,25 @@ func main() {
 		}
 		any = true
 	}
+	if *showExperiments {
+		if err := printExperiments(); err != nil {
+			fmt.Fprintln(os.Stderr, "d500info:", err)
+			os.Exit(1)
+		}
+		any = true
+	}
+	if *showServe {
+		printServe()
+		any = true
+	}
 	if !any {
 		d500.RenderTableI(os.Stdout)
 		d500.RenderTableII(os.Stdout)
 		d500.RenderFig2(os.Stdout)
+		if err := printExperiments(); err != nil {
+			fmt.Fprintln(os.Stderr, "d500info:", err)
+			os.Exit(1)
+		}
+		printServe()
 	}
 }

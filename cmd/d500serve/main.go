@@ -1,0 +1,153 @@
+// Command d500serve runs the Deep500-Go online-inference server: a model
+// — a trained D5NX checkpoint or a freshly initialized zoo architecture —
+// behind the dynamic micro-batching queue and session-replica pool, over
+// the HTTP JSON front end.
+//
+// Usage:
+//
+//	d500serve -zoo mlp                              # serve a zoo model
+//	d500serve -model trained.d5nx -addr :8500       # serve a checkpoint
+//	d500serve -zoo lenet -replicas 4 -batch 16 -linger 2ms -exec parallel -arena -opt
+//
+// Routes: POST /v1/infer (JSON feeds → JSON outputs), GET /stats (serving
+// counters), GET /healthz. Backpressure surfaces as HTTP 429; SIGINT or
+// SIGTERM triggers graceful shutdown (drain the queue, stop the
+// replicas), bounded by -grace.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"deep500/d500"
+	"deep500/internal/graph"
+	"deep500/internal/models"
+)
+
+// zooModel builds a headless (inference-only) zoo architecture at its
+// classic input geometry.
+func zooModel(name string) (*graph.Model, error) {
+	mnist := models.Config{Classes: 10, Channels: 1, Height: 28, Width: 28, Seed: 42}
+	cifar := models.Config{Classes: 10, Channels: 3, Height: 32, Width: 32, Seed: 42}
+	switch strings.ToLower(name) {
+	case "mlp":
+		return models.MLP(mnist, 256, 128), nil
+	case "lenet":
+		return models.LeNet(mnist), nil
+	case "resnet8":
+		return models.ResNet(8, cifar), nil
+	case "resnet18":
+		return models.ResNet(18, cifar), nil
+	case "wrn16":
+		return models.WideResNet(16, 2, cifar), nil
+	default:
+		return nil, fmt.Errorf("unknown zoo model %q (mlp, lenet, resnet8, resnet18, wrn16)", name)
+	}
+}
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	addr := flag.String("addr", ":8500", "listen address")
+	modelPath := flag.String("model", "", "serve this D5NX checkpoint (overrides -zoo)")
+	zoo := flag.String("zoo", "mlp", "serve a freshly initialized zoo model: mlp, lenet, resnet8, resnet18, wrn16")
+	batch := flag.Int("batch", 8, "micro-batch flush size (1 disables batching)")
+	linger := flag.Duration("linger", 2*time.Millisecond, "max wait for a batch to fill")
+	replicas := flag.Int("replicas", 2, "session replicas serving concurrently")
+	queue := flag.Int("queue", 0, "admission queue depth (0 = replicas*batch*4)")
+	execName := flag.String("exec", "sequential", "graph execution backend: sequential, parallel")
+	arena := flag.Bool("arena", false, "recycle activation buffers through a shared tensor arena")
+	optimize := flag.Bool("opt", false, "compile the graph before serving (fusion/folding/DCE)")
+	grace := flag.Duration("grace", 10*time.Second, "graceful shutdown budget")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "d500serve: unexpected argument %q (boolean flags like -opt and -arena take no value)\n", flag.Arg(0))
+		return 2
+	}
+
+	var (
+		model *graph.Model
+		err   error
+	)
+	if *modelPath != "" {
+		model, err = d500.Load(*modelPath)
+	} else {
+		model, err = zooModel(*zoo)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "d500serve:", err)
+		return 2
+	}
+
+	sessOpts := []d500.Option{d500.WithBackendName(*execName)}
+	if *arena {
+		sessOpts = append(sessOpts, d500.WithArena())
+	}
+	if *optimize {
+		sessOpts = append(sessOpts, d500.WithOptimize())
+	}
+	srvOpts := []d500.ServerOption{
+		d500.WithMaxBatch(*batch),
+		d500.WithMaxLinger(*linger),
+		d500.WithReplicas(*replicas),
+		d500.WithSession(sessOpts...),
+	}
+	if *queue > 0 {
+		srvOpts = append(srvOpts, d500.WithQueueDepth(*queue))
+	}
+	server, err := d500.NewServer(model, srvOpts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "d500serve:", err)
+		return 2
+	}
+
+	fmt.Printf("d500serve: model %q (%d nodes, %d params) on %s — batch %d, linger %v, %d replica(s), exec %s\n",
+		model.Name, len(model.Nodes), model.ParamCount(), *addr, *batch, *linger, *replicas, *execName)
+	if stats, ok := server.OptimizeStats(); ok {
+		fmt.Println("d500serve:", stats)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: server.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		// ListenAndServe never returns nil; reaching here without a signal
+		// means the listener failed (e.g. the port is taken).
+		fmt.Fprintln(os.Stderr, "d500serve:", err)
+		server.Close(context.Background())
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting connections, drain in-flight HTTP
+	// requests, then drain the serving queue and stop the replicas.
+	fmt.Println("d500serve: shutting down…")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	code := 0
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "d500serve: http shutdown:", err)
+		code = 1
+	}
+	if err := server.Close(shutdownCtx); err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "d500serve: server close:", err)
+		code = 1
+	}
+	st := server.Stats()
+	fmt.Printf("d500serve: served %d request(s) in %d batch(es) (occupancy %.2f rows/batch, %d rejected)\n",
+		st.Requests, st.Batches, st.Occupancy, st.Rejected)
+	fmt.Println("d500serve: shutdown complete")
+	return code
+}

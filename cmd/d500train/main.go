@@ -117,8 +117,8 @@ func main() {
 		fmt.Printf("target accuracy %.0f%% not reached\n", *target*100)
 	}
 	if *save != "" {
-		fatalIf(graph.Save(m, *save))
-		fmt.Printf("model saved to %s\n", *save)
+		fatalIf(sess.Save(*save))
+		fmt.Printf("model saved to %s (serve it: d500serve -model %s)\n", *save, *save)
 	}
 }
 

@@ -21,6 +21,21 @@
 //
 // Observation happens through a single structured event stream: install a
 // Hook with WithHook and receive typed StepEnd / EpochEnd / EvalEnd /
-// BenchSample events. ConsoleHook renders that stream as the progress
-// lines and sample tables the binaries print.
+// BenchSample / ServeSample events. ConsoleHook renders that stream as
+// the progress lines and sample tables the binaries print.
+//
+// For online inference, NewServer wraps a model in the serving
+// subsystem — a dynamic micro-batching queue over a pool of session
+// replicas with bounded admission and an HTTP JSON front end:
+//
+//	srv, err := d500.NewServer(model,
+//		d500.WithMaxBatch(8), d500.WithReplicas(4),
+//		d500.WithSession(d500.WithArena(), d500.WithOptimize()),
+//	)
+//	if err != nil { ... }
+//	http.ListenAndServe(":8500", srv.Handler())
+//
+// Session.Save and Load round-trip trained weights through the D5NX
+// checkpoint format, so a train → Save → Load → serve pipeline
+// reproduces inference exactly.
 package d500

@@ -6,10 +6,11 @@ import (
 	"time"
 )
 
-// Event is a structured observation from a Session: a training step or
-// epoch finishing, an evaluation completing, or a benchmark sample being
-// recorded. The concrete types are StepEnd, EpochEnd, EvalEnd and
-// BenchSample; consumers type-switch on the value they receive.
+// Event is a structured observation from a Session or Server: a training
+// step or epoch finishing, an evaluation completing, a benchmark sample
+// being recorded, or a serving micro-batch executing. The concrete types
+// are StepEnd, EpochEnd, EvalEnd, BenchSample and ServeSample; consumers
+// type-switch on the value they receive.
 type Event interface{ event() }
 
 // StepEnd is emitted after every optimization step.
@@ -55,10 +56,27 @@ type BenchSample struct {
 	Samples int
 }
 
+// ServeSample is emitted by a Server for every executed micro-batch: how
+// many requests and rows were coalesced, how long the batch's oldest
+// request waited, and how long the batched pass took. Emissions are
+// serialized across replicas, so a hook consuming them need not be
+// thread-safe.
+type ServeSample struct {
+	// Replica identifies the session replica that ran the batch.
+	Replica int
+	// Requests and Rows describe the coalesced batch.
+	Requests, Rows int
+	// QueueWait is the oldest request's admission-to-dispatch wait.
+	QueueWait time.Duration
+	// Exec is the batched forward-pass duration.
+	Exec time.Duration
+}
+
 func (StepEnd) event()     {}
 func (EpochEnd) event()    {}
 func (EvalEnd) event()     {}
 func (BenchSample) event() {}
+func (ServeSample) event() {}
 
 // Hook consumes the session event stream. Hooks run synchronously on the
 // training/benchmark goroutine: keep them fast, or hand off to a channel.
@@ -96,6 +114,9 @@ func ConsoleHook(w io.Writer) Hook {
 			fmt.Fprintf(w, "evaluation  accuracy %.4f\n", ev.Accuracy)
 		case BenchSample:
 			fmt.Fprintf(w, "bench %-12s %-32s %12.6g %s (%d samples)\n", ev.Experiment, ev.Metric, ev.Value, ev.Unit, ev.Samples)
+		case ServeSample:
+			fmt.Fprintf(w, "serve replica %d  batch %d req / %d rows  wait %s  exec %s\n",
+				ev.Replica, ev.Requests, ev.Rows, fdur(ev.QueueWait), fdur(ev.Exec))
 		}
 	}
 }

@@ -1,0 +1,286 @@
+package d500
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"deep500/internal/compile"
+	"deep500/internal/executor"
+	"deep500/internal/graph"
+	"deep500/internal/kernels"
+	"deep500/internal/serve"
+	"deep500/internal/tensor"
+)
+
+// Serving errors, re-exported from the internal subsystem so consumers
+// can match backpressure conditions with errors.Is without importing
+// internal packages.
+var (
+	// ErrOverloaded is the typed backpressure signal: the server's bounded
+	// admission queue is full and the request was rejected immediately.
+	ErrOverloaded = serve.ErrQueueFull
+	// ErrServerClosed is returned by Server.Infer once Close has begun.
+	ErrServerClosed = serve.ErrClosed
+	// ErrBadRequest wraps request-validation failures (missing feeds,
+	// shape mismatches, disagreeing batch dimensions).
+	ErrBadRequest = serve.ErrBadRequest
+)
+
+// ServerStats is the serving counter snapshot returned by Server.Stats
+// (and rendered by the HTTP /stats route).
+type ServerStats = serve.Stats
+
+// serverConfig is the resolved server configuration.
+type serverConfig struct {
+	sess     []Option
+	maxBatch int
+	linger   time.Duration
+	replicas int
+	queue    int
+}
+
+// ServerOption configures NewServer. Options are applied in order; the
+// first error aborts construction.
+type ServerOption func(*serverConfig) error
+
+// WithMaxBatch sets the row count at which a forming micro-batch flushes
+// immediately (default 8); 1 disables micro-batching.
+func WithMaxBatch(n int) ServerOption {
+	return func(c *serverConfig) error {
+		if n < 1 {
+			return fmt.Errorf("d500: WithMaxBatch requires at least 1 row, got %d", n)
+		}
+		c.maxBatch = n
+		return nil
+	}
+}
+
+// WithMaxLinger bounds how long a non-full batch waits for more requests
+// after its first request is picked up (default 0: flush with whatever is
+// already queued, never wait).
+func WithMaxLinger(d time.Duration) ServerOption {
+	return func(c *serverConfig) error {
+		if d < 0 {
+			return fmt.Errorf("d500: WithMaxLinger requires a non-negative duration, got %v", d)
+		}
+		c.linger = d
+		return nil
+	}
+}
+
+// WithReplicas sets the number of independent session replicas serving
+// requests (default 1). Sessions are single-goroutine by contract, so
+// serving concurrency comes from replicas; all replicas share the model
+// weights, the kernel worker pool and the tensor arena.
+func WithReplicas(n int) ServerOption {
+	return func(c *serverConfig) error {
+		if n < 1 {
+			return fmt.Errorf("d500: WithReplicas requires at least 1 replica, got %d", n)
+		}
+		c.replicas = n
+		return nil
+	}
+}
+
+// WithQueueDepth bounds the admission queue (default replicas×batch×4).
+// A full queue rejects requests with ErrOverloaded.
+func WithQueueDepth(n int) ServerOption {
+	return func(c *serverConfig) error {
+		if n < 1 {
+			return fmt.Errorf("d500: WithQueueDepth requires at least 1 slot, got %d", n)
+		}
+		c.queue = n
+		return nil
+	}
+}
+
+// WithSession forwards Session options to the server's replicas: backend
+// selection, arena recycling, the compile pipeline, a dedicated worker
+// pool and the event hook all mean the same thing they mean for a
+// Session. Shared resources are resolved once — the replicas share one
+// worker pool, one arena and one compiled model.
+func WithSession(opts ...Option) ServerOption {
+	return func(c *serverConfig) error {
+		c.sess = append(c.sess, opts...)
+		return nil
+	}
+}
+
+// Server is the online-inference front end over a pool of session
+// replicas: single-item Infer calls are coalesced by a dynamic
+// micro-batching queue into batched tensor executions and split back per
+// request. Construct with NewServer; all methods are safe for concurrent
+// use — Server is the one concurrency-safe entry point of the package
+// (see the Session concurrency contract).
+type Server struct {
+	inner *serve.Server
+	stats OptimizeStats
+	opt   bool
+}
+
+// NewServer builds a serving pool over the model. The replicas are
+// configured through WithSession (same vocabulary as New) and share the
+// model's parameter tensors, one kernel worker pool and one tensor arena;
+// the compile pipeline, when enabled, runs once and every replica serves
+// the compiled graph.
+//
+// Every executed micro-batch is reported to the session hook (WithSession
+// + WithHook) as a ServeSample event.
+func NewServer(m *graph.Model, opts ...ServerOption) (*Server, error) {
+	if m == nil {
+		return nil, errors.New("d500: NewServer requires a non-nil model")
+	}
+	cfg := serverConfig{maxBatch: serve.DefaultMaxBatch, replicas: serve.DefaultReplicas}
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	// Resolve the replica template exactly like New resolves a Session, so
+	// option validation and defaulting stay in one place.
+	base, err := New(cfg.sess...)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Server{}
+	served := m
+	if base.cfg.optimize {
+		om, rep, err := compile.Optimize(m, compile.Defaults())
+		if err != nil {
+			return nil, fmt.Errorf("d500: compiling model %q for serving: %w", m.Name, err)
+		}
+		served = om
+		s.opt = true
+		s.stats = OptimizeStats{
+			NodesBefore:        rep.NodesBefore,
+			NodesAfter:         rep.NodesAfter,
+			Folded:             rep.Folded,
+			Eliminated:         rep.Eliminated,
+			Fused:              rep.Fused,
+			PrunedInitializers: rep.PrunedInitializers,
+		}
+	}
+
+	// Shared replica resources: one pool, one arena.
+	pool := base.pool
+	var arena *tensor.Arena
+	if base.cfg.arena {
+		arena = tensor.NewArena()
+	}
+	factory := func() (executor.GraphExecutor, error) {
+		var execOpts []executor.Option
+		if base.cfg.backend == Parallel {
+			execOpts = append(execOpts, executor.WithBackend(executor.NewParallelBackend(pool)))
+		}
+		if arena != nil {
+			execOpts = append(execOpts, executor.WithArena(arena))
+		}
+		if base.prof != nil {
+			return base.prof.NewExecutor(served, execOpts...)
+		}
+		return executor.New(served, execOpts...)
+	}
+
+	var observe func(serve.Sample)
+	if hook := base.cfg.hook; hook != nil {
+		observe = func(sm serve.Sample) {
+			hook(ServeSample{
+				Replica:   sm.Replica,
+				Requests:  sm.Requests,
+				Rows:      sm.Rows,
+				QueueWait: sm.QueueWait,
+				Exec:      sm.Exec,
+			})
+		}
+	}
+
+	inner, err := serve.New(serve.Options{
+		MaxBatch:    cfg.maxBatch,
+		MaxLinger:   cfg.linger,
+		Replicas:    cfg.replicas,
+		QueueDepth:  cfg.queue,
+		NewExecutor: factory,
+		Observe:     observe,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.inner = inner
+	return s, nil
+}
+
+// Infer runs one inference request through the micro-batching pipeline.
+// Feeds must supply exactly the model's declared inputs, each with a
+// leading batch dimension; row-aligned outputs come back split to this
+// request's rows, batch-scoped outputs (a batch-mean loss) as copies.
+// ctx is honored while the request is queued; admission overload returns
+// ErrOverloaded immediately.
+func (s *Server) Infer(ctx context.Context, feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	return s.inner.Infer(ctx, feeds)
+}
+
+// Handler returns the server's HTTP JSON front end: POST /v1/infer,
+// GET /stats, GET /healthz. Backpressure maps onto status codes (429
+// queue full, 503 closed, 400 bad request, 504 queued-request deadline).
+func (s *Server) Handler() http.Handler { return s.inner.Handler() }
+
+// Stats returns a snapshot of the serving counters: served requests /
+// rows / batches, mean batch occupancy, rejections, and per-batch queue
+// wait and execution means.
+func (s *Server) Stats() ServerStats { return s.inner.Stats() }
+
+// OptimizeStats reports what the compile pipeline did to the served
+// model; ok is false when the server was built without WithOptimize.
+func (s *Server) OptimizeStats() (stats OptimizeStats, ok bool) { return s.stats, s.opt }
+
+// Close stops admission (Infer then returns ErrServerClosed), drains the
+// queued requests and waits for the replicas to finish. If ctx expires
+// first, in-flight passes are cancelled and Close returns ctx.Err().
+func (s *Server) Close(ctx context.Context) error { return s.inner.Close(ctx) }
+
+// poolWorkers reports the server-shared worker budget — used by d500info
+// to render serving defaults.
+func poolWorkers(p *kernels.Pool) int {
+	if p == nil {
+		p = kernels.Default
+	}
+	return p.Workers()
+}
+
+// ServerDefaults describes the serving configuration NewServer resolves
+// when no options are given — the discoverability surface d500info
+// renders next to the experiment registry.
+type ServerDefaults struct {
+	// MaxBatch / MaxLinger / Replicas / QueueDepth mirror the ServerOption
+	// defaults.
+	MaxBatch   int
+	MaxLinger  time.Duration
+	Replicas   int
+	QueueDepth int
+	// PoolWorkers is the shared kernel worker budget replicas draw from.
+	PoolWorkers int
+	// Frameworks lists the framework profiles WithSession(WithFramework)
+	// accepts for replicas.
+	Frameworks []string
+}
+
+// DefaultServerConfig returns the documented NewServer defaults —
+// resolved from the same constants serve.New applies, so the rendered
+// defaults can never drift from the running ones.
+func DefaultServerConfig() ServerDefaults {
+	return ServerDefaults{
+		MaxBatch:    serve.DefaultMaxBatch,
+		MaxLinger:   0,
+		Replicas:    serve.DefaultReplicas,
+		QueueDepth:  serve.DefaultQueueDepth(serve.DefaultReplicas, serve.DefaultMaxBatch),
+		PoolWorkers: poolWorkers(nil),
+		Frameworks:  Frameworks(),
+	}
+}

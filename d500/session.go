@@ -20,9 +20,32 @@ import (
 // it to a model; Infer, Train, Evaluate and Bench then drive the stack
 // with context-aware execution throughout.
 //
-// A Session is not safe for concurrent method calls; open one session per
-// goroutine (sessions are cheap — the heavy state is the model's executor,
-// built by Open).
+// # Concurrency contract
+//
+// A Session is single-goroutine: no two Session methods may run
+// concurrently, because a pass mutates per-pass executor state (activation
+// maps, FLOP counters, arena lifetimes) without cross-call locking. What
+// IS safe — and what the serving layer is built on — is running many
+// Sessions concurrently from different goroutines:
+//
+//   - Sessions may share one kernel worker pool. The pool is a counting
+//     semaphore of worker tokens; a session that finds the pool drained
+//     simply runs its kernels inline, so concurrent sessions degrade to
+//     sequential execution instead of oversubscribing the machine.
+//     Parallel-backend sessions built without WithPool all share the
+//     process-wide default pool.
+//   - Sessions may share one model (Open the same *graph.Model in each):
+//     parameter tensors are referenced, not copied, so all of them serve
+//     the same weights. Concurrent *readers* (Infer) are safe; mutating
+//     parameters (Train) while another session reads them is a data race
+//     the caller must exclude.
+//   - The tensor arena is internally synchronized. Each Session owns its
+//     arena (WithArena), and the replicas of a Server share one.
+//
+// For request-level serving concurrency use NewServer, which manages a
+// pool of session replicas behind a batching queue — Server, unlike
+// Session, is safe for concurrent method calls. Sessions are cheap: the
+// heavy state is the model's executor, built by Open.
 type Session struct {
 	cfg  config
 	prof *frameworks.Profile

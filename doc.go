@@ -7,14 +7,20 @@
 // WithOptimize, WithSeed, WithPool, WithHook) with
 // Open/Infer/Train/Evaluate/Bench methods, context-aware execution
 // through the whole chain, and a structured event stream
-// (StepEnd/EpochEnd/EvalEnd/BenchSample) as the single observation
-// channel. Everything under internal/ is an implementation detail; cmd/
-// and examples/ consume only the public API. See README.md §"Public API"
-// for the migration table from the old internal entry points, and
-// ARCHITECTURE.md for the layer map, the dataflow of one Session.Train
-// call, and the graph-compilation pipeline (internal/compile: constant
-// folding, dead-node elimination, operator fusion) documented pass by
-// pass.
+// (StepEnd/EpochEnd/EvalEnd/BenchSample/ServeSample) as the single
+// observation channel. For online inference, d500.NewServer puts a model
+// behind the serving subsystem (internal/serve): a dynamic micro-batching
+// queue over a pool of session replicas with bounded admission, fronted
+// by HTTP JSON in cmd/d500serve; d500.Load and Session.Save round-trip
+// trained weights through the D5NX checkpoint format. Everything under
+// internal/ is an implementation detail; cmd/ and examples/ consume only
+// the public API. See README.md §"Public API" for the migration table
+// from the old internal entry points, ARCHITECTURE.md for the layer map,
+// the dataflow of one Session.Train call, the lifetime of one serving
+// request, and the graph-compilation pipeline (internal/compile:
+// constant folding, dead-node elimination, operator fusion) documented
+// pass by pass, and docs/serving.md for batching semantics and
+// backpressure.
 //
 // The root package carries only the repository-level benchmark harness
 // (bench_test.go): one benchmark per paper table/figure plus ablations of

@@ -19,7 +19,6 @@ import (
 	"path/filepath"
 
 	"deep500/d500"
-	"deep500/internal/graph"
 	"deep500/internal/models"
 )
 
@@ -76,12 +75,14 @@ func main() {
 		fmt.Printf("time to 95%% accuracy: %v\n", res.TimeToTarget)
 	}
 
-	// 5. Save the trained model in the D5NX format and load it back.
+	// 5. Save the trained model in the D5NX format and load it back —
+	//    entirely through the public checkpoint API (Session.Save /
+	//    d500.Load). The loaded model is ready for d500serve.
 	path := filepath.Join(".", "lenet-trained.d5nx")
-	if err := graph.Save(model, path); err != nil {
+	if err := sess.Save(path); err != nil {
 		log.Fatal(err)
 	}
-	loaded, err := graph.Load(path)
+	loaded, err := d500.Load(path)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"deep500/internal/bench"
+)
+
+// TestServeExperimentShape runs the serve experiment end to end at quick
+// scale and checks its record contract: deterministic request counts,
+// latency sample distributions, full batch occupancy on the batched
+// variant, and the speedup spotlight.
+func TestServeExperimentShape(t *testing.T) {
+	var human bytes.Buffer
+	rep, err := quickSuite().Run(context.Background(), []string{"serve"},
+		bench.RunConfig{Out: &human, Env: bench.Environment{NumCPU: 8, CPUModel: "test"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(human.String(), "micro-batching") {
+		t.Fatal("human rendering missing")
+	}
+	recs := map[string]bench.Record{}
+	for _, r := range rep.Experiments[0].Records {
+		recs[r.Name] = r
+	}
+
+	p := serveBenchParams(true)
+	wantReq := float64(p.clients * p.perClient)
+	for _, variant := range []string{"unbatched", "batched"} {
+		if got := recs[variant+"/requests"].Stats.Median; got != wantReq {
+			t.Fatalf("%s/requests = %g, want %g", variant, got, wantReq)
+		}
+		lat := recs[variant+"/latency"]
+		if lat.Unit != "s" || lat.Stats.N != p.clients*p.perClient || lat.Stats.Median <= 0 {
+			t.Fatalf("%s/latency: %+v", variant, lat.Stats)
+		}
+		if recs[variant+"/p95-latency"].Stats.Median < recs[variant+"/p50-latency"].Stats.Median {
+			t.Fatalf("%s: p95 below p50", variant)
+		}
+		if recs[variant+"/throughput"].Stats.Median <= 0 {
+			t.Fatalf("%s/throughput missing", variant)
+		}
+	}
+	// The unbatched variant must execute one row per batch; the batched
+	// variant must actually coalesce (occupancy well above 1 — closed-loop
+	// clients keep the queue primed, in practice it pins at MaxBatch).
+	if occ := recs["unbatched/batch-occupancy"].Stats.Median; occ != 1 {
+		t.Fatalf("unbatched occupancy = %g, want 1", occ)
+	}
+	if occ := recs["batched/batch-occupancy"].Stats.Median; occ < 2 {
+		t.Fatalf("batched occupancy = %g, want ≥ 2", occ)
+	}
+	if _, ok := recs["batched-speedup"]; !ok {
+		t.Fatal("batched-speedup record missing")
+	}
+	// Throughput and occupancy follow scheduler timing: they must stay
+	// report-only so differing CI hardware can never fail the gate on them.
+	for _, name := range []string{"unbatched/throughput", "batched/throughput",
+		"batched/batch-occupancy", "batched-speedup", "unbatched/p50-latency"} {
+		if recs[name].Better != bench.ReportOnly {
+			t.Fatalf("%s must be report-only, is %q", name, recs[name].Better)
+		}
+	}
+}
+
+// TestServeExperimentHonorsCancellation aborts the experiment mid-run.
+func TestServeExperimentHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunServeBench(ctx, quick); err == nil {
+		t.Fatal("cancelled serve bench did not fail")
+	}
+}

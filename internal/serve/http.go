@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"deep500/internal/tensor"
+)
+
+// HTTP JSON front end. The handler exposes three routes:
+//
+//	POST /v1/infer  — run one inference request through the micro-batcher
+//	GET  /stats     — serving counters (Stats) as JSON
+//	GET  /healthz   — liveness probe
+//
+// Request body:  {"feeds":  {"x": {"shape": [1,1,28,28], "data": [...]}}}
+// Response body: {"outputs": {"fc_9_y": {"shape": [1,10], "data": [...]}}}
+//
+// Backpressure maps onto status codes: 429 when the admission queue is
+// full, 503 after shutdown began, 400 for malformed feeds, 504 when the
+// request's deadline expired while queued.
+
+// TensorJSON is the wire form of a tensor: an explicit shape plus the
+// row-major float32 data.
+type TensorJSON struct {
+	Shape []int     `json:"shape"`
+	Data  []float32 `json:"data"`
+}
+
+// InferRequest is the POST /v1/infer body.
+type InferRequest struct {
+	Feeds map[string]TensorJSON `json:"feeds"`
+}
+
+// InferResponse is the POST /v1/infer response body.
+type InferResponse struct {
+	Outputs map[string]TensorJSON `json:"outputs"`
+}
+
+// errorResponse is the JSON error envelope of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// maxBodyBytes bounds /v1/infer request bodies (64 MiB of JSON is far
+// beyond any sane single inference request).
+const maxBodyBytes = 64 << 20
+
+// Handler returns the server's HTTP front end.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/infer", s.handleInfer)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req InferRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return
+	}
+	feeds := make(map[string]*tensor.Tensor, len(req.Feeds))
+	for name, tj := range req.Feeds {
+		if len(tj.Data) != tensor.Volume(tj.Shape) {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("feed %q: %d data values do not fill shape %v", name, len(tj.Data), tj.Shape))
+			return
+		}
+		for _, d := range tj.Shape {
+			if d < 0 {
+				writeError(w, http.StatusBadRequest,
+					fmt.Sprintf("feed %q: negative dimension in shape %v", name, tj.Shape))
+				return
+			}
+		}
+		feeds[name] = tensor.From(tj.Data, tj.Shape...)
+	}
+	outs, err := s.Infer(r.Context(), feeds)
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	resp := InferResponse{Outputs: make(map[string]TensorJSON, len(outs))}
+	for name, t := range outs {
+		resp.Outputs[name] = TensorJSON{Shape: t.Shape(), Data: t.Data()}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// statusFor maps the serving error taxonomy onto HTTP status codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// statusClientClosedRequest is nginx's non-standard 499 (client closed
+// request): the caller went away while the request was queued.
+const statusClientClosedRequest = 499
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}

@@ -1,0 +1,571 @@
+// Package serve is the online-inference serving subsystem: it turns the
+// batch-oriented execution stack (executor + model zoo) into a concurrent
+// request/response service, the operating condition the paper's benchmark
+// philosophy (measure the full stack under realistic load) leaves to the
+// serving layer.
+//
+// Three pieces compose:
+//
+//   - a dynamic micro-batching queue: single-item Infer requests are
+//     coalesced into one batched tensor execution, flushing when the batch
+//     reaches MaxBatch rows or when MaxLinger has elapsed since the batch
+//     opened; batched outputs are split back per request;
+//   - a session-replica pool: Replicas independent executors built over
+//     one shared model (parameter tensors are referenced, not copied, so
+//     all replicas serve the same weights) — the executor contract is
+//     single-goroutine, so serving concurrency comes from replicas, not
+//     from sharing one executor;
+//   - admission control: a bounded queue with typed backpressure errors
+//     (ErrQueueFull when the queue is at capacity, ErrClosed after
+//     shutdown began), so overload is surfaced to clients immediately
+//     instead of accumulating unbounded latency.
+//
+// Public entry points: New (with Options), Server.Infer, Server.Handler
+// (the HTTP JSON front end), Server.Stats and Server.Close. Per-request
+// context deadlines are honored while a request is queued; once its batch
+// is dispatched the pass runs to completion and abandoned results are
+// discarded.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"deep500/internal/executor"
+	"deep500/internal/graph"
+	"deep500/internal/tensor"
+)
+
+// Typed admission and request errors. Callers (and the HTTP front end)
+// test with errors.Is to map them onto backpressure responses.
+var (
+	// ErrQueueFull is the backpressure signal: the bounded admission queue
+	// is at capacity and the request was rejected without queueing.
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrClosed is returned by Infer after Close has begun.
+	ErrClosed = errors.New("serve: server closed")
+	// ErrBadRequest wraps feed-validation failures (missing inputs, shape
+	// mismatches, disagreeing batch dimensions).
+	ErrBadRequest = errors.New("serve: bad request")
+)
+
+// Serving defaults, exported so the public option layer (d500) and the
+// discoverability surfaces (d500info) resolve and render the same values
+// serve.New applies.
+const (
+	// DefaultMaxBatch is the flush size when Options.MaxBatch is zero.
+	DefaultMaxBatch = 8
+	// DefaultReplicas is the replica count when Options.Replicas is zero.
+	DefaultReplicas = 1
+	// defaultQueueFactor sizes the admission queue per replica×batch.
+	defaultQueueFactor = 4
+)
+
+// DefaultQueueDepth is the admission-queue bound resolved when
+// Options.QueueDepth is zero: replicas × maxBatch × 4.
+func DefaultQueueDepth(replicas, maxBatch int) int {
+	return replicas * maxBatch * defaultQueueFactor
+}
+
+// Options configures a Server. The zero value of every field selects a
+// sensible default (see the field comments); NewExecutor is required.
+type Options struct {
+	// MaxBatch is the row count at which a forming batch flushes
+	// immediately (default 8). 1 disables micro-batching: every request
+	// executes alone. A single multi-row request larger than MaxBatch is
+	// still served (as its own batch), and the final coalesced request of
+	// a batch may overshoot MaxBatch when requests carry multiple rows —
+	// MaxBatch is a flush threshold, not a hard cap.
+	MaxBatch int
+	// MaxLinger bounds how long a non-full batch waits for more requests
+	// after its first request is picked up (default 0: flush with whatever
+	// is already queued, never wait).
+	MaxLinger time.Duration
+	// Replicas is the number of independent executor replicas serving
+	// requests (default 1). Replicas share model weights; each runs its
+	// passes on its own goroutine.
+	Replicas int
+	// QueueDepth bounds the admission queue (default Replicas*MaxBatch*4).
+	// A full queue rejects with ErrQueueFull.
+	QueueDepth int
+	// NewExecutor builds one replica executor. It is called Replicas times
+	// at New; all replicas must be built over the same model so they share
+	// parameter tensors. Required.
+	NewExecutor func() (executor.GraphExecutor, error)
+	// Observe, when non-nil, receives one Sample per executed batch.
+	// Calls are serialized across replicas, so the observer need not be
+	// thread-safe (the d500 Hook contract).
+	Observe func(Sample)
+}
+
+// Sample is the per-batch observation emitted through Options.Observe:
+// one executed micro-batch with its coalescing and timing facts.
+type Sample struct {
+	// Replica identifies the executor replica that ran the batch.
+	Replica int
+	// Requests and Rows describe the coalesced batch.
+	Requests, Rows int
+	// QueueWait is how long the batch's oldest request waited between
+	// admission and dispatch.
+	QueueWait time.Duration
+	// Exec is the batched forward-pass duration.
+	Exec time.Duration
+}
+
+// request is one queued inference request.
+type request struct {
+	ctx      context.Context
+	feeds    map[string]*tensor.Tensor
+	rows     int
+	enqueued time.Time
+	done     chan result
+}
+
+type result struct {
+	outs map[string]*tensor.Tensor
+	err  error
+}
+
+func (r *request) finish(outs map[string]*tensor.Tensor, err error) {
+	r.done <- result{outs: outs, err: err} // buffered(1), single sender
+}
+
+// Server is the serving front: an admission queue feeding a pool of
+// executor replicas through the micro-batcher. Construct with New; Server
+// methods are safe for concurrent use by any number of goroutines.
+type Server struct {
+	opts     Options
+	inputs   []graph.TensorInfo
+	outputs  []string
+	replicas []executor.GraphExecutor
+
+	queue chan *request
+	ctx   context.Context
+	stop  context.CancelFunc
+	wg    sync.WaitGroup
+
+	mu     sync.RWMutex // guards closed vs queue sends
+	closed bool
+
+	observeMu sync.Mutex
+
+	statsMu sync.Mutex
+	stats   statsAccum
+}
+
+// statsAccum is the mutable counter set behind Server.Stats.
+type statsAccum struct {
+	requests, rows, batches  uint64
+	rejected, expired, fails uint64
+	queueWait, execTime      time.Duration
+}
+
+// New builds the replica pool and starts one batching worker per replica.
+// Every replica is switched to inference mode (training-dependent
+// operators like dropout and batch normalization serve their inference
+// behaviour).
+func New(opts Options) (*Server, error) {
+	if opts.NewExecutor == nil {
+		return nil, errors.New("serve: Options.NewExecutor is required")
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = DefaultMaxBatch
+	}
+	if opts.MaxLinger < 0 {
+		opts.MaxLinger = 0
+	}
+	if opts.Replicas <= 0 {
+		opts.Replicas = DefaultReplicas
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = DefaultQueueDepth(opts.Replicas, opts.MaxBatch)
+	}
+	s := &Server{
+		opts:  opts,
+		queue: make(chan *request, opts.QueueDepth),
+	}
+	s.ctx, s.stop = context.WithCancel(context.Background())
+	for i := 0; i < opts.Replicas; i++ {
+		e, err := opts.NewExecutor()
+		if err != nil {
+			s.stop()
+			return nil, fmt.Errorf("serve: building replica %d: %w", i, err)
+		}
+		e.SetTraining(false)
+		s.replicas = append(s.replicas, e)
+	}
+	m := s.replicas[0].Network().Model
+	s.inputs = m.Inputs
+	s.outputs = m.Outputs
+	for i := range s.replicas {
+		s.wg.Add(1)
+		go s.worker(i)
+	}
+	return s, nil
+}
+
+// Model returns the served model (the compiled clone when the executors
+// were built with the compile pipeline enabled).
+func (s *Server) Model() *graph.Model { return s.replicas[0].Network().Model }
+
+// Infer runs one inference request through the micro-batching pipeline
+// and returns the model's declared outputs for this request's rows.
+//
+// Feeds must supply exactly the model's declared inputs; every feed's
+// leading dimension is the request's row count and must agree across
+// feeds. Outputs whose leading dimension equals the executed batch's
+// total row count are split back per request (each caller receives only
+// its own rows); any other output — a batch-mean loss, a scalar metric —
+// is batch-scoped and returned to every request of the batch as a copy.
+//
+// ctx is honored while the request is queued: cancellation or an expired
+// deadline returns ctx.Err() and the request's slot is discarded when its
+// batch is formed. Once the batch is dispatched the pass runs to
+// completion; a caller that timed out simply never observes the result.
+func (s *Server) Infer(ctx context.Context, feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rows, err := s.validateFeeds(feeds)
+	if err != nil {
+		return nil, err
+	}
+	req := &request{
+		ctx:      ctx,
+		feeds:    feeds,
+		rows:     rows,
+		enqueued: time.Now(),
+		done:     make(chan result, 1),
+	}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	select {
+	case s.queue <- req:
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		s.statsMu.Lock()
+		s.stats.rejected++
+		s.statsMu.Unlock()
+		return nil, ErrQueueFull
+	}
+	select {
+	case res := <-req.done:
+		return res.outs, res.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// validateFeeds checks the request against the model's declared inputs
+// and returns its row count.
+func (s *Server) validateFeeds(feeds map[string]*tensor.Tensor) (int, error) {
+	if len(feeds) != len(s.inputs) {
+		return 0, fmt.Errorf("%w: got %d feeds, model declares %d inputs %v",
+			ErrBadRequest, len(feeds), len(s.inputs), inputNames(s.inputs))
+	}
+	rows := 0
+	for _, in := range s.inputs {
+		t, ok := feeds[in.Name]
+		if !ok || t == nil {
+			return 0, fmt.Errorf("%w: missing feed %q (model inputs: %v)", ErrBadRequest, in.Name, inputNames(s.inputs))
+		}
+		if t.Rank() != len(in.Shape) || t.Rank() < 1 {
+			return 0, fmt.Errorf("%w: feed %q has rank %d, model declares shape %v", ErrBadRequest, in.Name, t.Rank(), in.Shape)
+		}
+		for i := 1; i < len(in.Shape); i++ {
+			if in.Shape[i] >= 0 && t.Dim(i) != in.Shape[i] {
+				return 0, fmt.Errorf("%w: feed %q has shape %v, model declares %v", ErrBadRequest, in.Name, t.Shape(), in.Shape)
+			}
+		}
+		r := t.Dim(0)
+		if r < 1 {
+			return 0, fmt.Errorf("%w: feed %q has no rows", ErrBadRequest, in.Name)
+		}
+		if rows == 0 {
+			rows = r
+		} else if r != rows {
+			return 0, fmt.Errorf("%w: feeds disagree on the batch dimension (%d vs %d rows)", ErrBadRequest, rows, r)
+		}
+	}
+	return rows, nil
+}
+
+func inputNames(infos []graph.TensorInfo) []string {
+	names := make([]string, len(infos))
+	for i, in := range infos {
+		names[i] = in.Name
+	}
+	return names
+}
+
+// worker is one replica's serving loop: pull a request, linger to coalesce
+// a batch, execute, split, respond.
+func (s *Server) worker(replica int) {
+	defer s.wg.Done()
+	for {
+		req, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch := []*request{req}
+		rows := req.rows
+		switch {
+		case rows >= s.opts.MaxBatch:
+			// Already full: no coalescing needed.
+		case s.opts.MaxLinger <= 0:
+			// Zero linger means "flush with whatever is already queued":
+			// drain non-blocking. (A zero-duration timer would race the
+			// queue receive in a select and stop coalescing after ~one
+			// extra request.)
+		drain:
+			for rows < s.opts.MaxBatch {
+				select {
+				case more, ok := <-s.queue:
+					if !ok {
+						break drain
+					}
+					batch = append(batch, more)
+					rows += more.rows
+				default:
+					break drain
+				}
+			}
+		default:
+			timer := time.NewTimer(s.opts.MaxLinger)
+		collect:
+			for rows < s.opts.MaxBatch {
+				select {
+				case more, ok := <-s.queue:
+					if !ok {
+						break collect
+					}
+					batch = append(batch, more)
+					rows += more.rows
+				case <-timer.C:
+					break collect
+				}
+			}
+			timer.Stop()
+		}
+		s.execute(replica, batch)
+	}
+}
+
+// execute runs one coalesced batch on a replica and distributes results.
+func (s *Server) execute(replica int, batch []*request) {
+	// Requests whose context expired while queued are answered with their
+	// context error and excluded from the pass.
+	live := make([]*request, 0, len(batch))
+	expired := 0
+	for _, r := range batch {
+		if err := r.ctx.Err(); err != nil {
+			r.finish(nil, err)
+			expired++
+			continue
+		}
+		live = append(live, r)
+	}
+	if expired > 0 {
+		s.statsMu.Lock()
+		s.stats.expired += uint64(expired)
+		s.statsMu.Unlock()
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	rows := 0
+	oldest := live[0].enqueued
+	for _, r := range live {
+		rows += r.rows
+		if r.enqueued.Before(oldest) {
+			oldest = r.enqueued
+		}
+	}
+	feeds, err := s.assembleFeeds(live)
+	var outs map[string]*tensor.Tensor
+	start := time.Now()
+	if err == nil {
+		// The pass runs under the server's lifetime context: per-request
+		// deadlines stop applying once the batch is dispatched (documented
+		// on Infer), while Close-with-deadline can still abort it.
+		outs, err = s.replicas[replica].Inference(s.ctx, feeds)
+	}
+	execTime := time.Since(start)
+	wait := start.Sub(oldest)
+
+	if err != nil {
+		for _, r := range live {
+			r.finish(nil, fmt.Errorf("serve: batched inference failed: %w", err))
+		}
+		s.statsMu.Lock()
+		s.stats.fails += uint64(len(live))
+		s.statsMu.Unlock()
+		return
+	}
+
+	// Split row-aligned outputs per request; copy batch-scoped ones.
+	off := 0
+	var splitErr error
+	for _, r := range live {
+		res := make(map[string]*tensor.Tensor, len(outs))
+		for name, t := range outs {
+			if t.Rank() >= 1 && t.Dim(0) == rows {
+				part, err := t.SliceRows(off, off+r.rows)
+				if err != nil {
+					splitErr = err
+					break
+				}
+				res[name] = part
+				continue
+			}
+			res[name] = t.Clone()
+		}
+		if splitErr != nil {
+			break
+		}
+		off += r.rows
+		r.finish(res, nil)
+	}
+	if splitErr != nil { // unreachable in practice; fail the whole batch loudly
+		for _, r := range live {
+			select {
+			case r.done <- result{err: fmt.Errorf("serve: splitting outputs: %w", splitErr)}:
+			default: // already answered before the split error surfaced
+			}
+		}
+		return
+	}
+
+	s.statsMu.Lock()
+	s.stats.requests += uint64(len(live))
+	s.stats.rows += uint64(rows)
+	s.stats.batches++
+	s.stats.queueWait += wait
+	s.stats.execTime += execTime
+	s.statsMu.Unlock()
+
+	if s.opts.Observe != nil {
+		s.observeMu.Lock()
+		s.opts.Observe(Sample{
+			Replica:   replica,
+			Requests:  len(live),
+			Rows:      rows,
+			QueueWait: wait,
+			Exec:      execTime,
+		})
+		s.observeMu.Unlock()
+	}
+}
+
+// assembleFeeds concatenates the batch's per-request feeds along the row
+// dimension (pass-through for a batch of one).
+func (s *Server) assembleFeeds(batch []*request) (map[string]*tensor.Tensor, error) {
+	if len(batch) == 1 {
+		return batch[0].feeds, nil
+	}
+	feeds := make(map[string]*tensor.Tensor, len(s.inputs))
+	parts := make([]*tensor.Tensor, len(batch))
+	for _, in := range s.inputs {
+		for i, r := range batch {
+			parts[i] = r.feeds[in.Name]
+		}
+		cat, err := tensor.ConcatRows(parts...)
+		if err != nil {
+			return nil, err
+		}
+		feeds[in.Name] = cat
+	}
+	return feeds, nil
+}
+
+// Close stops admission (subsequent Infer calls return ErrClosed), drains
+// every queued request through the replicas, and waits for the workers to
+// finish. If ctx expires first, in-flight passes are cancelled — queued
+// and running requests then fail with the cancellation error as soon as
+// their pass observes it — and Close returns ctx.Err() without waiting
+// for that to happen. Close is idempotent; the first call's outcome wins.
+func (s *Server) Close(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.stop()
+		return nil
+	case <-ctx.Done():
+		s.stop() // abort in-flight passes between node dispatches
+		return ctx.Err()
+	}
+}
+
+// Stats is a point-in-time snapshot of the server's serving counters.
+type Stats struct {
+	// Requests / Rows / Batches count successfully served work; Occupancy
+	// is Rows/Batches, the micro-batcher's mean fill.
+	Requests  uint64  `json:"requests"`
+	Rows      uint64  `json:"rows"`
+	Batches   uint64  `json:"batches"`
+	Occupancy float64 `json:"occupancy"`
+	// Rejected counts ErrQueueFull admissions, Expired requests whose
+	// context ended while queued, Failed requests whose batch errored.
+	Rejected uint64 `json:"rejected"`
+	Expired  uint64 `json:"expired"`
+	Failed   uint64 `json:"failed"`
+	// AvgQueueWait / AvgExec are per-batch means (nanoseconds on the
+	// wire, time.Duration JSON encoding).
+	AvgQueueWait time.Duration `json:"avg_queue_wait_ns"`
+	AvgExec      time.Duration `json:"avg_exec_ns"`
+	// QueueDepth is the current admission-queue length; QueueCap,
+	// Replicas, MaxBatch and MaxLinger echo the configuration.
+	QueueDepth int           `json:"queue_depth"`
+	QueueCap   int           `json:"queue_cap"`
+	Replicas   int           `json:"replicas"`
+	MaxBatch   int           `json:"max_batch"`
+	MaxLinger  time.Duration `json:"max_linger_ns"`
+}
+
+// Stats returns a snapshot of the serving counters.
+func (s *Server) Stats() Stats {
+	s.statsMu.Lock()
+	a := s.stats
+	s.statsMu.Unlock()
+	st := Stats{
+		Requests:   a.requests,
+		Rows:       a.rows,
+		Batches:    a.batches,
+		Rejected:   a.rejected,
+		Expired:    a.expired,
+		Failed:     a.fails,
+		QueueDepth: len(s.queue),
+		QueueCap:   cap(s.queue),
+		Replicas:   s.opts.Replicas,
+		MaxBatch:   s.opts.MaxBatch,
+		MaxLinger:  s.opts.MaxLinger,
+	}
+	if a.batches > 0 {
+		st.Occupancy = float64(a.rows) / float64(a.batches)
+		st.AvgQueueWait = a.queueWait / time.Duration(a.batches)
+		st.AvgExec = a.execTime / time.Duration(a.batches)
+	}
+	return st
+}
