@@ -43,6 +43,8 @@ func main() {
 	execName := flag.String("exec", "sequential", "graph execution backend: sequential, parallel")
 	arena := flag.Bool("arena", false, "recycle activation buffers through a tensor arena")
 	optimize := flag.Bool("opt", false, "compile the graph before execution (fusion/folding/DCE)")
+	gemm := flag.String("gemm", "", "GEMM kernel algorithm: naive, blocked, parallel, packed (default packed)")
+	plan := flag.Bool("plan", false, "statically plan forward activation memory (speeds up the evaluation passes)")
 	epochs := flag.Int("epochs", 5, "training epochs")
 	batch := flag.Int("batch", 64, "minibatch size")
 	lr := flag.Float64("lr", 0.02, "learning rate")
@@ -81,6 +83,12 @@ func main() {
 	}
 	if *optimize {
 		opts = append(opts, d500.WithOptimize())
+	}
+	if *gemm != "" {
+		opts = append(opts, d500.WithGemm(*gemm))
+	}
+	if *plan {
+		opts = append(opts, d500.WithMemPlan())
 	}
 	sess, err := d500.New(opts...)
 	fatalIf(err)

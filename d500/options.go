@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"deep500/internal/frameworks"
+	"deep500/internal/kernels"
 )
 
 // Backend selects the graph-execution strategy of a Session's executors.
@@ -58,6 +59,13 @@ func Frameworks() []string {
 	return names
 }
 
+// GemmAlgorithms returns the names WithGemm accepts, slowest first. The
+// last entry ("packed") is the default every session uses when WithGemm is
+// not given.
+func GemmAlgorithms() []string {
+	return []string{"naive", "blocked", "parallel", "packed"}
+}
+
 // config is the resolved Session configuration; options validate eagerly
 // so New fails fast with a descriptive error.
 type config struct {
@@ -65,6 +73,8 @@ type config struct {
 	framework   string
 	arena       bool
 	optimize    bool
+	gemm        string // canonical algorithm name, "" = registry default (packed)
+	memPlan     bool
 	seed        uint64 // always non-zero after New (defaultSeed fallback)
 	poolWorkers int
 	quick       bool
@@ -138,6 +148,42 @@ func WithArena() Option {
 func WithOptimize() Option {
 	return func(c *config) error {
 		c.optimize = true
+		return nil
+	}
+}
+
+// WithGemm selects the GEMM kernel algorithm every GEMM-backed operator of
+// the session's models uses: "naive", "blocked", "parallel" or "packed"
+// (see GemmAlgorithms). The empty string keeps the default, the BLIS-style
+// packed register-tiled kernel. Unknown names error at New, so flag
+// validation surfaces them before any model opens. (This is the -gemm flag
+// of d500bench and d500train.)
+func WithGemm(name string) Option {
+	return func(c *config) error {
+		name = strings.ToLower(strings.TrimSpace(name))
+		if name == "" {
+			c.gemm = ""
+			return nil
+		}
+		if _, ok := kernels.ParseGemmAlgo(name); !ok {
+			return fmt.Errorf("d500: unknown GEMM algorithm %q (valid: %s)",
+				name, strings.Join(GemmAlgorithms(), ", "))
+		}
+		c.gemm = name
+		return nil
+	}
+}
+
+// WithMemPlan enables liveness-based static memory planning of forward
+// activations: the first inference pass at a given set of feed shapes
+// profiles the graph, then a single pre-sized slab backs every intermediate
+// tensor of subsequent same-shape passes, making steady-state inference
+// allocation-free. Shape changes re-profile transparently and training
+// passes bypass the plan, so the option is always safe to enable. (This is
+// the -plan flag of d500bench and d500train.)
+func WithMemPlan() Option {
+	return func(c *config) error {
+		c.memPlan = true
 		return nil
 	}
 }

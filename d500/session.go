@@ -120,6 +120,14 @@ func (s *Session) execOptions() []executor.Option {
 	if s.cfg.optimize {
 		opts = append(opts, executor.WithOptimize(compile.Defaults()))
 	}
+	if s.cfg.gemm != "" {
+		// The name was validated at New; ParseGemmAlgo cannot fail here.
+		algo, _ := kernels.ParseGemmAlgo(s.cfg.gemm)
+		opts = append(opts, executor.WithGemm(algo))
+	}
+	if s.cfg.memPlan {
+		opts = append(opts, executor.WithMemPlan(true))
+	}
 	return opts
 }
 

@@ -64,6 +64,8 @@ type Environment struct {
 	ExecBackend string `json:"exec_backend,omitempty"`
 	Arena       bool   `json:"arena"`
 	Optimize    bool   `json:"optimize"`
+	Gemm        string `json:"gemm,omitempty"`
+	MemPlan     bool   `json:"mem_plan,omitempty"`
 	Quick       bool   `json:"quick"`
 	Seed        uint64 `json:"seed"`
 }

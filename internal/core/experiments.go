@@ -68,6 +68,8 @@ func RegisterExperiments(s *bench.Suite, o Options) {
 		Run: func(c *bench.Context) error { return runCompileExp(c, o) }})
 	s.Register(bench.Definition{ID: "serve", Title: "Serving: micro-batched vs single-request inference",
 		Run: func(c *bench.Context) error { return runServeExp(c, o) }})
+	s.Register(bench.Definition{ID: "gemm", Title: "GEMM kernels: packed register-tiled sweep",
+		Run: func(c *bench.Context) error { return runGemmExp(c, o) }})
 }
 
 // recordDist exports a timing distribution as one record.

@@ -31,6 +31,14 @@ type Options struct {
 	// Optimize runs the compile pipeline (fusion/folding/DCE) over every
 	// model an experiment constructs (mirrors the -opt flag).
 	Optimize bool
+	// Gemm overrides the GEMM kernel algorithm on every GEMM-backed operator
+	// an experiment constructs (mirrors the -gemm flag): "naive", "blocked",
+	// "parallel" or "packed". Empty keeps the registry default (packed).
+	Gemm string
+	// MemPlan enables liveness-based static memory planning of forward
+	// activations in every executor an experiment constructs (mirrors the
+	// -plan flag).
+	MemPlan bool
 }
 
 // execOpts resolves Exec into executor construction options. An invalid
@@ -49,13 +57,31 @@ func (o Options) execOpts() ([]executor.Option, error) {
 	if o.Optimize {
 		opts = append(opts, executor.WithOptimize(compile.Defaults()))
 	}
+	if o.Gemm != "" {
+		algo, ok := kernels.ParseGemmAlgo(o.Gemm)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown GEMM algorithm %q (naive, blocked, parallel, packed)", o.Gemm)
+		}
+		opts = append(opts, executor.WithGemm(algo))
+	}
+	if o.MemPlan {
+		opts = append(opts, executor.WithMemPlan(true))
+	}
 	return opts, nil
 }
 
-// Validate checks that the options name a known execution backend.
+// Validate checks that the options name a known execution backend and, when
+// set, a known GEMM algorithm.
 func (o Options) Validate() error {
-	_, err := executor.BackendByName(o.Exec)
-	return err
+	if _, err := executor.BackendByName(o.Exec); err != nil {
+		return err
+	}
+	if o.Gemm != "" {
+		if _, ok := kernels.ParseGemmAlgo(o.Gemm); !ok {
+			return fmt.Errorf("core: unknown GEMM algorithm %q (naive, blocked, parallel, packed)", o.Gemm)
+		}
+	}
+	return nil
 }
 
 // measureIters is how many back-to-back invocations one timing sample

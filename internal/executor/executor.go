@@ -58,6 +58,15 @@ type Executor struct {
 
 	backend ExecBackend
 	arena   *tensor.Arena
+	// memPlan enables the static memory plan (WithMemPlan); planRT holds
+	// the installed plan and planActive tells whether the current pass runs
+	// out of it (training passes never do).
+	memPlan    bool
+	planRT     *planRuntime
+	planActive bool
+	// gemmAlgo, when non-nil, overrides the GEMM kernel algorithm on every
+	// GEMM-backed operator at construction (WithGemm).
+	gemmAlgo *kernels.GemmAlgo
 	// optimize, when non-nil, runs the compile pipeline over the model at
 	// construction; compileReport records what it rewrote.
 	optimize      *compile.Options
@@ -71,10 +80,17 @@ type Executor struct {
 	eventMu sync.Mutex
 
 	training bool
-	// last forward pass state
-	values   map[string]*tensor.Tensor
-	nodeIns  map[*graph.Node][]*tensor.Tensor
-	nodeOuts map[*graph.Node][]*tensor.Tensor
+	// last forward pass state. The maps are allocated once and cleared per
+	// pass; nodeInBuf caches each node's input-gather slice so steady-state
+	// passes do not allocate per node.
+	values    map[string]*tensor.Tensor
+	nodeIns   map[*graph.Node][]*tensor.Tensor
+	nodeOuts  map[*graph.Node][]*tensor.Tensor
+	nodeInBuf map[*graph.Node][]*tensor.Tensor
+	// planOut is the reused outputs map handed back by plan-mode passes;
+	// outScratch is freeActivations' reused protected-outputs buffer.
+	planOut    map[string]*tensor.Tensor
+	outScratch []*tensor.Tensor
 	// LastForwardFLOPs is the operator-reported FLOP total of the most
 	// recent forward pass.
 	LastForwardFLOPs int64
@@ -103,6 +119,29 @@ func WithBackend(b ExecBackend) Option {
 // activations are detached when the pass ends.
 func WithArena(a *tensor.Arena) Option {
 	return func(e *Executor) { e.arena = a }
+}
+
+// WithMemPlan enables liveness-based static memory planning for forward
+// passes. The first inference at a given set of feed shapes profiles
+// activation shapes through the ordinary allocation path, then installs a
+// compile.PlanMemory slab; subsequent same-shape inferences write every
+// planned activation into fixed slab offsets and allocate nothing. Feed
+// shape changes transparently re-profile and re-plan.
+//
+// With a plan active, the tensors returned by Inference (and the map
+// holding them) are views into the slab, valid until the next pass on this
+// executor — copy them if they must outlive it. Training passes
+// (InferenceAndBackprop) bypass the plan, because backpropagation reads
+// activations past the lifetimes the plan assumes.
+func WithMemPlan(enable bool) Option {
+	return func(e *Executor) { e.memPlan = enable }
+}
+
+// WithGemm overrides the GEMM kernel algorithm on every GEMM-backed
+// operator (Gemm, MatMul, FusedGemmAct) at construction, replacing the
+// registry default. Use kernels.ParseGemmAlgo to resolve CLI flag values.
+func WithGemm(algo kernels.GemmAlgo) Option {
+	return func(e *Executor) { e.gemmAlgo = &algo }
 }
 
 // WithOptimize runs the compile pipeline (constant folding, dead-node
@@ -153,8 +192,14 @@ func New(m *graph.Model, opts ...Option) (*Executor, error) {
 				aa.SetAllocator(e.arena)
 			}
 		}
+		if e.gemmAlgo != nil {
+			if ga, ok := op.(ops.GemmAlgoAware); ok {
+				ga.SetGemmAlgo(*e.gemmAlgo)
+			}
+		}
 		e.nodeOps[n] = op
 	}
+	e.nodeInBuf = make(map[*graph.Node][]*tensor.Tensor, len(e.order))
 	return e, nil
 }
 
@@ -242,11 +287,22 @@ func (e *Executor) forward(ctx context.Context, feeds map[string]*tensor.Tensor)
 	}
 	start := time.Now()
 
-	e.values = make(map[string]*tensor.Tensor, len(e.order)*2)
-	e.nodeIns = make(map[*graph.Node][]*tensor.Tensor, len(e.order))
-	e.nodeOuts = make(map[*graph.Node][]*tensor.Tensor, len(e.order))
+	if e.values == nil {
+		e.values = make(map[string]*tensor.Tensor, len(e.order)*2)
+		e.nodeIns = make(map[*graph.Node][]*tensor.Tensor, len(e.order))
+		e.nodeOuts = make(map[*graph.Node][]*tensor.Tensor, len(e.order))
+	} else {
+		clear(e.values)
+		clear(e.nodeIns)
+		clear(e.nodeOuts)
+	}
 	e.LastForwardFLOPs = 0
 	e.lastActivationBytes = 0
+	if e.planActive {
+		for _, pa := range e.planRT.allocs {
+			pa.next = 0
+		}
+	}
 
 	for name, t := range feeds {
 		e.values[name] = t
@@ -274,9 +330,14 @@ func (e *Executor) execNode(n *graph.Node) error {
 	op := e.nodeOps[n]
 
 	e.stateMu.Lock()
-	ins := make([]*tensor.Tensor, len(n.Inputs))
+	ins := e.nodeInBuf[n]
+	if ins == nil {
+		ins = make([]*tensor.Tensor, len(n.Inputs))
+		e.nodeInBuf[n] = ins
+	}
 	for i, name := range n.Inputs {
 		if name == "" {
+			ins[i] = nil
 			continue
 		}
 		t, ok := e.values[name]
@@ -360,12 +421,13 @@ func (e *Executor) freeActivations() {
 	if e.arena == nil || e.nodeOuts == nil {
 		return
 	}
-	var outputs []*tensor.Tensor
+	outputs := e.outScratch[:0]
 	for _, name := range e.net.Model.Outputs {
 		if t, ok := e.values[name]; ok && t != nil {
 			outputs = append(outputs, t)
 		}
 	}
+	e.outScratch = outputs
 	for _, outs := range e.nodeOuts {
 		for _, t := range outs {
 			if t == nil || !t.ArenaBacked() {
@@ -389,16 +451,44 @@ func (e *Executor) freeActivations() {
 // Cancelling ctx aborts the pass between node executions and returns the
 // context's error.
 func (e *Executor) Inference(ctx context.Context, feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	if e.memPlan {
+		if e.planRT != nil && !e.planRT.matches(feeds) {
+			e.dropPlan() // feed shapes changed: re-profile
+		}
+		e.setPlanActive(e.planRT != nil)
+	}
 	if err := e.forward(ctx, feeds); err != nil {
 		e.freeActivations()
 		return nil, err
 	}
 	out := e.collectOutputs()
+	if e.memPlan {
+		if e.planActive && e.planRT.miss.Load() {
+			e.dropPlan() // a shape drifted mid-pass: plan is stale
+		} else if !e.planActive {
+			e.buildPlan(feeds) // profiling pass done: install the plan
+		}
+	}
 	e.freeActivations()
 	return out, nil
 }
 
 func (e *Executor) collectOutputs() map[string]*tensor.Tensor {
+	if e.planActive {
+		// Plan-mode passes reuse one outputs map: like the slab tensors it
+		// holds, it is valid until the next pass on this executor.
+		if e.planOut == nil {
+			e.planOut = make(map[string]*tensor.Tensor, len(e.net.Model.Outputs))
+		} else {
+			clear(e.planOut)
+		}
+		for _, name := range e.net.Model.Outputs {
+			if t, ok := e.values[name]; ok {
+				e.planOut[name] = t
+			}
+		}
+		return e.planOut
+	}
 	out := make(map[string]*tensor.Tensor, len(e.net.Model.Outputs))
 	for _, name := range e.net.Model.Outputs {
 		if t, ok := e.values[name]; ok {
@@ -416,6 +506,11 @@ func (e *Executor) InferenceAndBackprop(ctx context.Context, feeds map[string]*t
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// Training passes never run out of the memory plan: backpropagation
+	// reads forward activations after their plan-assumed last use, so slab
+	// reuse would clobber them. The plan (if any) stays installed for the
+	// next inference.
+	e.setPlanActive(false)
 	if err := e.forward(ctx, feeds); err != nil {
 		e.freeActivations()
 		return nil, err

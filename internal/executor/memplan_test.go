@@ -1,0 +1,157 @@
+package executor
+
+import (
+	"context"
+	"testing"
+
+	"deep500/internal/compile"
+	"deep500/internal/models"
+	"deep500/internal/tensor"
+)
+
+// TestMemPlanZeroAllocs is the acceptance gate of the static memory plan:
+// once the plan is installed, a steady-state forward pass must allocate
+// nothing — every activation lands in the pre-sized slab, every bookkeeping
+// structure is reused.
+func TestMemPlanZeroAllocs(t *testing.T) {
+	m := models.MLP(models.Config{Classes: 10, Channels: 1, Height: 8, Width: 8, Seed: 7}, 32, 16)
+	e := MustNew(m, WithOptimize(compile.Defaults()), WithMemPlan(true))
+	rng := tensor.NewRNG(11)
+	feeds := map[string]*tensor.Tensor{"x": tensor.RandNormal(rng, 0, 1, 4, 1, 8, 8)}
+	ctx := context.Background()
+
+	// Pass 1 profiles and installs the plan; pass 2 settles any lazy
+	// bookkeeping (cached input slices, reused maps).
+	for i := 0; i < 2; i++ {
+		if _, err := e.Inference(ctx, feeds); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.MemPlan() == nil {
+		t.Fatal("no memory plan installed after profiling pass")
+	}
+
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := e.Inference(ctx, feeds); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state planned forward pass allocates: %v allocs/run, want 0", allocs)
+	}
+}
+
+// BenchmarkPlannedForward measures a steady-state planned forward pass;
+// run with -benchmem to confirm the zero-allocation property.
+func BenchmarkPlannedForward(b *testing.B) {
+	m := models.MLP(models.Config{Classes: 10, Channels: 1, Height: 8, Width: 8, Seed: 7}, 32, 16)
+	e := MustNew(m, WithOptimize(compile.Defaults()), WithMemPlan(true))
+	feeds := map[string]*tensor.Tensor{"x": tensor.RandNormal(tensor.NewRNG(11), 0, 1, 4, 1, 8, 8)}
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := e.Inference(ctx, feeds); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Inference(ctx, feeds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestMemPlanRebuildOnShapeChange asserts a feed-shape change drops the
+// stale plan, re-profiles at the new shapes, and keeps producing outputs
+// identical to an unplanned executor.
+func TestMemPlanRebuildOnShapeChange(t *testing.T) {
+	const tol = 1e-6
+	m := models.MLP(models.Config{Classes: 10, Channels: 1, Height: 8, Width: 8, Seed: 7}, 32, 16)
+	planned := MustNew(m, WithMemPlan(true))
+	ref := MustNew(m)
+	ctx := context.Background()
+
+	for _, batch := range []int{2, 2, 4, 4, 2} {
+		rng := tensor.NewRNG(uint64(batch))
+		feeds := map[string]*tensor.Tensor{"x": tensor.RandNormal(rng, 0, 1, batch, 1, 8, 8)}
+		got, err := planned.Inference(ctx, feeds)
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		want, err := ref.Inference(ctx, feeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, w := range want {
+			g, ok := got[name]
+			if !ok {
+				t.Fatalf("batch %d: missing output %q", batch, name)
+			}
+			if d := maxAbsDiff(t, w, g); d > tol {
+				t.Fatalf("batch %d: output %q diverges: max |Δ| = %g", batch, name, d)
+			}
+		}
+	}
+	if planned.MemPlan() == nil {
+		t.Fatal("no plan installed after steady shapes")
+	}
+}
+
+// TestMemPlanReusesSlab asserts the planner actually overlaps intermediate
+// lifetimes on a deep model — the slab must be smaller than the sum of all
+// planned activations.
+func TestMemPlanReusesSlab(t *testing.T) {
+	m := models.LeNet(models.Config{Classes: 10, Channels: 1, Height: 28, Width: 28, Seed: 3})
+	e := MustNew(m, WithOptimize(compile.Defaults()), WithMemPlan(true))
+	feeds := map[string]*tensor.Tensor{"x": tensor.RandNormal(tensor.NewRNG(5), 0, 1, 2, 1, 28, 28)}
+	if _, err := e.Inference(context.Background(), feeds); err != nil {
+		t.Fatal(err)
+	}
+	plan := e.MemPlan()
+	if plan == nil {
+		t.Fatal("no plan installed")
+	}
+	if plan.SlabElems >= plan.NoReuseElems {
+		t.Fatalf("planner found no reuse on LeNet: slab %d elems, no-reuse %d", plan.SlabElems, plan.NoReuseElems)
+	}
+	t.Logf("%s", plan)
+}
+
+// TestMemPlanTrainingBypass asserts the plan never poisons a training pass:
+// gradients after planned inference passes match a plan-free executor.
+func TestMemPlanTrainingBypass(t *testing.T) {
+	const tol = 1e-5
+	m := models.MLP(models.Config{Classes: 10, Channels: 1, Height: 8, Width: 8, WithHead: true, Seed: 7}, 32, 16)
+	planned := MustNew(m, WithMemPlan(true))
+	ref := MustNew(m)
+	feeds := feedsFor(m, 4, 11)
+	ctx := context.Background()
+
+	// Install the plan with inference passes, then train through it.
+	for i := 0; i < 2; i++ {
+		if _, err := planned.Inference(ctx, feeds); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := planned.InferenceAndBackprop(ctx, feeds, "loss"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.InferenceAndBackprop(ctx, feeds, "loss"); err != nil {
+		t.Fatal(err)
+	}
+	refGrads := ref.Network().Gradients()
+	gotGrads := planned.Network().Gradients()
+	if len(refGrads) == 0 || len(refGrads) != len(gotGrads) {
+		t.Fatalf("gradient count %d vs %d", len(gotGrads), len(refGrads))
+	}
+	for i, pg := range refGrads {
+		if d := maxAbsDiff(t, pg.Grad, gotGrads[i].Grad); d > tol {
+			t.Fatalf("gradient %q diverges after planned passes: max |Δ| = %g", pg.Name, d)
+		}
+	}
+	// And the plan still works for the next inference.
+	if _, err := planned.Inference(ctx, feeds); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -237,21 +237,29 @@ func conv2DIm2Col(s ConvShape, in, w, out []float32) {
 	spatial := oh * ow
 	span := Default.Span(s.N)
 	if span <= 1 {
-		col := make([]float32, k*spatial)
+		// Im2Col writes every column element, so the unspecified contents
+		// of an arena scratch buffer are fine.
+		col := scratch.GetBuf(k * spatial)
 		for n := 0; n < s.N; n++ {
 			Im2Col(s, in[n*s.C*s.H*s.W:], col)
-			Gemm(GemmBlocked, w, col, out[n*s.M*spatial:(n+1)*s.M*spatial], s.M, k, spatial)
+			Gemm(GemmPacked, w, col, out[n*s.M*spatial:(n+1)*s.M*spatial], s.M, k, spatial)
 		}
+		scratch.PutBuf(col)
 		return
 	}
 	// One task per image; each worker slot lowers through a private column
-	// buffer allocated lazily on first use.
+	// buffer drawn lazily from the scratch arena on first use.
 	cols := make([][]float32, span)
 	Default.ParallelWorker(s.N, func(wk, n int) {
 		if cols[wk] == nil {
-			cols[wk] = make([]float32, k*spatial)
+			cols[wk] = scratch.GetBuf(k * spatial)
 		}
 		Im2Col(s, in[n*s.C*s.H*s.W:], cols[wk])
-		Gemm(GemmBlocked, w, cols[wk], out[n*s.M*spatial:(n+1)*s.M*spatial], s.M, k, spatial)
+		Gemm(GemmPacked, w, cols[wk], out[n*s.M*spatial:(n+1)*s.M*spatial], s.M, k, spatial)
 	})
+	for _, col := range cols {
+		if col != nil {
+			scratch.PutBuf(col)
+		}
+	}
 }

@@ -14,6 +14,15 @@
 // graph-operator epilogues (BiasAct, BiasReLUFused, ActGradFromOutput)
 // used by the compile pipeline's fusion pass. Pool is the single shared
 // worker budget every parallel code path in the repository draws from.
+//
+// The default GEMM algorithm is GemmPacked, the BLIS-style packed
+// register-tiled kernel (gemm_packed.go): operands are repacked into
+// cache-resident panels and multiplied by a spill-free 2×4 register
+// micro-kernel, with transposes folded into the packing. docs/kernels.md
+// documents the packing layout, the micro-tile sizing measurements and how
+// to re-tune the blocking constants. All scratch flows through the
+// package-level size-class buffer pool (scratch.go), so steady-state
+// kernels allocate nothing.
 package kernels
 
 // gemmBlock is the cache-blocking tile edge used by the blocked kernels.
@@ -30,6 +39,10 @@ const (
 	GemmBlocked
 	// GemmParallel is GemmBlocked parallelized over row panels.
 	GemmParallel
+	// GemmPacked is the BLIS-style kernel (gemm_packed.go): operands are
+	// repacked into cache-resident panels and driven through a 4×8
+	// register-tiled micro-kernel, parallelized over macro row blocks.
+	GemmPacked
 )
 
 func (a GemmAlgo) String() string {
@@ -40,8 +53,26 @@ func (a GemmAlgo) String() string {
 		return "blocked"
 	case GemmParallel:
 		return "parallel"
+	case GemmPacked:
+		return "packed"
 	}
 	return "unknown"
+}
+
+// ParseGemmAlgo maps an algorithm name (as printed by String) back to its
+// GemmAlgo. The second result is false for unknown names.
+func ParseGemmAlgo(name string) (GemmAlgo, bool) {
+	switch name {
+	case "naive":
+		return GemmNaive, true
+	case "blocked":
+		return GemmBlocked, true
+	case "parallel":
+		return GemmParallel, true
+	case "packed":
+		return GemmPacked, true
+	}
+	return GemmPacked, false
 }
 
 // Gemm computes C = A·B for row-major matrices: A is M×K, B is K×N and C is
@@ -57,8 +88,48 @@ func Gemm(algo GemmAlgo, a, b, c []float32, m, k, n int) {
 		gemmBlocked(a, b, c, m, k, n)
 	case GemmParallel:
 		gemmParallel(a, b, c, m, k, n)
+	case GemmPacked:
+		gemmPacked(a, b, c, m, k, n, false, false)
 	default:
 		panic("kernels: unknown GEMM algorithm")
+	}
+}
+
+// GemmT computes C = op(A)·op(B) where op transposes its operand when the
+// corresponding flag is set: A is m×k logical (stored k×m when transA), B
+// is k×n logical (stored n×k when transB), C is m×n and overwritten. With
+// GemmPacked the transposes are folded into panel packing and cost nothing;
+// other algorithms receive the plain layout directly and fall back to the
+// strided loops when an operand is transposed.
+func GemmT(algo GemmAlgo, a, b, c []float32, m, k, n int, transA, transB bool) {
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		panic("kernels: GemmT buffer too small")
+	}
+	if !transA && !transB {
+		Gemm(algo, a, b, c, m, k, n)
+		return
+	}
+	if algo == GemmPacked && int64(m)*int64(k)*int64(n) >= packedMinVol {
+		gemmPacked(a, b, c, m, k, n, transA, transB)
+		return
+	}
+	switch {
+	case transA && !transB:
+		gemmTransALoop(a, b, c, m, k, n)
+	case !transA && transB:
+		gemmTransBLoop(a, b, c, m, k, n)
+	default: // both: C[i,j] = Σ_p A[p,i]·B[j,p]
+		for i := 0; i < m; i++ {
+			ci := c[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				bj := b[j*k : (j+1)*k]
+				var s float32
+				for p := 0; p < k; p++ {
+					s += a[p*m+i] * bj[p]
+				}
+				ci[j] = s
+			}
+		}
 	}
 }
 
@@ -144,8 +215,17 @@ func gemmParallel(a, b, c []float32, m, k, n int) {
 }
 
 // GemmTransB computes C = A·Bᵀ where A is M×K and B is N×K (both row-major),
-// producing M×N. Used by backward passes of dense layers.
+// producing M×N. Used by backward passes of dense layers. Large problems
+// route through the packed kernel, which folds the transpose into packing.
 func GemmTransB(a, b, c []float32, m, k, n int) {
+	if int64(m)*int64(k)*int64(n) >= packedMinVol {
+		gemmPacked(a, b, c, m, k, n, false, true)
+		return
+	}
+	gemmTransBLoop(a, b, c, m, k, n)
+}
+
+func gemmTransBLoop(a, b, c []float32, m, k, n int) {
 	for i := 0; i < m; i++ {
 		ai := a[i*k : (i+1)*k]
 		ci := c[i*n : (i+1)*n]
@@ -161,8 +241,18 @@ func GemmTransB(a, b, c []float32, m, k, n int) {
 }
 
 // GemmTransA computes C = Aᵀ·B where A is K×M and B is K×N (both row-major),
-// producing M×N. Used by weight-gradient computation of dense layers.
+// producing M×N. Used by weight-gradient computation of dense layers. Large
+// problems route through the packed kernel, which folds the transpose into
+// packing.
 func GemmTransA(a, b, c []float32, m, k, n int) {
+	if int64(m)*int64(k)*int64(n) >= packedMinVol {
+		gemmPacked(a, b, c, m, k, n, true, false)
+		return
+	}
+	gemmTransALoop(a, b, c, m, k, n)
+}
+
+func gemmTransALoop(a, b, c []float32, m, k, n int) {
 	for i := 0; i < m*n; i++ {
 		c[i] = 0
 	}

@@ -48,7 +48,7 @@ func TestGemmAlgorithmsAgree(t *testing.T) {
 		a := randSlice(rng, m*k)
 		b := randSlice(rng, k*n)
 		want := gemmRef(a, b, m, k, n)
-		for _, algo := range []GemmAlgo{GemmNaive, GemmBlocked, GemmParallel} {
+		for _, algo := range []GemmAlgo{GemmNaive, GemmBlocked, GemmParallel, GemmPacked} {
 			c := make([]float32, m*n)
 			Gemm(algo, a, b, c, m, k, n)
 			if d := maxAbsDiff(c, want); d > 1e-3*float64(k) {

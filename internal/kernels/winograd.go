@@ -13,8 +13,8 @@ package kernels
 //	     | 0  1  0 -1 |        | 0    0    1   |
 
 // winogradKernel transforms a 3×3 kernel g into its 4×4 Winograd domain
-// image U = G·g·Gᵀ.
-func winogradKernel(g []float32, u *[16]float32) {
+// image U = G·g·Gᵀ, written to u[0:16].
+func winogradKernel(g []float32, u []float32) {
 	// t = G·g  (4×3)
 	var t [12]float32
 	for c := 0; c < 3; c++ {
@@ -34,8 +34,9 @@ func winogradKernel(g []float32, u *[16]float32) {
 	}
 }
 
-// winogradInput transforms a 4×4 input tile d into V = Bᵀ·d·B.
-func winogradInput(d *[16]float32, v *[16]float32) {
+// winogradInput transforms a 4×4 input tile d into V = Bᵀ·d·B, written to
+// v[0:16].
+func winogradInput(d *[16]float32, v []float32) {
 	var t [16]float32
 	// t = Bᵀ·d
 	for c := 0; c < 4; c++ {
@@ -78,17 +79,21 @@ func conv2DWinograd(s ConvShape, in, w, out []float32) {
 	tilesY := (oh + 1) / 2
 	tilesX := (ow + 1) / 2
 
-	// Pre-transform all kernels: U[m][c] is a 16-vector.
-	u := make([][16]float32, s.M*s.C)
+	// Pre-transform all kernels: U[m][c] is a 16-vector. Both workspaces
+	// come from the kernel scratch arena and are fully overwritten before
+	// use, so their recycled contents don't matter.
+	u := scratch.GetBuf(s.M * s.C * 16)
+	defer scratch.PutBuf(u)
 	for m := 0; m < s.M; m++ {
 		for c := 0; c < s.C; c++ {
-			winogradKernel(w[(m*s.C+c)*9:(m*s.C+c)*9+9], &u[m*s.C+c])
+			winogradKernel(w[(m*s.C+c)*9:(m*s.C+c)*9+9], u[(m*s.C+c)*16:(m*s.C+c)*16+16])
 		}
 	}
 
-	var d, v, acc [16]float32
+	var d, acc [16]float32
 	var y [4]float32
-	vs := make([][16]float32, s.C) // transformed input tiles for one position
+	vs := scratch.GetBuf(s.C * 16) // transformed input tiles for one position
+	defer scratch.PutBuf(vs)
 	for n := 0; n < s.N; n++ {
 		inImg := in[n*s.C*s.H*s.W:]
 		outImg := out[n*s.M*oh*ow:]
@@ -110,14 +115,13 @@ func conv2DWinograd(s ConvShape, in, w, out []float32) {
 							}
 						}
 					}
-					winogradInput(&d, &v)
-					vs[c] = v
+					winogradInput(&d, vs[c*16:c*16+16])
 				}
 				for m := 0; m < s.M; m++ {
 					acc = [16]float32{}
 					for c := 0; c < s.C; c++ {
-						um := &u[m*s.C+c]
-						vc := &vs[c]
+						um := u[(m*s.C+c)*16 : (m*s.C+c)*16+16 : (m*s.C+c)*16+16]
+						vc := vs[c*16 : c*16+16 : c*16+16]
 						for i := 0; i < 16; i++ {
 							acc[i] += um[i] * vc[i]
 						}

@@ -17,7 +17,7 @@ func NewReLU() *ReLUOp { return &ReLUOp{base{name: "Relu"}} }
 func (o *ReLUOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 	out := o.newOut(inputs[0].Shape()...)
 	kernels.ReLU(inputs[0].Data(), out.Data())
-	return []*tensor.Tensor{out}
+	return o.out1(out)
 }
 
 func (o *ReLUOp) Backward(gradOutputs, fwdInputs, fwdOutputs []*tensor.Tensor) []*tensor.Tensor {
@@ -38,14 +38,16 @@ type LeakyReLUOp struct {
 func NewLeakyReLU(alpha float32) *LeakyReLUOp { return &LeakyReLUOp{base{name: "LeakyRelu"}, alpha} }
 
 func (o *LeakyReLUOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
-	a := o.Alpha
-	out := tensor.Map(inputs[0], func(v float32) float32 {
+	out := o.newOut(inputs[0].Shape()...)
+	dst := out.Data()
+	for i, v := range inputs[0].Data() {
 		if v > 0 {
-			return v
+			dst[i] = v
+		} else {
+			dst[i] = o.Alpha * v
 		}
-		return a * v
-	})
-	return []*tensor.Tensor{out}
+	}
+	return o.out1(out)
 }
 
 func (o *LeakyReLUOp) Backward(gradOutputs, fwdInputs, fwdOutputs []*tensor.Tensor) []*tensor.Tensor {
@@ -74,7 +76,7 @@ func NewSigmoid() *SigmoidOp { return &SigmoidOp{base{name: "Sigmoid"}} }
 func (o *SigmoidOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 	out := o.newOut(inputs[0].Shape()...)
 	kernels.Sigmoid(inputs[0].Data(), out.Data())
-	return []*tensor.Tensor{out}
+	return o.out1(out)
 }
 
 func (o *SigmoidOp) Backward(gradOutputs, fwdInputs, fwdOutputs []*tensor.Tensor) []*tensor.Tensor {
@@ -94,7 +96,7 @@ func NewTanh() *TanhOp { return &TanhOp{base{name: "Tanh"}} }
 func (o *TanhOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 	out := o.newOut(inputs[0].Shape()...)
 	kernels.Tanh(inputs[0].Data(), out.Data())
-	return []*tensor.Tensor{out}
+	return o.out1(out)
 }
 
 func (o *TanhOp) Backward(gradOutputs, fwdInputs, fwdOutputs []*tensor.Tensor) []*tensor.Tensor {
@@ -115,9 +117,9 @@ func NewSoftmax() *SoftmaxOp { return &SoftmaxOp{base{name: "Softmax"}} }
 func (o *SoftmaxOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 	x := inputs[0]
 	n, m := x.Dim(0), x.Dim(1)
-	out := o.newOut(n, m)
+	out := o.newOut(o.outShape(n, m)...)
 	kernels.Softmax(x.Data(), out.Data(), n, m)
-	return []*tensor.Tensor{out}
+	return o.out1(out)
 }
 
 func (o *SoftmaxOp) Backward(gradOutputs, fwdInputs, fwdOutputs []*tensor.Tensor) []*tensor.Tensor {
@@ -166,7 +168,11 @@ func (o *DropoutOp) SetTraining(training bool) { o.Training = training }
 func (o *DropoutOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 	x := inputs[0]
 	if !o.Training || o.Ratio <= 0 {
-		return []*tensor.Tensor{x.Clone()}
+		// Inference identity: copy through the allocator (never alias the
+		// input — the memory planner assumes outputs are fresh buffers).
+		out := o.newOut(x.Shape()...)
+		copy(out.Data(), x.Data())
+		return o.out1(out)
 	}
 	out := o.newOut(x.Shape()...)
 	if cap(o.mask) < x.Size() {
@@ -182,7 +188,7 @@ func (o *DropoutOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 		}
 		out.Data()[i] = v * o.mask[i]
 	}
-	return []*tensor.Tensor{out}
+	return o.out1(out)
 }
 
 func (o *DropoutOp) Backward(gradOutputs, fwdInputs, fwdOutputs []*tensor.Tensor) []*tensor.Tensor {
@@ -207,7 +213,12 @@ type unaryMathOp struct {
 }
 
 func (o *unaryMathOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
-	return []*tensor.Tensor{tensor.Map(inputs[0], o.f)}
+	out := o.newOut(inputs[0].Shape()...)
+	dst := out.Data()
+	for i, v := range inputs[0].Data() {
+		dst[i] = o.f(v)
+	}
+	return o.out1(out)
 }
 
 func (o *unaryMathOp) Backward(gradOutputs, fwdInputs, fwdOutputs []*tensor.Tensor) []*tensor.Tensor {

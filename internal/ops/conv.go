@@ -43,13 +43,13 @@ func (o *Conv2DOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 		algo = kernels.ConvIm2Col
 	}
 	oh, ow := s.OutDims()
-	out := o.newOut(s.N, s.M, oh, ow)
+	out := o.newOut(o.outShape(s.N, s.M, oh, ow)...)
 	var bias []float32
 	if len(inputs) > 2 && inputs[2] != nil {
 		bias = inputs[2].Data()
 	}
 	kernels.Conv2D(algo, s, x.Data(), w.Data(), bias, out.Data())
-	return []*tensor.Tensor{out}
+	return o.out1(out)
 }
 
 func (o *Conv2DOp) Backward(gradOutputs, fwdInputs, fwdOutputs []*tensor.Tensor) []*tensor.Tensor {

@@ -34,52 +34,52 @@ func (o *GemmOp) dims(a, b *tensor.Tensor) (m, k, n int) {
 	return
 }
 
+// innerDim returns the contraction length as stored in B, for the
+// dimension check against A's k.
+func (o *GemmOp) innerDim(b *tensor.Tensor) int {
+	if o.TransB {
+		return b.Dim(1)
+	}
+	return b.Dim(0)
+}
+
 func (o *GemmOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 	a, b := inputs[0], inputs[1]
-	if o.TransA {
-		a = tensor.Transpose2D(a)
+	m, k, n := o.dims(a, b)
+	if kb := o.innerDim(b); kb != k {
+		panic(fmt.Sprintf("ops: Gemm inner dimension mismatch %d vs %d", k, kb))
 	}
-	bm := b
-	if o.TransB {
-		bm = tensor.Transpose2D(b)
-	}
-	m, k := a.Dim(0), a.Dim(1)
-	n := bm.Dim(1)
-	if bm.Dim(0) != k {
-		panic(fmt.Sprintf("ops: Gemm inner dimension mismatch %d vs %d", k, bm.Dim(0)))
-	}
-	out := o.newOut(m, n)
-	kernels.Gemm(o.Algo, a.Data(), bm.Data(), out.Data(), m, k, n)
+	// GemmT folds both transposes into the kernel's packing (or strided
+	// loops below the packing threshold) — no transposed copies of A or B
+	// are ever materialized.
+	out := o.newOut(o.outShape(m, n)...)
+	kernels.GemmT(o.Algo, a.Data(), b.Data(), out.Data(), m, k, n, o.TransA, o.TransB)
 	if len(inputs) > 2 && inputs[2] != nil {
-		out.BroadcastAddRow(inputs[2].Reshape(n))
+		kernels.BiasAct(m, n, out.Data(), inputs[2].Data(), kernels.ActNone)
 	}
-	return []*tensor.Tensor{out}
+	return o.out1(out)
 }
 
 func (o *GemmOp) Backward(gradOutputs, fwdInputs, fwdOutputs []*tensor.Tensor) []*tensor.Tensor {
 	g := gradOutputs[0] // [m, n]
 	a, b := fwdInputs[0], fwdInputs[1]
-	if o.TransA {
-		a = tensor.Transpose2D(a)
-	}
-	bm := b
-	if o.TransB {
-		bm = tensor.Transpose2D(b)
-	}
-	m, k := a.Dim(0), a.Dim(1)
-	n := bm.Dim(1)
+	m, k, n := o.dims(a, b)
 
-	// dA = g · Bᵀ  (m×k)
-	gradA := tensor.New(m, k)
-	kernels.GemmTransB(g.Data(), bm.Data(), gradA.Data(), m, n, k)
-	if o.TransA {
-		gradA = tensor.Transpose2D(gradA)
+	// dA = g·op(B)ᵀ, stored transposed when TransA. Each case maps the
+	// stored operand layouts straight onto GemmT's trans flags, so the
+	// backward products fold their transposes exactly like Forward does.
+	gradA := tensor.New(a.Shape()...)
+	if !o.TransA {
+		kernels.GemmT(o.Algo, g.Data(), b.Data(), gradA.Data(), m, n, k, false, !o.TransB)
+	} else {
+		kernels.GemmT(o.Algo, b.Data(), g.Data(), gradA.Data(), k, n, m, o.TransB, true)
 	}
-	// dB = Aᵀ · g  (k×n)
-	gradB := tensor.New(k, n)
-	kernels.GemmTransA(a.Data(), g.Data(), gradB.Data(), k, m, n)
-	if o.TransB {
-		gradB = tensor.Transpose2D(gradB)
+	// dB = op(A)ᵀ·g, stored transposed when TransB.
+	gradB := tensor.New(b.Shape()...)
+	if !o.TransB {
+		kernels.GemmT(o.Algo, a.Data(), g.Data(), gradB.Data(), k, m, n, !o.TransA, false)
+	} else {
+		kernels.GemmT(o.Algo, g.Data(), a.Data(), gradB.Data(), n, m, k, true, o.TransA)
 	}
 	grads := []*tensor.Tensor{gradA, gradB}
 	if len(fwdInputs) > 2 && fwdInputs[2] != nil {
@@ -88,6 +88,9 @@ func (o *GemmOp) Backward(gradOutputs, fwdInputs, fwdOutputs []*tensor.Tensor) [
 	}
 	return grads
 }
+
+// SetGemmAlgo switches the kernel algorithm used by Forward and Backward.
+func (o *GemmOp) SetGemmAlgo(a kernels.GemmAlgo) { o.Algo = a }
 
 func (o *GemmOp) FLOPs(inputs []*tensor.Tensor) int64 {
 	m, k, n := o.dims(inputs[0], inputs[1])
@@ -106,9 +109,9 @@ func NewMatMul(algo kernels.GemmAlgo) *MatMulOp {
 
 func init() {
 	Register("Gemm", func(n *graph.Node) (Operator, error) {
-		return NewGemm(kernels.GemmBlocked, n.AttrInt("transA", 0) == 1, n.AttrInt("transB", 0) == 1), nil
+		return NewGemm(kernels.GemmPacked, n.AttrInt("transA", 0) == 1, n.AttrInt("transB", 0) == 1), nil
 	})
 	Register("MatMul", func(n *graph.Node) (Operator, error) {
-		return NewMatMul(kernels.GemmBlocked), nil
+		return NewMatMul(kernels.GemmPacked), nil
 	})
 }

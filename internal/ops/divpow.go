@@ -14,7 +14,12 @@ type DivOp struct{ base }
 func NewDiv() *DivOp { return &DivOp{base{name: "Div"}} }
 
 func (o *DivOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
-	return []*tensor.Tensor{tensor.Div(inputs[0], inputs[1])}
+	out := o.newOut(inputs[0].Shape()...)
+	a, b, dst := inputs[0].Data(), inputs[1].Data(), out.Data()
+	for i := range dst {
+		dst[i] = a[i] / b[i]
+	}
+	return o.out1(out)
 }
 
 func (o *DivOp) Backward(gradOutputs, fwdInputs, fwdOutputs []*tensor.Tensor) []*tensor.Tensor {
@@ -40,11 +45,11 @@ func NewPow() *PowOp { return &PowOp{base{name: "Pow"}} }
 
 func (o *PowOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 	a, b := inputs[0], inputs[1]
-	out := tensor.New(a.Shape()...)
+	out := o.newOut(a.Shape()...)
 	for i := range out.Data() {
 		out.Data()[i] = float32(math.Pow(float64(a.Data()[i]), float64(b.Data()[i])))
 	}
-	return []*tensor.Tensor{out}
+	return o.out1(out)
 }
 
 func (o *PowOp) Backward(gradOutputs, fwdInputs, fwdOutputs []*tensor.Tensor) []*tensor.Tensor {

@@ -17,14 +17,16 @@ type EluOp struct {
 func NewElu(alpha float32) *EluOp { return &EluOp{base{name: "Elu"}, alpha} }
 
 func (o *EluOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
-	a := o.Alpha
-	out := tensor.Map(inputs[0], func(v float32) float32 {
+	out := o.newOut(inputs[0].Shape()...)
+	dst := out.Data()
+	for i, v := range inputs[0].Data() {
 		if v > 0 {
-			return v
+			dst[i] = v
+		} else {
+			dst[i] = o.Alpha * float32(math.Expm1(float64(v)))
 		}
-		return a * float32(math.Expm1(float64(v)))
-	})
-	return []*tensor.Tensor{out}
+	}
+	return o.out1(out)
 }
 
 func (o *EluOp) Backward(gradOutputs, fwdInputs, fwdOutputs []*tensor.Tensor) []*tensor.Tensor {
@@ -55,16 +57,19 @@ type ClipOp struct {
 func NewClip(min, max float32) *ClipOp { return &ClipOp{base{name: "Clip"}, min, max} }
 
 func (o *ClipOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
-	out := tensor.Map(inputs[0], func(v float32) float32 {
-		if v < o.Min {
-			return o.Min
+	out := o.newOut(inputs[0].Shape()...)
+	dst := out.Data()
+	for i, v := range inputs[0].Data() {
+		switch {
+		case v < o.Min:
+			dst[i] = o.Min
+		case v > o.Max:
+			dst[i] = o.Max
+		default:
+			dst[i] = v
 		}
-		if v > o.Max {
-			return o.Max
-		}
-		return v
-	})
-	return []*tensor.Tensor{out}
+	}
+	return o.out1(out)
 }
 
 func (o *ClipOp) Backward(gradOutputs, fwdInputs, fwdOutputs []*tensor.Tensor) []*tensor.Tensor {

@@ -47,26 +47,25 @@ func NewFusedGemmAct(algo kernels.GemmAlgo, transA, transB bool, act kernels.Act
 
 func (o *FusedGemmActOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 	a, b := inputs[0], inputs[1]
-	if o.TransA {
-		a = tensor.Transpose2D(a)
+	m, k, n := o.gemm.dims(a, b)
+	if kb := o.gemm.innerDim(b); kb != k {
+		panic(fmt.Sprintf("ops: FusedGemmAct inner dimension mismatch %d vs %d", k, kb))
 	}
-	bm := b
-	if o.TransB {
-		bm = tensor.Transpose2D(b)
-	}
-	m, k := a.Dim(0), a.Dim(1)
-	n := bm.Dim(1)
-	if bm.Dim(0) != k {
-		panic(fmt.Sprintf("ops: FusedGemmAct inner dimension mismatch %d vs %d", k, bm.Dim(0)))
-	}
-	out := o.newOut(m, n)
-	kernels.Gemm(o.Algo, a.Data(), bm.Data(), out.Data(), m, k, n)
+	out := o.newOut(o.outShape(m, n)...)
+	kernels.GemmT(o.Algo, a.Data(), b.Data(), out.Data(), m, k, n, o.TransA, o.TransB)
 	var bias []float32
 	if len(inputs) > 2 && inputs[2] != nil {
 		bias = inputs[2].Data()
 	}
 	kernels.BiasAct(m, n, out.Data(), bias, o.Act)
-	return []*tensor.Tensor{out}
+	return o.out1(out)
+}
+
+// SetGemmAlgo switches the kernel algorithm of the fused forward GEMM and
+// its backward delegate.
+func (o *FusedGemmActOp) SetGemmAlgo(a kernels.GemmAlgo) {
+	o.Algo = a
+	o.gemm.Algo = a
 }
 
 func (o *FusedGemmActOp) Backward(gradOutputs, fwdInputs, fwdOutputs []*tensor.Tensor) []*tensor.Tensor {
@@ -125,14 +124,14 @@ func (o *FusedConvReluOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 		algo = kernels.ConvIm2Col
 	}
 	oh, ow := s.OutDims()
-	out := o.newOut(s.N, s.M, oh, ow)
+	out := o.newOut(o.outShape(s.N, s.M, oh, ow)...)
 	kernels.Conv2D(algo, s, x.Data(), w.Data(), nil, out.Data())
 	if len(inputs) > 2 && inputs[2] != nil {
 		kernels.BiasReLUFused(s.N, s.M, oh*ow, out.Data(), inputs[2].Data())
 	} else {
 		kernels.ReLUInPlace(out.Data())
 	}
-	return []*tensor.Tensor{out}
+	return o.out1(out)
 }
 
 func (o *FusedConvReluOp) Backward(gradOutputs, fwdInputs, fwdOutputs []*tensor.Tensor) []*tensor.Tensor {
@@ -155,7 +154,7 @@ func init() {
 		if !ok || act == kernels.ActNone {
 			return nil, fmt.Errorf("ops: FusedGemmAct node %q has unsupported act %q", n.Name, n.AttrString("act", ""))
 		}
-		return NewFusedGemmAct(kernels.GemmBlocked,
+		return NewFusedGemmAct(kernels.GemmPacked,
 			n.AttrInt("transA", 0) == 1, n.AttrInt("transB", 0) == 1, act), nil
 	})
 	Register("FusedConvRelu", func(n *graph.Node) (Operator, error) {

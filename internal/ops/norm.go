@@ -63,7 +63,7 @@ func (o *BatchNormOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 			}
 		}
 	}
-	return []*tensor.Tensor{out}
+	return o.out1(out)
 }
 
 func (o *BatchNormOp) Backward(gradOutputs, fwdInputs, fwdOutputs []*tensor.Tensor) []*tensor.Tensor {

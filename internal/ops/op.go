@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"deep500/internal/graph"
+	"deep500/internal/kernels"
 	"deep500/internal/tensor"
 )
 
@@ -100,8 +101,20 @@ func FromNode(n *graph.Node) (Operator, error) {
 // tensors from a caller-provided allocator. Executors with a tensor arena
 // install it on every operator that supports it, so steady-state forward
 // passes recycle activation buffers instead of allocating garbage.
+//
+// Contract relied on by the executor's static memory planner: an
+// AllocatorAware operator requests each of its declared outputs through the
+// allocator exactly once per Forward call, in output-declaration order, and
+// never hands an input tensor back as an output.
 type AllocatorAware interface {
 	SetAllocator(a tensor.Allocator)
+}
+
+// GemmAlgoAware is implemented by operators backed by the GEMM kernels
+// (Gemm, MatMul, FusedGemmAct). Executors use it to apply a session-wide
+// algorithm override (WithGemm / the -gemm flag) after construction.
+type GemmAlgoAware interface {
+	SetGemmAlgo(a kernels.GemmAlgo)
 }
 
 // base provides Name, default FLOPs and the output-allocation hook for
@@ -109,6 +122,10 @@ type AllocatorAware interface {
 type base struct {
 	name  string
 	arena tensor.Allocator
+	// outBuf is the reused single-output return slice (see out1); shapeBuf
+	// is the reused output-shape slice (see shape).
+	outBuf   []*tensor.Tensor
+	shapeBuf []int
 }
 
 func (b base) Name() string { return b.name }
@@ -123,6 +140,27 @@ func (b *base) newOut(shape ...int) *tensor.Tensor {
 		return b.arena.Get(shape...)
 	}
 	return tensor.New(shape...)
+}
+
+// out1 returns the operator's reused single-element output slice holding t,
+// so single-output Forward methods allocate no per-call slice. The executor
+// copies nothing but consumes the slice before the node's next Forward;
+// operators are bound one-per-node, so the reuse is race-free.
+func (b *base) out1(t *tensor.Tensor) []*tensor.Tensor {
+	if b.outBuf == nil {
+		b.outBuf = make([]*tensor.Tensor, 1)
+	}
+	b.outBuf[0] = t
+	return b.outBuf
+}
+
+// outShape returns the operator's reused shape slice filled with dims.
+// Forward methods that build output shapes from scalars pass
+// o.newOut(o.outShape(m, n)...) so the variadic argument does not escape to
+// the heap on every call (allocators copy the slice, never retain it).
+func (b *base) outShape(dims ...int) []int {
+	b.shapeBuf = append(b.shapeBuf[:0], dims...)
+	return b.shapeBuf
 }
 
 // elementwiseFLOPs is the default estimate: one op per element.

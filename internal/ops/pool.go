@@ -30,13 +30,13 @@ func (o *MaxPoolOp) shape(x *tensor.Tensor) kernels.PoolShape {
 func (o *MaxPoolOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 	s := o.shape(inputs[0])
 	oh, ow := s.OutDims()
-	out := o.newOut(s.N, s.C, oh, ow)
+	out := o.newOut(o.outShape(s.N, s.C, oh, ow)...)
 	if cap(o.argmax) < s.OutputSize() {
 		o.argmax = make([]int32, s.OutputSize())
 	}
 	o.argmax = o.argmax[:s.OutputSize()]
 	kernels.MaxPool2D(s, inputs[0].Data(), out.Data(), o.argmax)
-	return []*tensor.Tensor{out}
+	return o.out1(out)
 }
 
 func (o *MaxPoolOp) Backward(gradOutputs, fwdInputs, fwdOutputs []*tensor.Tensor) []*tensor.Tensor {
@@ -73,9 +73,9 @@ func (o *AvgPoolOp) shape(x *tensor.Tensor) kernels.PoolShape {
 func (o *AvgPoolOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 	s := o.shape(inputs[0])
 	oh, ow := s.OutDims()
-	out := o.newOut(s.N, s.C, oh, ow)
+	out := o.newOut(o.outShape(s.N, s.C, oh, ow)...)
 	kernels.AvgPool2D(s, inputs[0].Data(), out.Data())
-	return []*tensor.Tensor{out}
+	return o.out1(out)
 }
 
 func (o *AvgPoolOp) Backward(gradOutputs, fwdInputs, fwdOutputs []*tensor.Tensor) []*tensor.Tensor {
@@ -99,9 +99,9 @@ func NewGlobalAvgPool() *GlobalAvgPoolOp { return &GlobalAvgPoolOp{base{name: "G
 func (o *GlobalAvgPoolOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 	x := inputs[0]
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
-	out := o.newOut(n, c, 1, 1)
+	out := o.newOut(o.outShape(n, c, 1, 1)...)
 	kernels.GlobalAvgPool(n, c, h, w, x.Data(), out.Data())
-	return []*tensor.Tensor{out}
+	return o.out1(out)
 }
 
 func (o *GlobalAvgPoolOp) Backward(gradOutputs, fwdInputs, fwdOutputs []*tensor.Tensor) []*tensor.Tensor {

@@ -33,10 +33,13 @@ func (o *RNNTanhCell) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 	kernels.Gemm(o.algo, h.Data(), wh.Data(), hw.Data(), n, h.Dim(1), hdim)
 	pre.AddInPlace(hw)
 	pre.BroadcastAddRow(b)
-	out := tensor.New(n, hdim)
+	out := o.newOut(o.outShape(n, hdim)...)
 	kernels.Tanh(pre.Data(), out.Data())
-	return []*tensor.Tensor{out}
+	return o.out1(out)
 }
+
+// SetGemmAlgo switches the kernel algorithm of the cell's two GEMMs.
+func (o *RNNTanhCell) SetGemmAlgo(a kernels.GemmAlgo) { o.algo = a }
 
 func (o *RNNTanhCell) Backward(gradOutputs, fwdInputs, fwdOutputs []*tensor.Tensor) []*tensor.Tensor {
 	x, h, wx, wh := fwdInputs[0], fwdInputs[1], fwdInputs[2], fwdInputs[3]

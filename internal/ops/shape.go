@@ -14,7 +14,12 @@ type AddOp struct{ base }
 func NewAdd() *AddOp { return &AddOp{base{name: "Add"}} }
 
 func (o *AddOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
-	return []*tensor.Tensor{tensor.Add(inputs[0], inputs[1])}
+	out := o.newOut(inputs[0].Shape()...)
+	a, b, dst := inputs[0].Data(), inputs[1].Data(), out.Data()
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+	return o.out1(out)
 }
 
 func (o *AddOp) Backward(gradOutputs, fwdInputs, fwdOutputs []*tensor.Tensor) []*tensor.Tensor {
@@ -30,7 +35,12 @@ type SubOp struct{ base }
 func NewSub() *SubOp { return &SubOp{base{name: "Sub"}} }
 
 func (o *SubOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
-	return []*tensor.Tensor{tensor.Sub(inputs[0], inputs[1])}
+	out := o.newOut(inputs[0].Shape()...)
+	a, b, dst := inputs[0].Data(), inputs[1].Data(), out.Data()
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+	return o.out1(out)
 }
 
 func (o *SubOp) Backward(gradOutputs, fwdInputs, fwdOutputs []*tensor.Tensor) []*tensor.Tensor {
@@ -48,7 +58,12 @@ type MulOp struct{ base }
 func NewMul() *MulOp { return &MulOp{base{name: "Mul"}} }
 
 func (o *MulOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
-	return []*tensor.Tensor{tensor.Mul(inputs[0], inputs[1])}
+	out := o.newOut(inputs[0].Shape()...)
+	a, b, dst := inputs[0].Data(), inputs[1].Data(), out.Data()
+	for i := range dst {
+		dst[i] = a[i] * b[i]
+	}
+	return o.out1(out)
 }
 
 func (o *MulOp) Backward(gradOutputs, fwdInputs, fwdOutputs []*tensor.Tensor) []*tensor.Tensor {
@@ -65,11 +80,12 @@ type SumOp struct{ base }
 func NewSum() *SumOp { return &SumOp{base{name: "Sum"}} }
 
 func (o *SumOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
-	out := inputs[0].Clone()
+	out := o.newOut(inputs[0].Shape()...)
+	copy(out.Data(), inputs[0].Data())
 	for _, x := range inputs[1:] {
 		out.AddInPlace(x)
 	}
-	return []*tensor.Tensor{out}
+	return o.out1(out)
 }
 
 func (o *SumOp) Backward(gradOutputs, fwdInputs, fwdOutputs []*tensor.Tensor) []*tensor.Tensor {
@@ -91,7 +107,9 @@ type IdentityOp struct{ base }
 func NewIdentity() *IdentityOp { return &IdentityOp{base{name: "Identity"}} }
 
 func (o *IdentityOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
-	return []*tensor.Tensor{inputs[0].Clone()}
+	out := o.newOut(inputs[0].Shape()...)
+	copy(out.Data(), inputs[0].Data())
+	return o.out1(out)
 }
 
 func (o *IdentityOp) Backward(gradOutputs, fwdInputs, fwdOutputs []*tensor.Tensor) []*tensor.Tensor {
@@ -110,7 +128,9 @@ type ConstantOp struct {
 func NewConstant(v *tensor.Tensor) *ConstantOp { return &ConstantOp{base{name: "Constant"}, v} }
 
 func (o *ConstantOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
-	return []*tensor.Tensor{o.Value.Clone()}
+	out := o.newOut(o.Value.Shape()...)
+	copy(out.Data(), o.Value.Data())
+	return o.out1(out)
 }
 
 func (o *ConstantOp) Backward(gradOutputs, fwdInputs, fwdOutputs []*tensor.Tensor) []*tensor.Tensor {
@@ -138,7 +158,9 @@ func (o *FlattenOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 			b *= d
 		}
 	}
-	return []*tensor.Tensor{x.Clone().Reshape(a, b)}
+	out := o.newOut(o.outShape(a, b)...)
+	copy(out.Data(), x.Data())
+	return o.out1(out)
 }
 
 func (o *FlattenOp) Backward(gradOutputs, fwdInputs, fwdOutputs []*tensor.Tensor) []*tensor.Tensor {
@@ -151,15 +173,41 @@ func (o *FlattenOp) FLOPs(inputs []*tensor.Tensor) int64 { return 0 }
 type ReshapeOp struct {
 	base
 	Shape []int
+	// resolved caches the -1-free target shape across Forward calls.
+	resolved []int
 }
 
 // NewReshape returns a reshape operator.
 func NewReshape(shape []int) *ReshapeOp {
-	return &ReshapeOp{base{name: "Reshape"}, append([]int(nil), shape...)}
+	return &ReshapeOp{base: base{name: "Reshape"}, Shape: append([]int(nil), shape...)}
+}
+
+// resolve fills o.resolved with o.Shape, inferring a single -1 dimension
+// from the input size.
+func (o *ReshapeOp) resolve(size int) []int {
+	if o.resolved == nil {
+		o.resolved = make([]int, len(o.Shape))
+	}
+	known, infer := 1, -1
+	for i, d := range o.Shape {
+		o.resolved[i] = d
+		if d == -1 {
+			infer = i
+		} else {
+			known *= d
+		}
+	}
+	if infer >= 0 {
+		o.resolved[infer] = size / known
+	}
+	return o.resolved
 }
 
 func (o *ReshapeOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
-	return []*tensor.Tensor{inputs[0].Clone().Reshape(o.Shape...)}
+	x := inputs[0]
+	out := o.newOut(o.resolve(x.Size())...)
+	copy(out.Data(), x.Data())
+	return o.out1(out)
 }
 
 func (o *ReshapeOp) Backward(gradOutputs, fwdInputs, fwdOutputs []*tensor.Tensor) []*tensor.Tensor {
@@ -195,7 +243,7 @@ func (o *ConcatOp) Forward(inputs []*tensor.Tensor) []*tensor.Tensor {
 		copy(out.Data()[off:], x.Data())
 		off += x.Size()
 	}
-	return []*tensor.Tensor{out}
+	return o.out1(out)
 }
 
 func (o *ConcatOp) Backward(gradOutputs, fwdInputs, fwdOutputs []*tensor.Tensor) []*tensor.Tensor {

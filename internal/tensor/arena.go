@@ -86,6 +86,43 @@ func (a *Arena) Get(shape ...int) *Tensor {
 	return &Tensor{shape: s, data: data, arena: a, refs: 1}
 }
 
+// GetBuf returns a raw float32 scratch buffer with at least n elements of
+// capacity, sliced to length n. Unlike Get it builds no Tensor header and
+// does not zero the storage — contents are unspecified — so steady-state
+// callers (kernel pack buffers, im2col columns) allocate nothing once the
+// arena is warm. Pair with PutBuf.
+func (a *Arena) GetBuf(n int) []float32 {
+	if n <= 0 {
+		return nil
+	}
+	class := sizeClass(n)
+	a.mu.Lock()
+	a.gets++
+	var buf []float32
+	if list := a.free[class]; len(list) > 0 {
+		buf = list[len(list)-1]
+		a.free[class] = list[:len(list)-1]
+		a.hits++
+	}
+	a.mu.Unlock()
+	if buf == nil {
+		buf = make([]float32, class)
+	}
+	return buf[:n]
+}
+
+// PutBuf returns a buffer obtained from GetBuf to the arena. Passing a
+// buffer whose capacity is not a size class (i.e. one that did not come
+// from this package) would poison the class map, so such buffers are
+// dropped for the GC instead.
+func (a *Arena) PutBuf(buf []float32) {
+	c := cap(buf)
+	if c == 0 || c != sizeClass(c) {
+		return
+	}
+	a.put(buf[:0:c])
+}
+
 // put returns a buffer to its size class.
 func (a *Arena) put(buf []float32) {
 	class := cap(buf)
