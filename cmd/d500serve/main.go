@@ -8,11 +8,14 @@
 //	d500serve -zoo mlp                              # serve a zoo model
 //	d500serve -model trained.d5nx -addr :8500       # serve a checkpoint
 //	d500serve -zoo lenet -replicas 4 -batch 16 -linger 2ms -exec parallel -arena -opt
+//	d500serve -zoo mlp -log                         # JSON request log on stdout
 //
-// Routes: POST /v1/infer (JSON feeds → JSON outputs), GET /stats (serving
-// counters), GET /healthz. Backpressure surfaces as HTTP 429; SIGINT or
-// SIGTERM triggers graceful shutdown (drain the queue, stop the
-// replicas), bounded by -grace.
+// Routes: POST /v1/infer (JSON feeds → JSON outputs), GET /metrics
+// (Prometheus text exposition — see docs/operations.md), GET /stats
+// (serving counters as JSON), GET /healthz. Backpressure surfaces as HTTP
+// 429; a crashed replica fails its in-flight requests with 500 and is
+// respawned unless -respawn=false. SIGINT or SIGTERM triggers graceful
+// shutdown (drain the queue, stop the replicas), bounded by -grace.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -66,6 +70,8 @@ func run() int {
 	execName := flag.String("exec", "sequential", "graph execution backend: sequential, parallel")
 	arena := flag.Bool("arena", false, "recycle activation buffers through a shared tensor arena")
 	optimize := flag.Bool("opt", false, "compile the graph before serving (fusion/folding/DCE)")
+	respawn := flag.Bool("respawn", true, "rebuild crashed replicas from the shared weights")
+	logReq := flag.Bool("log", false, "write one JSON line per HTTP request to stdout")
 	grace := flag.Duration("grace", 10*time.Second, "graceful shutdown budget")
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -87,7 +93,11 @@ func run() int {
 		return 2
 	}
 
-	sessOpts := []d500.Option{d500.WithBackendName(*execName)}
+	metrics := d500.NewMetrics()
+	sessOpts := []d500.Option{
+		d500.WithBackendName(*execName),
+		d500.WithHook(metrics.Hook()),
+	}
 	if *arena {
 		sessOpts = append(sessOpts, d500.WithArena())
 	}
@@ -103,6 +113,9 @@ func run() int {
 	if *queue > 0 {
 		srvOpts = append(srvOpts, d500.WithQueueDepth(*queue))
 	}
+	if *respawn {
+		srvOpts = append(srvOpts, d500.WithRespawn())
+	}
 	server, err := d500.NewServer(model, srvOpts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "d500serve:", err)
@@ -115,7 +128,18 @@ func run() int {
 		fmt.Println("d500serve:", stats)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: server.Handler()}
+	// Observability: Prometheus exposition on /metrics, request accounting
+	// (and the optional JSON access log) around every other route.
+	metrics.Observe(server)
+	var logw io.Writer
+	if *logReq {
+		logw = os.Stdout
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metrics.Handler())
+	mux.Handle("/", metrics.Middleware(server.Handler(), logw))
+
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

@@ -3,6 +3,12 @@
 // (training/test accuracy, loss curve, time-to-accuracy) — a runnable
 // version of the paper's training-loop manager, driven entirely through
 // the public d500 Session API. Ctrl-C cancels the run between steps.
+//
+// -ckpt enables exact-resume checkpointing (atomic background writes every
+// epoch, or every -ckpt-every steps); -resume continues an interrupted run
+// from such a checkpoint. Pass the original run's flags alongside -resume —
+// the model comes from the checkpoint, but optimizer, sampler and seed are
+// reconstructed from the command line. See docs/operations.md.
 package main
 
 import (
@@ -52,6 +58,9 @@ func main() {
 	seed := flag.Uint64("seed", 42, "seed")
 	target := flag.Float64("target", 0.9, "time-to-accuracy target")
 	save := flag.String("save", "", "save the trained model as D5NX to this path")
+	ckpt := flag.String("ckpt", "", "write exact-resume training checkpoints to this path")
+	ckptEvery := flag.Int("ckpt-every", 0, "checkpoint cadence in steps (0 = every epoch boundary)")
+	resume := flag.String("resume", "", "resume training from this checkpoint (pass the original run's flags)")
 	flag.Parse()
 	// A stray positional (e.g. "d500train -opt adam", where boolean -opt
 	// consumes no value and "adam" stops flag parsing) would otherwise run
@@ -69,8 +78,21 @@ func main() {
 		cfg.Channels, cfg.Height, cfg.Width = 1, 28, 28
 		cfg.WidthScale = 1
 	}
-	m, err := buildModel(*model, cfg)
-	fatalIf(err)
+	var (
+		m  *graph.Model
+		cp *d500.Checkpoint
+	)
+	if *resume != "" {
+		var err error
+		cp, err = d500.Resume(*resume)
+		fatalIf(err)
+		m = cp.Model()
+		fmt.Printf("resuming from %s (step %d, %d epoch(s) done)\n", *resume, cp.Step(), cp.EpochsDone())
+	} else {
+		var err error
+		m, err = buildModel(*model, cfg)
+		fatalIf(err)
+	}
 
 	opts := []d500.Option{
 		d500.WithBackendName(*execName),
@@ -89,6 +111,9 @@ func main() {
 	}
 	if *plan {
 		opts = append(opts, d500.WithMemPlan())
+	}
+	if *ckptEvery > 0 {
+		opts = append(opts, d500.WithCheckpointEvery(*ckptEvery))
 	}
 	sess, err := d500.New(opts...)
 	fatalIf(err)
@@ -111,6 +136,8 @@ func main() {
 		Test:           d500.SequentialSampler(test, *batch),
 		Epochs:         *epochs,
 		TargetAccuracy: *target,
+		CheckpointPath: *ckpt,
+		Resume:         cp,
 	})
 	if errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "d500train: interrupted, run cancelled")

@@ -38,4 +38,12 @@
 // Session.Save and Load round-trip trained weights through the D5NX
 // checkpoint format, so a train → Save → Load → serve pipeline
 // reproduces inference exactly.
+//
+// For operations, Metrics aggregates the event stream and the server's
+// stats into a dependency-free Prometheus /metrics endpoint with a JSON
+// request-log middleware; replica panics are isolated (ErrReplicaCrash,
+// optional respawn via WithRespawn); and TrainConfig.CheckpointPath plus
+// Resume give exact-resume training checkpoints — a killed run restarts
+// from its checkpoint and reproduces the uninterrupted loss trajectory
+// bitwise. The runbook is docs/operations.md.
 package d500

@@ -8,9 +8,10 @@ import (
 
 // Event is a structured observation from a Session or Server: a training
 // step or epoch finishing, an evaluation completing, a benchmark sample
-// being recorded, or a serving micro-batch executing. The concrete types
-// are StepEnd, EpochEnd, EvalEnd, BenchSample and ServeSample; consumers
-// type-switch on the value they receive.
+// being recorded, a serving micro-batch executing, a replica crashing, or
+// a checkpoint landing on disk. The concrete types are StepEnd, EpochEnd,
+// EvalEnd, BenchSample, ServeSample, ReplicaDown and CheckpointSaved;
+// consumers type-switch on the value they receive.
 type Event interface{ event() }
 
 // StepEnd is emitted after every optimization step.
@@ -72,11 +73,40 @@ type ServeSample struct {
 	Exec time.Duration
 }
 
-func (StepEnd) event()     {}
-func (EpochEnd) event()    {}
-func (EvalEnd) event()     {}
-func (BenchSample) event() {}
-func (ServeSample) event() {}
+// ReplicaDown is emitted by a Server when one of its replicas crashes: a
+// panic in the replica's pass was recovered, its in-flight requests failed
+// with ErrReplicaCrash, and the pool continues at degraded capacity.
+// Emissions are serialized with ServeSample, so a hook consuming both need
+// not be thread-safe.
+type ReplicaDown struct {
+	// Replica identifies the crashed replica.
+	Replica int
+	// Err is the recovered panic, wrapped in ErrReplicaCrash.
+	Err error
+	// Respawned reports whether the replica was rebuilt from the shared
+	// weights and returned to the pool (see WithRespawn).
+	Respawned bool
+}
+
+// CheckpointSaved is emitted by Session.Train after a training checkpoint
+// has been durably written (the asynchronous writer completed its atomic
+// rename). It is delivered on the training goroutine, like every other
+// training event.
+type CheckpointSaved struct {
+	// Step and Epoch locate the snapshot in the run: optimization steps and
+	// full epochs completed at capture time.
+	Step, Epoch int
+	// Path is the checkpoint file.
+	Path string
+}
+
+func (StepEnd) event()         {}
+func (EpochEnd) event()        {}
+func (EvalEnd) event()         {}
+func (BenchSample) event()     {}
+func (ServeSample) event()     {}
+func (ReplicaDown) event()     {}
+func (CheckpointSaved) event() {}
 
 // Hook consumes the session event stream. Hooks run synchronously on the
 // training/benchmark goroutine: keep them fast, or hand off to a channel.
@@ -117,6 +147,14 @@ func ConsoleHook(w io.Writer) Hook {
 		case ServeSample:
 			fmt.Fprintf(w, "serve replica %d  batch %d req / %d rows  wait %s  exec %s\n",
 				ev.Replica, ev.Requests, ev.Rows, fdur(ev.QueueWait), fdur(ev.Exec))
+		case ReplicaDown:
+			state := "dead"
+			if ev.Respawned {
+				state = "respawned"
+			}
+			fmt.Fprintf(w, "serve replica %d DOWN (%s): %v\n", ev.Replica, state, ev.Err)
+		case CheckpointSaved:
+			fmt.Fprintf(w, "checkpoint saved at step %d (epoch %d): %s\n", ev.Step, ev.Epoch, ev.Path)
 		}
 	}
 }

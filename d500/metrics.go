@@ -1,0 +1,152 @@
+package d500
+
+import (
+	"io"
+	"net/http"
+
+	"deep500/internal/obs"
+)
+
+// Metrics aggregates the session/server event stream and serving counters
+// into a Prometheus-scrapable registry — the production observability
+// surface documented in docs/operations.md. Build one with NewMetrics,
+// install Hook() on the sessions/servers to observe, call Observe(server)
+// to export the serving gauges, and mount Handler() as GET /metrics (this
+// is what cmd/d500serve does).
+type Metrics struct {
+	reg *obs.Registry
+
+	requests *obs.CounterVec
+
+	batchLatency *obs.Histogram
+	queueWait    *obs.Histogram
+
+	trainSteps  *obs.Counter
+	trainEpochs *obs.Counter
+	trainLoss   *obs.Gauge
+	trainAcc    *obs.Gauge
+	evalAcc     *obs.Gauge
+	ckptWrites  *obs.Counter
+}
+
+// NewMetrics builds a registry with the event-driven series registered
+// (request counts, latency histograms, training progress). The
+// Stats-driven serving gauges appear once Observe binds a Server.
+func NewMetrics() *Metrics {
+	reg := obs.NewRegistry()
+	return &Metrics{
+		reg: reg,
+		requests: reg.CounterVec(obs.MetricServeRequestsTotal,
+			"HTTP requests served, by status code.", "code"),
+		batchLatency: reg.Histogram(obs.MetricServeBatchLatencySeconds,
+			"Batched forward-pass execution time in seconds.", nil),
+		queueWait: reg.Histogram(obs.MetricServeQueueWaitSeconds,
+			"Admission-to-dispatch queue wait of each batch's oldest request, in seconds.", nil),
+		trainSteps: reg.Counter(obs.MetricTrainStepsTotal,
+			"Optimization steps completed."),
+		trainEpochs: reg.Counter(obs.MetricTrainEpochsTotal,
+			"Training epochs completed."),
+		trainLoss: reg.Gauge(obs.MetricTrainLoss,
+			"Loss of the most recent training step."),
+		trainAcc: reg.Gauge(obs.MetricTrainAccuracy,
+			"Minibatch accuracy of the most recent training step."),
+		evalAcc: reg.Gauge(obs.MetricEvalAccuracy,
+			"Accuracy of the most recent evaluation."),
+		ckptWrites: reg.Counter(obs.MetricCheckpointWritesTotal,
+			"Training checkpoints durably written."),
+	}
+}
+
+// Hook returns an event hook feeding the registry; chain it with other
+// consumers via MultiHook. Like every Hook it relies on the emitter's
+// serialization guarantees (training events on the training goroutine,
+// serve events serialized across replicas) — the underlying metrics are
+// additionally thread-safe, so sharing one Metrics between a trainer and a
+// server is fine.
+func (m *Metrics) Hook() Hook {
+	return func(e Event) {
+		switch ev := e.(type) {
+		case StepEnd:
+			m.trainSteps.Inc()
+			m.trainLoss.Set(ev.Loss)
+			m.trainAcc.Set(ev.Accuracy)
+		case EpochEnd:
+			m.trainEpochs.Inc()
+		case EvalEnd:
+			m.evalAcc.Set(ev.Accuracy)
+		case ServeSample:
+			m.batchLatency.Observe(ev.Exec.Seconds())
+			m.queueWait.Observe(ev.QueueWait.Seconds())
+		case CheckpointSaved:
+			m.ckptWrites.Inc()
+		}
+	}
+}
+
+// Observe exports the server's counters and gauges: queue depth/capacity,
+// batch totals and occupancy, rejection/expiry/failure counts, replica
+// capacity (configured, live, crashes, respawns) and the shared arena's
+// idle footprint. Values are read from Server.Stats at scrape time, so
+// they never drift from GET /stats. Call at most once per Metrics.
+func (m *Metrics) Observe(s *Server) {
+	stats := func(f func(ServerStats) float64) func() float64 {
+		return func() float64 { return f(s.Stats()) }
+	}
+	m.reg.GaugeFunc(obs.MetricServeQueueDepth,
+		"Current admission-queue length.",
+		stats(func(st ServerStats) float64 { return float64(st.QueueDepth) }))
+	m.reg.GaugeFunc(obs.MetricServeQueueCapacity,
+		"Admission-queue capacity; depth at capacity rejects with 429.",
+		stats(func(st ServerStats) float64 { return float64(st.QueueCap) }))
+	m.reg.CounterFunc(obs.MetricServeBatchesTotal,
+		"Micro-batches executed.",
+		stats(func(st ServerStats) float64 { return float64(st.Batches) }))
+	m.reg.CounterFunc(obs.MetricServeBatchRowsTotal,
+		"Rows served through executed micro-batches.",
+		stats(func(st ServerStats) float64 { return float64(st.Rows) }))
+	m.reg.GaugeFunc(obs.MetricServeBatchOccupancy,
+		"Mean rows per executed micro-batch (rows/batches).",
+		stats(func(st ServerStats) float64 { return st.Occupancy }))
+	m.reg.CounterFunc(obs.MetricServeRejectedTotal,
+		"Requests rejected at admission because the queue was full.",
+		stats(func(st ServerStats) float64 { return float64(st.Rejected) }))
+	m.reg.CounterFunc(obs.MetricServeExpiredTotal,
+		"Requests whose context ended while queued.",
+		stats(func(st ServerStats) float64 { return float64(st.Expired) }))
+	m.reg.CounterFunc(obs.MetricServeFailedTotal,
+		"Requests failed by batch errors, including replica crashes.",
+		stats(func(st ServerStats) float64 { return float64(st.Failed) }))
+	m.reg.GaugeFunc(obs.MetricServeReplicas,
+		"Configured replica count.",
+		stats(func(st ServerStats) float64 { return float64(st.Replicas) }))
+	m.reg.GaugeFunc(obs.MetricServeReplicasLive,
+		"Replicas currently serving; below the configured count the pool is degraded.",
+		stats(func(st ServerStats) float64 { return float64(st.LiveReplicas) }))
+	m.reg.CounterFunc(obs.MetricServeReplicaCrashesTotal,
+		"Replica panics recovered.",
+		stats(func(st ServerStats) float64 { return float64(st.Crashes) }))
+	m.reg.CounterFunc(obs.MetricServeReplicaRespawns,
+		"Crashed replicas rebuilt from the shared weights.",
+		stats(func(st ServerStats) float64 { return float64(st.Respawns) }))
+	arena := s.arena
+	m.reg.GaugeFunc(obs.MetricServeArenaBytes,
+		"Idle bytes pooled in the replica-shared tensor arena (0 without -arena).",
+		func() float64 {
+			if arena == nil {
+				return 0
+			}
+			return float64(arena.FreeBytes())
+		})
+}
+
+// Handler serves the registry in Prometheus text exposition format;
+// cmd/d500serve mounts it at GET /metrics.
+func (m *Metrics) Handler() http.Handler { return m.reg.Handler() }
+
+// Middleware wraps an HTTP handler with request accounting: every request
+// increments d500_serve_requests_total{code=...}, and when logw is non-nil
+// each request is additionally logged as one JSON line (time, method,
+// path, status, bytes, duration, remote) — the -log flag of d500serve.
+func (m *Metrics) Middleware(next http.Handler, logw io.Writer) http.Handler {
+	return obs.Middleware(next, m.requests, logw)
+}

@@ -79,6 +79,7 @@ type config struct {
 	poolWorkers int
 	quick       bool
 	hook        Hook
+	ckptEvery   int // checkpoint cadence in steps (0 = every epoch)
 }
 
 // Option configures a Session at construction. Options are applied in
@@ -223,6 +224,23 @@ func WithPool(workers int) Option {
 func WithQuick() Option {
 	return func(c *config) error {
 		c.quick = true
+		return nil
+	}
+}
+
+// WithCheckpointEvery sets the cadence, in optimization steps, of the
+// asynchronous checkpoints Session.Train writes when
+// TrainConfig.CheckpointPath is set: every n steps, the run's state (model
+// weights, optimizer slots, sampler/RNG cursor) is snapshotted and written
+// atomically in the background. Without this option a checkpointing run
+// snapshots at every epoch boundary instead. See TrainConfig.CheckpointPath
+// and Resume.
+func WithCheckpointEvery(steps int) Option {
+	return func(c *config) error {
+		if steps < 1 {
+			return fmt.Errorf("d500: WithCheckpointEvery requires at least 1 step, got %d", steps)
+		}
+		c.ckptEvery = steps
 		return nil
 	}
 }

@@ -27,6 +27,10 @@ var (
 	// ErrBadRequest wraps request-validation failures (missing feeds,
 	// shape mismatches, disagreeing batch dimensions).
 	ErrBadRequest = serve.ErrBadRequest
+	// ErrReplicaCrash marks requests that were in flight on a replica whose
+	// pass panicked; the pool recovers and keeps serving (see ReplicaDown
+	// and WithRespawn).
+	ErrReplicaCrash = serve.ErrReplicaCrash
 )
 
 // ServerStats is the serving counter snapshot returned by Server.Stats
@@ -40,6 +44,7 @@ type serverConfig struct {
 	linger   time.Duration
 	replicas int
 	queue    int
+	respawn  bool
 }
 
 // ServerOption configures NewServer. Options are applied in order; the
@@ -97,6 +102,18 @@ func WithQueueDepth(n int) ServerOption {
 	}
 }
 
+// WithRespawn makes the server rebuild a crashed replica from the shared
+// model weights and return it to the pool. A replica crash — a panic
+// recovered inside its pass — always fails that replica's in-flight
+// requests with ErrReplicaCrash and emits a ReplicaDown event; with
+// respawn enabled, serving capacity recovers instead of staying degraded.
+func WithRespawn() ServerOption {
+	return func(c *serverConfig) error {
+		c.respawn = true
+		return nil
+	}
+}
+
 // WithSession forwards Session options to the server's replicas: backend
 // selection, arena recycling, the compile pipeline, a dedicated worker
 // pool and the event hook all mean the same thing they mean for a
@@ -119,6 +136,7 @@ type Server struct {
 	inner *serve.Server
 	stats OptimizeStats
 	opt   bool
+	arena *tensor.Arena // replica-shared arena, nil without WithArena
 }
 
 // NewServer builds a serving pool over the model. The replicas are
@@ -174,6 +192,7 @@ func NewServer(m *graph.Model, opts ...ServerOption) (*Server, error) {
 	if base.cfg.arena {
 		arena = tensor.NewArena()
 	}
+	s.arena = arena
 	factory := func() (executor.GraphExecutor, error) {
 		var execOpts []executor.Option
 		if base.cfg.backend == Parallel {
@@ -189,6 +208,7 @@ func NewServer(m *graph.Model, opts ...ServerOption) (*Server, error) {
 	}
 
 	var observe func(serve.Sample)
+	var onDown func(int, error, bool)
 	if hook := base.cfg.hook; hook != nil {
 		observe = func(sm serve.Sample) {
 			hook(ServeSample{
@@ -199,15 +219,20 @@ func NewServer(m *graph.Model, opts ...ServerOption) (*Server, error) {
 				Exec:      sm.Exec,
 			})
 		}
+		onDown = func(replica int, cause error, respawned bool) {
+			hook(ReplicaDown{Replica: replica, Err: cause, Respawned: respawned})
+		}
 	}
 
 	inner, err := serve.New(serve.Options{
-		MaxBatch:    cfg.maxBatch,
-		MaxLinger:   cfg.linger,
-		Replicas:    cfg.replicas,
-		QueueDepth:  cfg.queue,
-		NewExecutor: factory,
-		Observe:     observe,
+		MaxBatch:      cfg.maxBatch,
+		MaxLinger:     cfg.linger,
+		Replicas:      cfg.replicas,
+		QueueDepth:    cfg.queue,
+		NewExecutor:   factory,
+		Observe:       observe,
+		Respawn:       cfg.respawn,
+		OnReplicaDown: onDown,
 	})
 	if err != nil {
 		return nil, err

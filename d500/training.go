@@ -189,6 +189,23 @@ type TrainConfig struct {
 	TargetAccuracy float64
 	// StopOnNaN aborts the run when the loss diverges.
 	StopOnNaN bool
+	// CheckpointPath enables exact-resume checkpointing: the run's state
+	// (model weights, optimizer slots, sampler/RNG cursor) is snapshotted at
+	// step or epoch boundaries (see WithCheckpointEvery) and written to this
+	// path atomically by a background writer, plus once synchronously when
+	// the run ends. Requires a checkpointable optimizer and sampler (all
+	// built-ins are). Each durable write emits a CheckpointSaved event; a
+	// write failure aborts the run.
+	CheckpointPath string
+	// Resume continues a run from a checkpoint loaded with d500.Resume. The
+	// session must have Opened exactly Resume.Model(), and Optimizer/Train/
+	// Test must be constructed with the original run's configuration —
+	// optimizer slots, sampler cursor and step/epoch counters are restored
+	// on top, after which the loss trajectory continues bitwise-identically
+	// to the uninterrupted run (on the deterministic sequential backend).
+	// Epochs still names the run's total epoch count: a run checkpointed
+	// after epoch 2 of 5 resumes with Epochs: 5 and trains the remaining 3.
+	Resume *Checkpoint
 }
 
 // TrainResult summarizes a completed training run.
@@ -252,16 +269,55 @@ func (s *Session) Train(ctx context.Context, cfg TrainConfig) (*TrainResult, err
 		tta.Start()
 		t.r.TTA = tta
 	}
+	if cfg.Resume != nil {
+		if err := restoreCheckpoint(s, cfg, t.r, cfg.Resume); err != nil {
+			return nil, err
+		}
+	}
+	runCtx := ctx
+	if runCtx == nil {
+		runCtx = context.Background()
+	}
+	var ck *checkpointer
+	if cfg.CheckpointPath != "" {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithCancel(runCtx)
+		defer cancel()
+		ck, err = newCheckpointer(s, cfg, t.r, cancel)
+		if err != nil {
+			return nil, err
+		}
+		// Chain the checkpoint capture behind the event-emitting callbacks;
+		// both run on the training goroutine at step/epoch boundaries.
+		prevStep := t.r.AfterStep
+		t.r.AfterStep = func(step int, loss, acc float64) {
+			prevStep(step, loss, acc)
+			ck.afterStep(step)
+		}
+		prevEpoch := t.r.AfterEpoch
+		t.r.AfterEpoch = func(epoch int, testAcc float64) {
+			prevEpoch(epoch, testAcc)
+			ck.afterEpoch()
+		}
+	}
 	epochs := cfg.Epochs
 	if epochs <= 0 {
 		epochs = 1
 	}
 	start := time.Now()
-	if err := t.r.RunEpochs(ctx, epochs); err != nil {
-		return nil, err
+	runErr := t.r.RunEpochs(runCtx, epochs)
+	if ck != nil {
+		// A checkpoint-write failure cancels the run context, so it takes
+		// precedence over the context error it caused.
+		if ckErr := ck.finish(); ckErr != nil {
+			return nil, ckErr
+		}
+	}
+	if runErr != nil {
+		return nil, runErr
 	}
 	res := &TrainResult{
-		Epochs:    epochs,
+		Epochs:    t.r.EpochsDone(),
 		Steps:     t.r.Steps(),
 		FinalLoss: t.r.LossCurve.Last(),
 		Duration:  time.Since(start),

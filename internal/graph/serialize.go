@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"deep500/internal/tensor"
@@ -30,6 +31,11 @@ import (
 const (
 	d5nxMagic   = "D5NX"
 	d5nxVersion = 1
+	// d5nxVersionCkpt is version 2: the version-1 model body followed by a
+	// training-state section (see checkpoint.go). Load accepts both and
+	// drops the extra section, so a mid-training checkpoint can be served
+	// as a plain model.
+	d5nxVersionCkpt = 2
 )
 
 var errBadMagic = errors.New("graph: not a D5NX stream")
@@ -109,10 +115,27 @@ func (w *writer) attr(a Attribute) {
 // Encode writes the model in D5NX binary form.
 func Encode(m *Model, out io.Writer) error {
 	w := &writer{w: bufio.NewWriter(out)}
+	if err := w.header(d5nxVersion); err != nil {
+		return err
+	}
+	w.model(m)
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// header writes the magic and version.
+func (w *writer) header(version uint64) error {
 	if _, err := w.w.WriteString(d5nxMagic); err != nil {
 		return err
 	}
-	w.uvarint(d5nxVersion)
+	w.uvarint(version)
+	return w.err
+}
+
+// model writes the version-1 model body (everything after the version).
+func (w *writer) model(m *Model) {
 	w.str(m.Name)
 	w.str(m.DocString)
 
@@ -156,10 +179,6 @@ func Encode(m *Model, out io.Writer) error {
 			w.attr(n.Attrs[a])
 		}
 	}
-	if w.err != nil {
-		return w.err
-	}
-	return w.w.Flush()
 }
 
 type reader struct {
@@ -260,19 +279,38 @@ func (r *reader) attr() Attribute {
 	return a
 }
 
-// Decode reads a D5NX binary model.
+// Decode reads a D5NX binary model. Version-2 (checkpoint) streams are
+// accepted; their trailing training-state section is ignored — use
+// DecodeCheckpoint to recover it.
 func Decode(in io.Reader) (*Model, error) {
 	r := &reader{r: bufio.NewReader(in)}
-	magic := make([]byte, 4)
-	if _, err := io.ReadFull(r.r, magic); err != nil {
+	if _, err := r.header(); err != nil {
 		return nil, err
 	}
+	return r.model()
+}
+
+// header reads the magic and returns the version.
+func (r *reader) header() (uint64, error) {
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r.r, magic); err != nil {
+		return 0, err
+	}
 	if string(magic) != d5nxMagic {
-		return nil, errBadMagic
+		return 0, errBadMagic
 	}
-	if v := r.uvarint(); v != d5nxVersion {
-		return nil, fmt.Errorf("graph: unsupported D5NX version %d", v)
+	v := r.uvarint()
+	if r.err != nil {
+		return 0, r.err
 	}
+	if v != d5nxVersion && v != d5nxVersionCkpt {
+		return 0, fmt.Errorf("graph: unsupported D5NX version %d", v)
+	}
+	return v, nil
+}
+
+// model reads the version-1 model body (everything after the version).
+func (r *reader) model() (*Model, error) {
 	m := NewModel(r.str())
 	m.DocString = r.str()
 	nIn := int(r.uvarint())
@@ -326,17 +364,49 @@ func Decode(in io.Reader) (*Model, error) {
 	return m, nil
 }
 
-// Save writes the model to a file in D5NX binary form.
+// Save writes the model to a file in D5NX binary form. The write is atomic
+// (temp file + rename), so a crash mid-save never leaves a truncated model
+// at path.
 func Save(m *Model, path string) error {
-	f, err := os.Create(path)
+	return WriteFileAtomic(path, func(out io.Writer) error {
+		return Encode(m, out)
+	})
+}
+
+// WriteFileAtomic writes a file by streaming through write into a temp file
+// in the destination directory, syncing, and renaming over path. Readers
+// never observe a partial file: they see either the old content or the new.
+// The checkpoint writer and Save share this path.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, "."+base+".tmp-*")
 	if err != nil {
 		return err
 	}
-	if err := Encode(m, f); err != nil {
+	tmp := f.Name()
+	cleanup := func(err error) error {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := write(f); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // Load reads a D5NX binary model from a file.

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// statusWriter records the status code and body size a handler produced.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// accessEntry is one structured request-log line.
+type accessEntry struct {
+	Time   string  `json:"time"`
+	Method string  `json:"method"`
+	Path   string  `json:"path"`
+	Status int     `json:"status"`
+	Bytes  int64   `json:"bytes"`
+	Millis float64 `json:"dur_ms"`
+	Remote string  `json:"remote,omitempty"`
+}
+
+// Middleware wraps an HTTP handler with request observability: each
+// response's status code increments requests (a CounterVec labeled by
+// code), and — when logw is non-nil — one JSON object per request is
+// written as a single line (structured access logs, the -log flag of
+// d500serve). Either may be nil to disable that half.
+func Middleware(next http.Handler, requests *CounterVec, logw io.Writer) http.Handler {
+	var logMu sync.Mutex
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		if requests != nil {
+			requests.Inc(itoa(sw.status))
+		}
+		if logw != nil {
+			line, err := json.Marshal(accessEntry{
+				Time:   start.UTC().Format(time.RFC3339Nano),
+				Method: r.Method,
+				Path:   r.URL.Path,
+				Status: sw.status,
+				Bytes:  sw.bytes,
+				Millis: float64(time.Since(start).Microseconds()) / 1000,
+				Remote: r.RemoteAddr,
+			})
+			if err == nil {
+				logMu.Lock()
+				logw.Write(append(line, '\n'))
+				logMu.Unlock()
+			}
+		}
+	})
+}
+
+// itoa converts a small positive int without strconv (keeps the hot
+// middleware path allocation-light).
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,61 @@
+package obs
+
+// Canonical metric names. Every metric the d500 layer registers is named
+// here, and Names() is the single source of truth the tools/docscheck
+// metrics↔docs conformance gate compares against docs/operations.md: a
+// metric added without a doc row (or documented without existing) fails CI.
+const (
+	// Serving (d500serve /metrics).
+	MetricServeRequestsTotal       = "d500_serve_requests_total"
+	MetricServeQueueDepth          = "d500_serve_queue_depth"
+	MetricServeQueueCapacity       = "d500_serve_queue_capacity"
+	MetricServeBatchesTotal        = "d500_serve_batches_total"
+	MetricServeBatchRowsTotal      = "d500_serve_batch_rows_total"
+	MetricServeBatchOccupancy      = "d500_serve_batch_occupancy"
+	MetricServeBatchLatencySeconds = "d500_serve_batch_latency_seconds"
+	MetricServeQueueWaitSeconds    = "d500_serve_queue_wait_seconds"
+	MetricServeRejectedTotal       = "d500_serve_rejected_total"
+	MetricServeExpiredTotal        = "d500_serve_expired_total"
+	MetricServeFailedTotal         = "d500_serve_failed_total"
+	MetricServeReplicas            = "d500_serve_replicas"
+	MetricServeReplicasLive        = "d500_serve_replicas_live"
+	MetricServeReplicaCrashesTotal = "d500_serve_replica_crashes_total"
+	MetricServeReplicaRespawns     = "d500_serve_replica_respawns_total"
+	MetricServeArenaBytes          = "d500_serve_arena_bytes"
+
+	// Training (Session.Train through a Metrics hook).
+	MetricTrainStepsTotal       = "d500_train_steps_total"
+	MetricTrainLoss             = "d500_train_loss"
+	MetricTrainAccuracy         = "d500_train_accuracy"
+	MetricTrainEpochsTotal      = "d500_train_epochs_total"
+	MetricEvalAccuracy          = "d500_eval_accuracy"
+	MetricCheckpointWritesTotal = "d500_checkpoint_writes_total"
+)
+
+// Names returns every canonical metric name, in declaration order.
+func Names() []string {
+	return []string{
+		MetricServeRequestsTotal,
+		MetricServeQueueDepth,
+		MetricServeQueueCapacity,
+		MetricServeBatchesTotal,
+		MetricServeBatchRowsTotal,
+		MetricServeBatchOccupancy,
+		MetricServeBatchLatencySeconds,
+		MetricServeQueueWaitSeconds,
+		MetricServeRejectedTotal,
+		MetricServeExpiredTotal,
+		MetricServeFailedTotal,
+		MetricServeReplicas,
+		MetricServeReplicasLive,
+		MetricServeReplicaCrashesTotal,
+		MetricServeReplicaRespawns,
+		MetricServeArenaBytes,
+		MetricTrainStepsTotal,
+		MetricTrainLoss,
+		MetricTrainAccuracy,
+		MetricTrainEpochsTotal,
+		MetricEvalAccuracy,
+		MetricCheckpointWritesTotal,
+	}
+}

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestRenderFormat checks the text exposition basics: HELP/TYPE headers,
+// sorted series, label quoting, and deterministic output.
+func TestRenderFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("zz_total", "a counter")
+	g := r.Gauge("aa_depth", "a gauge")
+	v := r.CounterVec("mm_requests_total", "by code", "code")
+	r.GaugeFunc("ff_live", "from a func", func() float64 { return 3 })
+
+	c.Add(2)
+	c.Inc()
+	g.Set(-1.5)
+	v.Inc("200")
+	v.Inc("200")
+	v.Inc("500")
+
+	out := render(t, r)
+	for _, want := range []string{
+		"# HELP zz_total a counter\n# TYPE zz_total counter\nzz_total 3\n",
+		"# HELP aa_depth a gauge\n# TYPE aa_depth gauge\naa_depth -1.5\n",
+		"mm_requests_total{code=\"200\"} 2\n",
+		"mm_requests_total{code=\"500\"} 1\n",
+		"ff_live 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Sorted by name: aa before ff before mm before zz.
+	if !(strings.Index(out, "aa_depth") < strings.Index(out, "ff_live") &&
+		strings.Index(out, "ff_live") < strings.Index(out, "mm_requests_total") &&
+		strings.Index(out, "mm_requests_total") < strings.Index(out, "zz_total")) {
+		t.Fatalf("series not sorted by name:\n%s", out)
+	}
+	if out != render(t, r) {
+		t.Fatal("render is not deterministic")
+	}
+}
+
+// TestHistogram checks cumulative bucketing, the +Inf bucket, and sum/count.
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	out := render(t, r)
+	for _, want := range []string{
+		"lat_seconds_bucket{le=\"0.1\"} 2\n", // 0.05 and the boundary value 0.1
+		"lat_seconds_bucket{le=\"1\"} 3\n",
+		"lat_seconds_bucket{le=\"10\"} 4\n",
+		"lat_seconds_bucket{le=\"+Inf\"} 5\n",
+		"lat_seconds_sum 102.65\n",
+		"lat_seconds_count 5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramDefaultBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d_seconds", "latency", nil)
+	h.Observe(0.003)
+	out := render(t, r)
+	if !strings.Contains(out, "d_seconds_bucket{le=\"0.005\"} 1\n") {
+		t.Fatalf("default latency buckets not applied:\n%s", out)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("x_total", "again")
+}
+
+// TestHandler checks the scrape endpoint: GET only, Prometheus content
+// type.
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x").Inc()
+	h := r.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /metrics: %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1") {
+		t.Fatalf("body: %s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/metrics", nil))
+	if rec.Code != 405 {
+		t.Fatalf("POST /metrics: want 405, got %d", rec.Code)
+	}
+}
+
+// TestMiddleware checks request accounting by status code and the JSON
+// access log.
+func TestMiddleware(t *testing.T) {
+	r := NewRegistry()
+	requests := r.CounterVec(MetricServeRequestsTotal, "by code", "code")
+	var log bytes.Buffer
+	inner := http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path == "/missing" {
+			http.Error(w, "nope", http.StatusNotFound)
+			return
+		}
+		w.Write([]byte("ok"))
+	})
+	h := Middleware(inner, requests, &log)
+
+	for _, path := range []string{"/healthz", "/healthz", "/missing"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	}
+
+	out := render(t, r)
+	if !strings.Contains(out, `{code="200"} 2`) || !strings.Contains(out, `{code="404"} 1`) {
+		t.Fatalf("request accounting wrong:\n%s", out)
+	}
+
+	lines := strings.Split(strings.TrimSpace(log.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 access-log lines, got %d: %q", len(lines), log.String())
+	}
+	var entry struct {
+		Time   string  `json:"time"`
+		Method string  `json:"method"`
+		Path   string  `json:"path"`
+		Status int     `json:"status"`
+		Bytes  int     `json:"bytes"`
+		DurMS  float64 `json:"dur_ms"`
+	}
+	if err := json.Unmarshal([]byte(lines[2]), &entry); err != nil {
+		t.Fatalf("access log is not one JSON object per line: %v (%q)", err, lines[2])
+	}
+	if entry.Method != "GET" || entry.Path != "/missing" || entry.Status != 404 || entry.Time == "" {
+		t.Fatalf("access-log entry wrong: %+v", entry)
+	}
+}
+
+// TestNames checks the canonical metric-name list the docs conformance
+// gate consumes: well-formed Prometheus names, no duplicates.
+func TestNames(t *testing.T) {
+	names := Names()
+	if len(names) == 0 {
+		t.Fatal("Names() is empty")
+	}
+	seen := make(map[string]bool)
+	for _, n := range names {
+		if !strings.HasPrefix(n, "d500_") {
+			t.Fatalf("metric %q lacks the d500_ prefix", n)
+		}
+		for _, c := range n {
+			if !(c == '_' || c >= 'a' && c <= 'z' || c >= '0' && c <= '9') {
+				t.Fatalf("metric %q has invalid character %q", n, c)
+			}
+		}
+		if seen[n] {
+			t.Fatalf("metric %q listed twice", n)
+		}
+		seen[n] = true
+	}
+}

@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"deep500/internal/executor"
+	"deep500/internal/graph"
+	"deep500/internal/models"
+	"deep500/internal/tensor"
+)
+
+// Chaos tests: panics injected into replica passes mid-load. The server
+// must stay healthy (requests in flight on the crashed replica fail with
+// ErrReplicaCrash, everything else keeps being served), capacity must
+// degrade observably, and the request accounting must reconcile exactly.
+// The -race CI job runs these, so the crash/respawn paths are also checked
+// for data races.
+
+// chaosModel is small enough that thousands of requests stay cheap.
+func chaosModel() *graph.Model {
+	cfg := models.Config{Classes: 4, Channels: 1, Height: 4, Width: 4, Seed: 7}
+	return models.MLP(cfg, 8)
+}
+
+// crashyFactory builds replicas that panic inside the forward pass while
+// armed holds a positive count; each injected panic decrements it.
+func crashyFactory(m *graph.Model, armed *atomic.Int32) func() (executor.GraphExecutor, error) {
+	return func() (executor.GraphExecutor, error) {
+		e, err := executor.New(m)
+		if err != nil {
+			return nil, err
+		}
+		e.Events = &executor.Events{BeforeOp: func(*graph.Node) {
+			if armed.Add(-1) >= 0 {
+				panic("chaos: injected operator fault")
+			}
+			armed.Add(1) // keep the counter from drifting far negative
+		}}
+		return e, nil
+	}
+}
+
+// TestChaosCrashDegrades: one of two replicas is killed mid-load without
+// respawn. The pool must keep serving at degraded capacity, the crash must
+// surface as ErrReplicaCrash on the interrupted requests, and
+// accepted = served + failed must hold exactly.
+func TestChaosCrashDegrades(t *testing.T) {
+	m := chaosModel()
+	var armed atomic.Int32
+	armed.Store(-1) // disarmed
+	var downs int32
+	srv, err := New(Options{
+		MaxBatch:    4,
+		Replicas:    2,
+		QueueDepth:  1024,
+		NewExecutor: crashyFactory(m, &armed),
+		OnReplicaDown: func(replica int, cause error, respawned bool) {
+			atomic.AddInt32(&downs, 1)
+			if !errors.Is(cause, ErrReplicaCrash) {
+				t.Errorf("OnReplicaDown cause = %v, want ErrReplicaCrash", cause)
+			}
+			if respawned {
+				t.Error("OnReplicaDown reported a respawn without Respawn enabled")
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close(context.Background())
+
+	const total = 400
+	var served, crashed, otherErr atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < total; i++ {
+		if i == total/2 {
+			armed.Store(1) // kill exactly one replica mid-load
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			x := inputFor(m, 1, uint64(i))
+			_, err := srv.Infer(context.Background(), map[string]*tensor.Tensor{"x": x})
+			switch {
+			case err == nil:
+				served.Add(1)
+			case errors.Is(err, ErrReplicaCrash):
+				crashed.Add(1)
+			default:
+				otherErr.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if otherErr.Load() != 0 {
+		t.Fatalf("%d requests failed with unexpected errors", otherErr.Load())
+	}
+	if crashed.Load() == 0 {
+		t.Fatal("the injected panic failed no request")
+	}
+	if served.Load() == 0 {
+		t.Fatal("no request survived — the pool did not stay healthy")
+	}
+	if served.Load()+crashed.Load() != total {
+		t.Fatalf("accounting: %d served + %d crashed != %d accepted",
+			served.Load(), crashed.Load(), total)
+	}
+
+	st := srv.Stats()
+	if st.Crashes != 1 {
+		t.Fatalf("stats.Crashes = %d, want 1", st.Crashes)
+	}
+	if st.Respawns != 0 {
+		t.Fatalf("stats.Respawns = %d, want 0", st.Respawns)
+	}
+	if st.LiveReplicas != 1 {
+		t.Fatalf("stats.LiveReplicas = %d, want 1 (degraded)", st.LiveReplicas)
+	}
+	if st.Requests != uint64(served.Load()) || st.Failed != uint64(crashed.Load()) {
+		t.Fatalf("stats (%d served, %d failed) disagree with callers (%d, %d)",
+			st.Requests, st.Failed, served.Load(), crashed.Load())
+	}
+	if atomic.LoadInt32(&downs) != 1 {
+		t.Fatalf("OnReplicaDown fired %d times, want 1", downs)
+	}
+
+	// The degraded pool still answers fresh requests.
+	if _, err := srv.Infer(context.Background(), map[string]*tensor.Tensor{"x": inputFor(m, 1, 9999)}); err != nil {
+		t.Fatalf("degraded pool rejected a healthy request: %v", err)
+	}
+}
+
+// TestChaosRespawn: with Respawn enabled a crashed replica is rebuilt from
+// the shared weights and capacity recovers to the configured count.
+func TestChaosRespawn(t *testing.T) {
+	m := chaosModel()
+	var armed atomic.Int32
+	armed.Store(-1)
+	downCh := make(chan bool, 8)
+	srv, err := New(Options{
+		MaxBatch:    2,
+		Replicas:    2,
+		QueueDepth:  1024,
+		Respawn:     true,
+		NewExecutor: crashyFactory(m, &armed),
+		OnReplicaDown: func(replica int, cause error, respawned bool) {
+			downCh <- respawned
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close(context.Background())
+
+	x := inputFor(m, 1, 1)
+	infer := func() error {
+		_, err := srv.Infer(context.Background(), map[string]*tensor.Tensor{"x": x})
+		return err
+	}
+	if err := infer(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash twice; each crash must be respawned.
+	for round := 0; round < 2; round++ {
+		armed.Store(1)
+		deadline := time.Now().Add(5 * time.Second)
+		for { // keep sending until one request trips the armed fault
+			err := infer()
+			if errors.Is(err, ErrReplicaCrash) {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("armed fault never fired")
+			}
+		}
+		select {
+		case respawned := <-downCh:
+			if !respawned {
+				t.Fatal("crash was not respawned")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("OnReplicaDown never fired")
+		}
+	}
+
+	st := srv.Stats()
+	if st.Crashes != 2 || st.Respawns != 2 {
+		t.Fatalf("stats crashes/respawns = %d/%d, want 2/2", st.Crashes, st.Respawns)
+	}
+	if st.LiveReplicas != 2 {
+		t.Fatalf("LiveReplicas = %d, want full capacity 2 after respawns", st.LiveReplicas)
+	}
+	if err := infer(); err != nil {
+		t.Fatalf("respawned pool rejected a request: %v", err)
+	}
+}
+
+// TestChaosAllReplicasDead: when the last replica dies without respawn,
+// queued and future requests fail with ErrReplicaCrash instead of hanging,
+// and Close still completes.
+func TestChaosAllReplicasDead(t *testing.T) {
+	m := chaosModel()
+	var armed atomic.Int32
+	armed.Store(-1)
+	srv, err := New(Options{
+		MaxBatch:    1,
+		Replicas:    1,
+		QueueDepth:  64,
+		NewExecutor: crashyFactory(m, &armed),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	x := inputFor(m, 1, 1)
+	infer := func() error {
+		_, err := srv.Infer(context.Background(), map[string]*tensor.Tensor{"x": x})
+		return err
+	}
+	if err := infer(); err != nil {
+		t.Fatal(err)
+	}
+	armed.Store(1)
+	if err := infer(); !errors.Is(err, ErrReplicaCrash) {
+		t.Fatalf("crashing request: got %v, want ErrReplicaCrash", err)
+	}
+	// Dead pool: requests must fail fast, not hang.
+	for i := 0; i < 4; i++ {
+		if err := infer(); !errors.Is(err, ErrReplicaCrash) {
+			t.Fatalf("dead pool: got %v, want ErrReplicaCrash", err)
+		}
+	}
+	if st := srv.Stats(); st.LiveReplicas != 0 {
+		t.Fatalf("LiveReplicas = %d, want 0", st.LiveReplicas)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Close(ctx); err != nil {
+		t.Fatalf("Close of a dead pool: %v", err)
+	}
+}

@@ -21,7 +21,8 @@ import (
 //
 // Backpressure maps onto status codes: 429 when the admission queue is
 // full, 503 after shutdown began, 400 for malformed feeds, 504 when the
-// request's deadline expired while queued.
+// request's deadline expired while queued, 500 when the replica serving
+// the request crashed mid-batch (ErrReplicaCrash).
 
 // TensorJSON is the wire form of a tensor: an explicit shape plus the
 // row-major float32 data.
@@ -118,6 +119,8 @@ func statusFor(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrBadRequest):
 		return http.StatusBadRequest
+	case errors.Is(err, ErrReplicaCrash):
+		return http.StatusInternalServerError
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):

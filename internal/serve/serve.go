@@ -50,6 +50,11 @@ var (
 	// ErrBadRequest wraps feed-validation failures (missing inputs, shape
 	// mismatches, disagreeing batch dimensions).
 	ErrBadRequest = errors.New("serve: bad request")
+	// ErrReplicaCrash marks requests that were in flight on a replica whose
+	// pass panicked. The panic is recovered, the replica is taken out of the
+	// pool (and respawned when Options.Respawn is set), and the pool keeps
+	// serving at degraded capacity.
+	ErrReplicaCrash = errors.New("serve: replica crashed")
 )
 
 // Serving defaults, exported so the public option layer (d500) and the
@@ -99,6 +104,15 @@ type Options struct {
 	// Calls are serialized across replicas, so the observer need not be
 	// thread-safe (the d500 Hook contract).
 	Observe func(Sample)
+	// Respawn rebuilds a crashed replica from the shared weights (via
+	// NewExecutor) and returns it to the pool. When unset a crashed replica
+	// stays dead and the pool serves at permanently degraded capacity.
+	Respawn bool
+	// OnReplicaDown, when non-nil, is called once per replica crash with
+	// the replica index, the recovered panic (wrapped in ErrReplicaCrash),
+	// and whether the replica was respawned. Calls are serialized with
+	// Observe, so the same single-threaded observer may back both.
+	OnReplicaDown func(replica int, cause error, respawned bool)
 }
 
 // Sample is the per-batch observation emitted through Options.Observe:
@@ -122,6 +136,10 @@ type request struct {
 	rows     int
 	enqueued time.Time
 	done     chan result
+	// answered is set by finish. It is only touched by the single worker
+	// goroutine that owns the request's batch, so crash recovery can tell
+	// which requests of an interrupted batch still need an answer.
+	answered bool
 }
 
 type result struct {
@@ -130,6 +148,7 @@ type result struct {
 }
 
 func (r *request) finish(outs map[string]*tensor.Tensor, err error) {
+	r.answered = true
 	r.done <- result{outs: outs, err: err} // buffered(1), single sender
 }
 
@@ -140,6 +159,7 @@ type Server struct {
 	opts     Options
 	inputs   []graph.TensorInfo
 	outputs  []string
+	model    *graph.Model
 	replicas []executor.GraphExecutor
 
 	queue chan *request
@@ -154,12 +174,14 @@ type Server struct {
 
 	statsMu sync.Mutex
 	stats   statsAccum
+	live    int // replicas currently serving (decremented on crash)
 }
 
 // statsAccum is the mutable counter set behind Server.Stats.
 type statsAccum struct {
 	requests, rows, batches  uint64
 	rejected, expired, fails uint64
+	crashes, respawns        uint64
 	queueWait, execTime      time.Duration
 }
 
@@ -198,8 +220,10 @@ func New(opts Options) (*Server, error) {
 		s.replicas = append(s.replicas, e)
 	}
 	m := s.replicas[0].Network().Model
+	s.model = m
 	s.inputs = m.Inputs
 	s.outputs = m.Outputs
+	s.live = len(s.replicas)
 	for i := range s.replicas {
 		s.wg.Add(1)
 		go s.worker(i)
@@ -209,7 +233,7 @@ func New(opts Options) (*Server, error) {
 
 // Model returns the served model (the compiled clone when the executors
 // were built with the compile pipeline enabled).
-func (s *Server) Model() *graph.Model { return s.replicas[0].Network().Model }
+func (s *Server) Model() *graph.Model { return s.model }
 
 // Infer runs one inference request through the micro-batching pipeline
 // and returns the model's declared outputs for this request's rows.
@@ -306,7 +330,9 @@ func inputNames(infos []graph.TensorInfo) []string {
 }
 
 // worker is one replica's serving loop: pull a request, linger to coalesce
-// a batch, execute, split, respond.
+// a batch, execute, split, respond. A panicking pass does not unwind past
+// runBatch: the worker hands the wreckage to handleCrash and exits, leaving
+// the rest of the pool serving.
 func (s *Server) worker(replica int) {
 	defer s.wg.Done()
 	for {
@@ -354,7 +380,90 @@ func (s *Server) worker(replica int) {
 			}
 			timer.Stop()
 		}
-		s.execute(replica, batch)
+		if crashErr := s.runBatch(replica, batch); crashErr != nil {
+			s.handleCrash(replica, crashErr, batch)
+			return
+		}
+	}
+}
+
+// runBatch executes one batch, converting a panic anywhere in the pass into
+// an ErrReplicaCrash-wrapped error instead of unwinding the process.
+func (s *Server) runBatch(replica int, batch []*request) (crashErr error) {
+	defer func() {
+		if p := recover(); p != nil {
+			crashErr = fmt.Errorf("%w: replica %d panicked: %v", ErrReplicaCrash, replica, p)
+		}
+	}()
+	s.execute(replica, batch)
+	return nil
+}
+
+// handleCrash is the crashed worker's last act: answer the interrupted
+// batch's unanswered requests with the crash error, take the replica out of
+// the live count, optionally respawn it from the shared weights, and notify
+// the observer. If the last replica dies without a respawn, a drainer
+// goroutine keeps failing queued requests so callers never hang and Close
+// still completes.
+func (s *Server) handleCrash(replica int, crashErr error, batch []*request) {
+	failed := 0
+	for _, r := range batch {
+		if !r.answered {
+			r.finish(nil, crashErr)
+			failed++
+		}
+	}
+	s.statsMu.Lock()
+	s.stats.fails += uint64(failed)
+	s.stats.crashes++
+	s.live--
+	s.statsMu.Unlock()
+
+	respawned := false
+	if s.opts.Respawn {
+		s.mu.RLock()
+		closed := s.closed
+		s.mu.RUnlock()
+		if !closed {
+			if e, err := s.opts.NewExecutor(); err == nil {
+				e.SetTraining(false)
+				// The write to s.replicas[replica] happens-before the new
+				// worker goroutine starts; no other goroutine reads this slot.
+				s.replicas[replica] = e
+				s.statsMu.Lock()
+				s.stats.respawns++
+				s.live++
+				s.statsMu.Unlock()
+				s.wg.Add(1)
+				go s.worker(replica)
+				respawned = true
+			}
+		}
+	}
+	if !respawned {
+		s.statsMu.Lock()
+		lastDown := s.live == 0
+		s.statsMu.Unlock()
+		if lastDown {
+			s.wg.Add(1)
+			go s.drain()
+		}
+	}
+	if s.opts.OnReplicaDown != nil {
+		s.observeMu.Lock()
+		s.opts.OnReplicaDown(replica, crashErr, respawned)
+		s.observeMu.Unlock()
+	}
+}
+
+// drain fails queued requests once no replica is left to serve them.
+func (s *Server) drain() {
+	defer s.wg.Done()
+	for req := range s.queue {
+		req.finish(nil, fmt.Errorf("%w: no live replicas", ErrReplicaCrash))
+		s.statsMu.Lock()
+		s.stats.fails++
+		s.statsMu.Unlock()
 	}
 }
 
@@ -436,9 +545,8 @@ func (s *Server) execute(replica int, batch []*request) {
 	}
 	if splitErr != nil { // unreachable in practice; fail the whole batch loudly
 		for _, r := range live {
-			select {
-			case r.done <- result{err: fmt.Errorf("serve: splitting outputs: %w", splitErr)}:
-			default: // already answered before the split error surfaced
+			if !r.answered {
+				r.finish(nil, fmt.Errorf("serve: splitting outputs: %w", splitErr))
 			}
 		}
 		return
@@ -527,10 +635,16 @@ type Stats struct {
 	Batches   uint64  `json:"batches"`
 	Occupancy float64 `json:"occupancy"`
 	// Rejected counts ErrQueueFull admissions, Expired requests whose
-	// context ended while queued, Failed requests whose batch errored.
+	// context ended while queued, Failed requests whose batch errored
+	// (including requests answered with ErrReplicaCrash).
 	Rejected uint64 `json:"rejected"`
 	Expired  uint64 `json:"expired"`
 	Failed   uint64 `json:"failed"`
+	// Crashes counts recovered replica panics; Respawns how many of those
+	// replicas were rebuilt. LiveReplicas is the current serving capacity.
+	Crashes      uint64 `json:"crashes"`
+	Respawns     uint64 `json:"respawns"`
+	LiveReplicas int    `json:"live_replicas"`
 	// AvgQueueWait / AvgExec are per-batch means (nanoseconds on the
 	// wire, time.Duration JSON encoding).
 	AvgQueueWait time.Duration `json:"avg_queue_wait_ns"`
@@ -548,19 +662,23 @@ type Stats struct {
 func (s *Server) Stats() Stats {
 	s.statsMu.Lock()
 	a := s.stats
+	live := s.live
 	s.statsMu.Unlock()
 	st := Stats{
-		Requests:   a.requests,
-		Rows:       a.rows,
-		Batches:    a.batches,
-		Rejected:   a.rejected,
-		Expired:    a.expired,
-		Failed:     a.fails,
-		QueueDepth: len(s.queue),
-		QueueCap:   cap(s.queue),
-		Replicas:   s.opts.Replicas,
-		MaxBatch:   s.opts.MaxBatch,
-		MaxLinger:  s.opts.MaxLinger,
+		Requests:     a.requests,
+		Rows:         a.rows,
+		Batches:      a.batches,
+		Rejected:     a.rejected,
+		Expired:      a.expired,
+		Failed:       a.fails,
+		Crashes:      a.crashes,
+		Respawns:     a.respawns,
+		LiveReplicas: live,
+		QueueDepth:   len(s.queue),
+		QueueCap:     cap(s.queue),
+		Replicas:     s.opts.Replicas,
+		MaxBatch:     s.opts.MaxBatch,
+		MaxLinger:    s.opts.MaxLinger,
 	}
 	if a.batches > 0 {
 		st.Occupancy = float64(a.rows) / float64(a.batches)

@@ -144,6 +144,19 @@ func (a *Arena) Stats() ArenaStats {
 	return ArenaStats{Gets: a.gets, Hits: a.hits}
 }
 
+// FreeBytes returns the number of bytes currently pooled (free and awaiting
+// reuse). Checked-out buffers are not counted; the figure is the arena's
+// idle footprint, which the /metrics arena_bytes gauge reports.
+func (a *Arena) FreeBytes() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var b int64
+	for class, list := range a.free {
+		b += int64(class) * int64(len(list)) * 4
+	}
+	return b
+}
+
 // Retain adds a reference to an arena-backed tensor and returns t. It is a
 // no-op for GC-managed tensors.
 func (t *Tensor) Retain() *Tensor {

@@ -79,6 +79,28 @@ func (r *RNG) Perm(n int) []int {
 // layer its own stream while keeping global determinism.
 func (r *RNG) Split() *RNG { return NewRNG(r.Uint64() ^ 0xD1B54A32D192ED03) }
 
+// RNGState is the complete serializable state of an RNG: the SplitMix64
+// counter plus the cached Box-Muller spare. Restoring it reproduces the
+// generator's future stream bit-for-bit, which exact-resume checkpointing
+// depends on.
+type RNGState struct {
+	State    uint64
+	HasSpare bool
+	Spare    float64
+}
+
+// CaptureState returns a snapshot of the generator's state.
+func (r *RNG) CaptureState() RNGState {
+	return RNGState{State: r.state, HasSpare: r.hasSpare, Spare: r.spare}
+}
+
+// RestoreState rewinds the generator to a previously captured state.
+func (r *RNG) RestoreState(s RNGState) {
+	r.state = s.State
+	r.hasSpare = s.HasSpare
+	r.spare = s.Spare
+}
+
 // RandUniform fills a new tensor of the given shape with uniform samples in
 // [lo, hi).
 func RandUniform(rng *RNG, lo, hi float32, shape ...int) *Tensor {

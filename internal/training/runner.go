@@ -31,11 +31,30 @@ type Runner struct {
 	// weak-scaling experiment to detect exploding losses).
 	StopOnNaN bool
 
-	step int
+	step       int
+	epochsDone int
+	// skipReset makes the next RunEpoch continue the sampler's in-flight
+	// epoch instead of resetting it — set by ResumeAt for mid-epoch resume.
+	skipReset bool
 }
 
 // Steps returns the number of optimization steps completed so far.
 func (r *Runner) Steps() int { return r.step }
+
+// EpochsDone returns the number of full epochs completed so far.
+func (r *Runner) EpochsDone() int { return r.epochsDone }
+
+// ResumeAt rewinds the runner's counters to a checkpointed position: step
+// optimization steps and epochsDone full epochs already behind us. When
+// midEpoch is set the next RunEpoch continues the sampler's current cursor
+// (the caller must have restored it) instead of starting a fresh epoch.
+// RunEpochs(ctx, n) then trains the remaining n−epochsDone epochs, so step
+// and epoch numbers reported to hooks continue the original run's sequence.
+func (r *Runner) ResumeAt(step, epochsDone int, midEpoch bool) {
+	r.step = step
+	r.epochsDone = epochsDone
+	r.skipReset = midEpoch
+}
 
 // NewRunner returns a runner with default metric cadences (training
 // accuracy every step, test accuracy every epoch).
@@ -86,7 +105,11 @@ func (r *Runner) RunEpoch(ctx context.Context) (float64, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	r.TrainSet.Reset()
+	resumed := r.skipReset
+	r.skipReset = false
+	if !resumed {
+		r.TrainSet.Reset()
+	}
 	var total float64
 	var n int
 	for {
@@ -105,21 +128,29 @@ func (r *Runner) RunEpoch(ctx context.Context) (float64, error) {
 		n++
 	}
 	if n == 0 {
+		if resumed {
+			// The checkpoint fell exactly on the epoch boundary; nothing
+			// of this epoch remains.
+			return 0, nil
+		}
 		return 0, fmt.Errorf("training: empty epoch")
 	}
 	return total / float64(n), nil
 }
 
-// RunEpochs trains for n epochs with per-epoch evaluation. Cancelling ctx
-// stops training between steps and surfaces the context's error.
+// RunEpochs trains until n total epochs are done, with per-epoch
+// evaluation. On a fresh runner that is n epochs; on one rewound with
+// ResumeAt it is the remaining n−EpochsDone(). Cancelling ctx stops
+// training between steps and surfaces the context's error.
 func (r *Runner) RunEpochs(ctx context.Context, n int) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	for epoch := 1; epoch <= n; epoch++ {
+	for epoch := r.epochsDone + 1; epoch <= n; epoch++ {
 		if _, err := r.RunEpoch(ctx); err != nil {
 			return err
 		}
+		r.epochsDone = epoch
 		var testAcc float64
 		if r.TestSet != nil {
 			var err error

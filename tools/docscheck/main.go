@@ -5,7 +5,11 @@
 //     in every *.md file must exist on disk (fragments are stripped;
 //     external http(s)/mailto links are ignored); and
 //  2. exported identifiers in the public d500/ package missing doc
-//     comments — the public API surface must stay fully documented.
+//     comments — the public API surface must stay fully documented; and
+//  3. drift between the canonical metric list (internal/obs/names.go)
+//     and the metric reference in docs/operations.md — every canonical
+//     series must be documented there, and every d500_* series the doc
+//     mentions must exist in code.
 //
 // Usage: go run ./tools/docscheck [repo-root]   (default ".")
 package main
@@ -20,6 +24,8 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+
+	"deep500/internal/obs"
 )
 
 func main() {
@@ -30,6 +36,7 @@ func main() {
 	var problems []string
 	problems = append(problems, checkMarkdownLinks(root)...)
 	problems = append(problems, checkDocComments(filepath.Join(root, "d500"))...)
+	problems = append(problems, checkMetricsDocs(filepath.Join(root, "docs", "operations.md"))...)
 	if len(problems) > 0 {
 		for _, p := range problems {
 			fmt.Fprintln(os.Stderr, p)
@@ -37,7 +44,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", len(problems))
 		os.Exit(1)
 	}
-	fmt.Println("docscheck: markdown links and d500 doc comments OK")
+	fmt.Println("docscheck: markdown links, d500 doc comments and metric reference OK")
 }
 
 // mdLink matches [text](target); images ![alt](target) share the suffix.
@@ -139,6 +146,48 @@ func checkDocComments(dir string) []string {
 					}
 				}
 			}
+		}
+	}
+	return problems
+}
+
+// metricToken matches a d500_* metric series name in documentation prose,
+// tables and PromQL snippets.
+var metricToken = regexp.MustCompile(`\bd500_[a-z0-9_]+\b`)
+
+// checkMetricsDocs enforces two-way conformance between the canonical
+// metric list (internal/obs.Names) and the metric reference document:
+// every canonical series must be mentioned, and every d500_* series the
+// document mentions (after stripping the derived _bucket/_sum/_count
+// histogram suffixes) must be canonical. This is the docs-side half of
+// the invariant; d500's TestMetricsCoversCanonicalNames is the code side.
+func checkMetricsDocs(docPath string) []string {
+	data, err := os.ReadFile(docPath)
+	if err != nil {
+		return []string{fmt.Sprintf("docscheck: reading %s: %v", docPath, err)}
+	}
+	doc := string(data)
+
+	canonical := make(map[string]bool)
+	for _, name := range obs.Names() {
+		canonical[name] = true
+	}
+
+	var problems []string
+	for _, name := range obs.Names() {
+		if !strings.Contains(doc, name) {
+			problems = append(problems, fmt.Sprintf("%s: canonical metric %s is not documented", docPath, name))
+		}
+	}
+	seen := make(map[string]bool)
+	for _, tok := range metricToken.FindAllString(doc, -1) {
+		base := tok
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base = strings.TrimSuffix(base, suffix)
+		}
+		if !canonical[base] && !seen[tok] {
+			seen[tok] = true
+			problems = append(problems, fmt.Sprintf("%s: documented metric %s does not exist in internal/obs/names.go", docPath, tok))
 		}
 	}
 	return problems
