@@ -1,53 +1,224 @@
-// Command d500dist runs distributed training on the simulated cluster:
-// real data-parallel SGD across goroutine ranks with the chosen consistency
-// scheme, reporting accuracy, per-node communication volume and simulated
-// makespan (paper Level 3). Each rank drives its loop through a d500
-// Session; Ctrl-C cancels decentralized runs between steps (parameter-
-// server runs stop best-effort at the next server round).
+// Command d500dist is the distributed-training entry point, one binary for
+// every role in the stack:
+//
+//	-role sim     (default) the in-process simulated cluster: goroutine
+//	              ranks over the virtual α-β network, reporting accuracy,
+//	              communication volume and simulated makespan (paper
+//	              Level 3).
+//	-role launch  the networked control plane: starts the trainer-service
+//	              HTTP API (/v1/jobs), submits one job built from the
+//	              flags, re-execs itself as one OS process per rank
+//	              (parameter server + workers over loopback TCP), monitors
+//	              heartbeats, restarts dead workers from checkpoints, and
+//	              waits for the job to finish.
+//	-role ps      one rank process (internal; spawned by launch).
+//	-role worker  one rank process (internal; spawned by launch).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"deep500/d500"
 	"deep500/internal/dist"
+	"deep500/internal/jobs"
 	"deep500/internal/models"
 	"deep500/internal/mpi"
 )
 
 func main() {
-	scheme := flag.String("scheme", "dsgd", "dsgd, dpsgd, mavg, sparse, pssgd, asgd, stale")
-	nodes := flag.Int("nodes", 4, "number of simulated nodes")
+	role := flag.String("role", "sim", "sim, launch, ps or worker")
+	scheme := flag.String("scheme", "dsgd", "sim: dsgd, dpsgd, mavg, sparse, pssgd, asgd, stale; launch: asgd, pssgd, dsgd")
+	nodes := flag.Int("nodes", 4, "sim: number of simulated nodes")
+	workers := flag.Int("workers", 2, "launch: number of worker processes")
 	epochs := flag.Int("epochs", 4, "epochs")
 	batch := flag.Int("batch", 16, "per-node minibatch")
 	lr := flag.Float64("lr", 0.05, "learning rate")
 	samples := flag.Int("samples", 1920, "synthetic training samples")
 	seed := flag.Uint64("seed", 42, "seed")
+	hidden := flag.Int("hidden", 32, "launch: MLP hidden width")
+	optimizer := flag.String("optimizer", "sgd", "launch: sgd, momentum, adam, rmsprop")
+	quant := flag.Uint("quant", 0, "launch: gradient quantization bits (0 = full precision)")
+	ckptDir := flag.String("checkpoint-dir", "", "launch: exact-resume checkpoint directory (enables restart recovery)")
+	ckptEvery := flag.Int("checkpoint-every", 5, "launch: checkpoint cadence in steps")
+	maxRestarts := flag.Int("max-restarts", 2, "launch: per-worker restart budget")
+	addr := flag.String("addr", "127.0.0.1:6500", "launch: control-plane HTTP listen address")
+	hbTimeout := flag.Duration("heartbeat-timeout", 15*time.Second, "launch: silence before a rank is declared dead")
+	// Rank-process plumbing (set by the launcher, not by hand).
+	jobID := flag.String("job", "", "ps/worker: job ID")
+	rank := flag.Int("rank", -1, "ps/worker: rank index")
+	control := flag.String("control", "", "ps/worker: control-plane base URL")
 	flag.Parse()
 
+	switch strings.ToLower(*role) {
+	case "sim":
+		runSim(*scheme, *nodes, *epochs, *batch, *lr, *samples, *seed)
+	case "launch":
+		runLaunch(launchConfig{
+			spec: jobs.Spec{
+				Scheme:          jobs.Scheme(strings.ToLower(*scheme)),
+				Workers:         *workers,
+				Epochs:          *epochs,
+				Batch:           *batch,
+				LR:              *lr,
+				Samples:         *samples,
+				Seed:            *seed,
+				Hidden:          *hidden,
+				Optimizer:       *optimizer,
+				QuantBits:       *quant,
+				CheckpointDir:   *ckptDir,
+				CheckpointEvery: *ckptEvery,
+				MaxRestarts:     *maxRestarts,
+			},
+			addr:      *addr,
+			hbTimeout: *hbTimeout,
+		})
+	case "ps", "worker":
+		runRankProcess(*jobID, *rank, *control)
+	default:
+		fmt.Fprintf(os.Stderr, "d500dist: unknown role %q (sim, launch, ps, worker)\n", *role)
+		os.Exit(2)
+	}
+}
+
+// ---- launch: the networked control plane ----
+
+type launchConfig struct {
+	spec      jobs.Spec
+	addr      string
+	hbTimeout time.Duration
+}
+
+func runLaunch(cfg launchConfig) {
+	self, err := os.Executable()
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		fatal(err)
+	}
+	controlURL := "http://" + ln.Addr().String()
+
+	mgr, err := jobs.NewManager(jobs.Config{
+		Runner:           &jobs.ExecRunner{Binary: self, ControlURL: controlURL},
+		HeartbeatTimeout: cfg.hbTimeout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Handler: jobs.Handler(mgr)}
+	go srv.Serve(ln)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	job, err := mgr.Submit(cfg.spec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("d500dist: control plane on %s, job %s (%s, %d workers, world %d)\n",
+		controlURL, job.ID, job.Spec.Scheme, job.Spec.Workers, job.Spec.WorldSize())
+
+	// Wait for a terminal state, narrating worker restarts as they happen.
+	lastRestarts := 0
+	ticker := time.NewTicker(250 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			fmt.Fprintln(os.Stderr, "d500dist: interrupted, cancelling job")
+			mgr.Cancel(job.ID)
+		case <-ticker.C:
+		}
+		j, err := mgr.Get(job.ID)
+		if err != nil {
+			fatal(err)
+		}
+		if r := totalRestarts(j); r > lastRestarts {
+			fmt.Printf("d500dist: restarted %d worker(s) from checkpoint\n", r-lastRestarts)
+			lastRestarts = r
+		}
+		if j.State.Terminal() {
+			printOutcome(j)
+			mgr.Shutdown()
+			srv.Close()
+			if j.State != jobs.StateSucceeded {
+				os.Exit(1)
+			}
+			return
+		}
+	}
+}
+
+func totalRestarts(j *jobs.Job) int {
+	n := 0
+	for _, w := range j.Workers {
+		n += w.Restarts
+	}
+	return n
+}
+
+func printOutcome(j *jobs.Job) {
+	fmt.Printf("d500dist: job %s %s", j.ID, j.State)
+	if j.Error != "" {
+		fmt.Printf(" (%s)", j.Error)
+	}
+	fmt.Println()
+	out, _ := json.MarshalIndent(j.Workers, "", "  ")
+	fmt.Println(string(out))
+}
+
+// ---- ps / worker: one rank process ----
+
+func runRankProcess(jobID string, rank int, control string) {
+	if jobID == "" || rank < 0 || control == "" {
+		fmt.Fprintln(os.Stderr, "d500dist: -job, -rank and -control are required for rank roles")
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := jobs.RunRank(ctx, jobs.RankConfig{JobID: jobID, Rank: rank, ControlURL: control}); err != nil {
+		fmt.Fprintf(os.Stderr, "d500dist: rank %d: %v\n", rank, err)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "d500dist:", err)
+	os.Exit(1)
+}
+
+// ---- sim: the in-process simulated cluster (paper Level 3) ----
+
+func runSim(scheme string, nodes, epochs, batch int, lr float64, samples int, seed uint64) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
 	centralized := false
-	switch strings.ToLower(*scheme) {
+	switch strings.ToLower(scheme) {
 	case "pssgd", "asgd", "stale":
 		centralized = true
 	case "dsgd", "dpsgd", "mavg", "sparse":
 	default:
-		fmt.Fprintf(os.Stderr, "d500dist: unknown scheme %q\n", *scheme)
+		fmt.Fprintf(os.Stderr, "d500dist: unknown scheme %q\n", scheme)
 		os.Exit(1)
 	}
 
-	cfg := models.Config{Classes: 4, Channels: 1, Height: 8, Width: 8, WithHead: true, Seed: *seed}
+	cfg := models.Config{Classes: 4, Channels: 1, Height: 8, Width: 8, WithHead: true, Seed: seed}
 	shape := []int{1, 8, 8}
-	trainDS, testDS := d500.SyntheticSplit(*samples, *samples/4, cfg.Classes, shape, 0.25, *seed)
-	stepsPerEpoch := *samples / func() int {
-		w := *nodes
+	trainDS, testDS := d500.SyntheticSplit(samples, samples/4, cfg.Classes, shape, 0.25, seed)
+	stepsPerEpoch := samples / func() int {
+		w := nodes
 		if centralized {
 			w--
 		}
@@ -55,11 +226,11 @@ func main() {
 			w = 1
 		}
 		return w
-	}() / *batch
+	}() / batch
 
 	accCh := make(chan float64, 1)
-	makespan, world, err := mpi.Run(*nodes, mpi.Aries(), func(r *mpi.Rank) error {
-		sess, err := d500.New(d500.WithSeed(*seed))
+	makespan, world, err := mpi.Run(nodes, mpi.Aries(), func(r *mpi.Rank) error {
+		sess, err := d500.New(d500.WithSeed(seed))
 		if err != nil {
 			return err
 		}
@@ -71,23 +242,23 @@ func main() {
 			if err != nil {
 				return err
 			}
-			return dist.RunPSServer(ctx, r, d500.SGD(*lr),
+			return dist.RunPSServer(ctx, r, d500.SGD(lr),
 				dist.PackParams(net), dist.ServerConfig{
-					Mode:           psMode(*scheme),
+					Mode:           psMode(scheme),
 					Staleness:      2,
-					StepsPerWorker: stepsPerEpoch * *epochs,
+					StepsPerWorker: stepsPerEpoch * epochs,
 				})
 		}
-		workerIdx, workers := r.ID(), *nodes
+		workerIdx, workers := r.ID(), nodes
 		if centralized {
-			workerIdx, workers = r.ID()-1, *nodes-1
+			workerIdx, workers = r.ID()-1, nodes-1
 		}
-		d, err := sess.NewDriver(d500.SGD(*lr))
+		d, err := sess.NewDriver(d500.SGD(lr))
 		if err != nil {
 			return err
 		}
 		var opt d500.Optimizer
-		switch strings.ToLower(*scheme) {
+		switch strings.ToLower(scheme) {
 		case "dsgd":
 			opt = dist.NewConsistentDecentralized(d, r, mpi.AllreduceRing)
 		case "dpsgd":
@@ -103,12 +274,12 @@ func main() {
 			}
 			opt = dist.NewCentralizedWorker(ge, r)
 		}
-		sampler := dist.NewDistributedSampler(trainDS, *batch, workerIdx, workers, *seed)
+		sampler := dist.NewDistributedSampler(trainDS, batch, workerIdx, workers, seed)
 		trainer, err := sess.NewTrainer(opt, sampler, nil)
 		if err != nil {
 			return err
 		}
-		for ep := 0; ep < *epochs; ep++ {
+		for ep := 0; ep < epochs; ep++ {
 			sampler.Reset()
 			for s := 0; s < stepsPerEpoch; s++ {
 				b := sampler.Next()
@@ -138,7 +309,7 @@ func main() {
 		os.Exit(1)
 	}
 	acc := <-accCh
-	fmt.Printf("scheme=%s nodes=%d epochs=%d batch/node=%d\n", *scheme, *nodes, *epochs, *batch)
+	fmt.Printf("scheme=%s nodes=%d epochs=%d batch/node=%d\n", scheme, nodes, epochs, batch)
 	fmt.Printf("final test accuracy:   %.4f\n", acc)
 	fmt.Printf("simulated makespan:    %v (virtual α-β clock)\n", makespan)
 	fmt.Printf("communication volume:  %.2f MB sent / %.2f MB received / %d messages\n",

@@ -14,8 +14,10 @@ import (
 	"deep500/d500"
 	"deep500/internal/frameworks"
 	"deep500/internal/graph"
+	"deep500/internal/jobs"
 	"deep500/internal/models"
 	"deep500/internal/ops"
+	"deep500/internal/transport"
 )
 
 // printExperiments lists the registered benchmark experiment ids — the
@@ -45,6 +47,28 @@ func printServe() {
 	fmt.Printf("  %-22s %v (WithSession(WithFramework(...)))\n", "replica frameworks", d.Frameworks)
 }
 
+// printDist renders the distributed-training surface: the TCP transport's
+// resolved defaults and the job-spec defaults of d500dist -role launch.
+func printDist() {
+	o := transport.DefaultOptions()
+	fmt.Println("\nTransport defaults (internal/transport, d500dist rank fabric):")
+	fmt.Printf("  %-22s %v (one dial attempt)\n", "dial timeout", o.DialTimeout)
+	fmt.Printf("  %-22s %d attempts, backoff %v doubling to 1s\n", "dial retries", o.DialRetries, o.DialBackoff)
+	fmt.Printf("  %-22s %v (per-frame write / handshake read)\n", "io timeout", o.IOTimeout)
+	fmt.Printf("  %-22s %v (blocking receive bound)\n", "recv timeout", o.RecvTimeout)
+	fmt.Printf("  %-22s full precision (flag -quant 1..8 enables quantized frames)\n", "quantize bits")
+
+	s := jobs.Spec{}.WithDefaults()
+	fmt.Println("\nJob-spec defaults (d500dist -role launch / POST /v1/jobs):")
+	fmt.Printf("  %-22s %s (asgd restartable; pssgd, dsgd fail on worker loss)\n", "scheme", s.Scheme)
+	fmt.Printf("  %-22s %d (+1 parameter-server rank for centralized schemes)\n", "workers", s.Workers)
+	fmt.Printf("  %-22s %s lr=%g\n", "optimizer", s.Optimizer, s.LR)
+	fmt.Printf("  %-22s %s hidden=%d\n", "model", s.Model, s.Hidden)
+	fmt.Printf("  %-22s %d samples, batch %d, %d epochs\n", "data", s.Samples, s.Batch, s.Epochs)
+	fmt.Printf("  %-22s every %d steps (flag -checkpoint-dir enables)\n", "checkpoints", s.CheckpointEvery)
+	fmt.Printf("  %-22s %d per worker\n", "max restarts", s.MaxRestarts)
+}
+
 func main() {
 	table := flag.Int("table", 0, "print survey table 1 or 2")
 	fig := flag.Int("fig", 0, "print survey figure 2")
@@ -53,6 +77,7 @@ func main() {
 	showBackends := flag.Bool("backends", false, "list emulated framework backends")
 	showExperiments := flag.Bool("experiments", false, "list registered benchmark experiments")
 	showServe := flag.Bool("serve", false, "show d500serve serving options and defaults")
+	showDist := flag.Bool("dist", false, "show distributed transport and job-spec defaults")
 	flag.Parse()
 
 	any := false
@@ -114,6 +139,10 @@ func main() {
 		printServe()
 		any = true
 	}
+	if *showDist {
+		printDist()
+		any = true
+	}
 	if !any {
 		d500.RenderTableI(os.Stdout)
 		d500.RenderTableII(os.Stdout)
@@ -123,5 +152,6 @@ func main() {
 			os.Exit(1)
 		}
 		printServe()
+		printDist()
 	}
 }

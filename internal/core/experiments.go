@@ -70,6 +70,8 @@ func RegisterExperiments(s *bench.Suite, o Options) {
 		Run: func(c *bench.Context) error { return runServeExp(c, o) }})
 	s.Register(bench.Definition{ID: "gemm", Title: "GEMM kernels: packed register-tiled sweep",
 		Run: func(c *bench.Context) error { return runGemmExp(c, o) }})
+	s.Register(bench.Definition{ID: "dist", Title: "Distributed: DSGD scaling over TCP loopback",
+		Run: func(c *bench.Context) error { return runDistExp(c, o) }})
 }
 
 // recordDist exports a timing distribution as one record.

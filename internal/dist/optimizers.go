@@ -16,12 +16,12 @@ import (
 // same trajectory on every rank, matching serial large-batch SGD.
 type ConsistentDecentralized struct {
 	d *training.Driver
-	r *mpi.Rank
+	r Rank
 }
 
 // NewConsistentDecentralized wraps a driver with an allreduce gradient hook
 // using the chosen allreduce algorithm.
-func NewConsistentDecentralized(d *training.Driver, r *mpi.Rank, algo mpi.AllreduceAlgo) *ConsistentDecentralized {
+func NewConsistentDecentralized(d *training.Driver, r Rank, algo mpi.AllreduceAlgo) *ConsistentDecentralized {
 	inv := 1 / float32(r.Size())
 	d.GradHook = func(_ string, grad *tensor.Tensor) *tensor.Tensor {
 		r.AllreduceSum(algo, grad.Data(), mpi.SimActual)
@@ -47,12 +47,12 @@ func (o *ConsistentDecentralized) Executor() executor.GraphExecutor { return o.d
 // synchronized every step.
 type NeighborAveraging struct {
 	d      *training.Driver
-	r      *mpi.Rank
+	r      Rank
 	layout *Params
 }
 
 // NewNeighborAveraging wraps a driver with post-step neighbor averaging.
-func NewNeighborAveraging(d *training.Driver, r *mpi.Rank) *NeighborAveraging {
+func NewNeighborAveraging(d *training.Driver, r Rank) *NeighborAveraging {
 	return &NeighborAveraging{d: d, r: r, layout: PackParams(d.Executor().Network())}
 }
 
@@ -100,13 +100,13 @@ func (o *NeighborAveraging) Executor() executor.GraphExecutor { return o.d.Execu
 // trades consistency for fewer synchronizations.
 type ModelAveraging struct {
 	d      *training.Driver
-	r      *mpi.Rank
+	r      Rank
 	every  int
 	layout *Params
 }
 
 // NewModelAveraging wraps a driver with parameter averaging every k steps.
-func NewModelAveraging(d *training.Driver, r *mpi.Rank, k int) *ModelAveraging {
+func NewModelAveraging(d *training.Driver, r Rank, k int) *ModelAveraging {
 	if k < 1 {
 		k = 1
 	}
@@ -141,12 +141,12 @@ func (o *ModelAveraging) Executor() executor.GraphExecutor { return o.d.Executor
 // next step, and allreduces the sparsified vectors.
 type SparseDecentralized struct {
 	d *training.Driver
-	r *mpi.Rank
+	r Rank
 }
 
 // NewSparseDecentralized wraps a driver with top-density sparsification
 // (density in (0,1]) and an allreduce of the surviving entries.
-func NewSparseDecentralized(d *training.Driver, r *mpi.Rank, density float64) *SparseDecentralized {
+func NewSparseDecentralized(d *training.Driver, r Rank, density float64) *SparseDecentralized {
 	if density <= 0 || density > 1 {
 		density = 1
 	}

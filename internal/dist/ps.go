@@ -44,18 +44,26 @@ type ServerConfig struct {
 	// Staleness is the SSP bound for PSStale (ignored otherwise).
 	Staleness int
 	// StepsPerWorker is how many gradient messages the server expects from
-	// each worker before shutting down.
+	// each worker before shutting down. Ignored when UntilDone is set.
 	StepsPerWorker int
+	// UntilDone switches the server to done-counting shutdown: instead of
+	// expecting a fixed gradient count, it serves until every worker has
+	// sent a TagDone message. This is the mode the job control plane uses —
+	// a worker restarted from a checkpoint may replay gradient messages, so
+	// fixed counts would desynchronize — and it is only supported for
+	// PSAsync (sync/stale rounds assume exact per-worker step counts).
+	UntilDone bool
 }
 
 // RunPSServer runs the parameter-server loop on rank r (conventionally
 // rank 0): it owns the packed parameter vector, applies the base
 // optimizer's update rule to every (averaged) incoming gradient, and
 // returns fresh parameters to workers according to the consistency mode.
-// The context is checked between server iterations: cancellation makes the
-// server return ctx.Err() instead of waiting for further gradients (workers
-// sharing the context stop sending at the same boundary).
-func RunPSServer(ctx context.Context, r *mpi.Rank, rule training.ThreeStep, params *Params, cfg ServerConfig) error {
+// Cancelling ctx makes the server return ctx.Err(): on fabrics with
+// context-aware receives (the simulator and the TCP transport both
+// qualify) a receive blocked on a gradient that will never arrive unblocks
+// promptly; other fabrics stop at the next message boundary.
+func RunPSServer(ctx context.Context, r Rank, rule training.ThreeStep, params *Params, cfg ServerConfig) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -63,7 +71,10 @@ func RunPSServer(ctx context.Context, r *mpi.Rank, rule training.ThreeStep, para
 	if workers < 1 {
 		return fmt.Errorf("dist: parameter server needs at least one worker rank")
 	}
-	if cfg.StepsPerWorker < 1 {
+	if cfg.UntilDone && cfg.Mode != PSAsync {
+		return fmt.Errorf("dist: ServerConfig.UntilDone requires PSAsync (got %s)", cfg.Mode)
+	}
+	if !cfg.UntilDone && cfg.StepsPerWorker < 1 {
 		return fmt.Errorf("dist: ServerConfig.StepsPerWorker must be ≥ 1")
 	}
 	apply := func(grad []float32, scale float32) {
@@ -82,12 +93,12 @@ func RunPSServer(ctx context.Context, r *mpi.Rank, rule training.ThreeStep, para
 	switch cfg.Mode {
 	case PSSync:
 		for step := 0; step < cfg.StepsPerWorker; step++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
 			sum := make([]float32, params.Len())
 			for w := 1; w <= workers; w++ {
-				g := r.Recv(w)
+				g, err := recvCtx(ctx, r, w)
+				if err != nil {
+					return err
+				}
 				for i, v := range g {
 					sum[i] += v
 				}
@@ -98,11 +109,30 @@ func RunPSServer(ctx context.Context, r *mpi.Rank, rule training.ThreeStep, para
 			}
 		}
 	case PSAsync:
+		if cfg.UntilDone {
+			// Track distinct finished workers, not a count: a worker restarted
+			// right after sending TagDone replays it, and a duplicate must not
+			// shut the server down while slower workers still train.
+			finished := make(map[int]bool)
+			for len(finished) < workers {
+				g, src, tag, err := recvAnyCtx(ctx, r)
+				if err != nil {
+					return err
+				}
+				if tag == TagDone {
+					finished[src] = true
+					continue
+				}
+				apply(g, 1)
+				r.Send(src, params.Vec, mpi.SimActual)
+			}
+			return nil
+		}
 		for done := 0; done < workers*cfg.StepsPerWorker; done++ {
-			if err := ctx.Err(); err != nil {
+			g, src, _, err := recvAnyCtx(ctx, r)
+			if err != nil {
 				return err
 			}
-			g, src := r.RecvAny()
 			apply(g, 1)
 			r.Send(src, params.Vec, mpi.SimActual)
 		}
@@ -128,10 +158,10 @@ func RunPSServer(ctx context.Context, r *mpi.Rank, rule training.ThreeStep, para
 			}
 		}
 		for done := 0; done < workers*cfg.StepsPerWorker; done++ {
-			if err := ctx.Err(); err != nil {
+			g, src, _, err := recvAnyCtx(ctx, r)
+			if err != nil {
 				return err
 			}
-			g, src := r.RecvAny()
 			apply(g, 1)
 			steps[src]++
 			owed[src] = true
@@ -152,15 +182,22 @@ func RunPSServer(ctx context.Context, r *mpi.Rank, rule training.ThreeStep, para
 // parameters the server returns. It satisfies training.Optimizer.
 type CentralizedWorker struct {
 	e      executor.GraphExecutor
-	r      *mpi.Rank
+	r      Rank
 	layout *Params
 	// Loss is the loss tensor name (default "loss").
 	Loss string
 }
 
 // NewCentralizedWorker binds an executor and a rank to the server on rank 0.
-func NewCentralizedWorker(e executor.GraphExecutor, r *mpi.Rank) *CentralizedWorker {
+func NewCentralizedWorker(e executor.GraphExecutor, r Rank) *CentralizedWorker {
 	return &CentralizedWorker{e: e, r: r, layout: PackParams(e.Network()), Loss: "loss"}
+}
+
+// Finish tells a done-counting server (ServerConfig.UntilDone) that this
+// worker has sent its last gradient; the server exits once every worker
+// has finished. No-op semantics on fixed-count servers: don't call it there.
+func (o *CentralizedWorker) Finish() {
+	o.r.SendTagged(0, nil, TagDone, mpi.SimActual)
 }
 
 // Train computes a local gradient, round-trips it through the server, and

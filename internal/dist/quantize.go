@@ -1,16 +1,26 @@
 package dist
 
-// Gradient quantization for the compression-tradeoff ablation: a linear
-// symmetric quantizer with a shared absolute-maximum scale, packing b-bit
-// codes into bytes (b must divide 8). The wire saving is 32/b; the cost is
-// the quantize+dequantize compute and the rounding error, both measured by
+// Gradient quantization for the compression-tradeoff ablation and the
+// networked gradient wire format (internal/transport frames carry exactly
+// this encoding: packed codes + scale + bits): a linear symmetric quantizer
+// with a shared absolute-maximum scale, packing b-bit codes LSB-first into
+// a little-endian bitstream. Any width 1..8 is supported; for b ∈
+// {1, 2, 4, 8} codes never straddle a byte and the layout is identical to
+// the historical per-byte packing. The wire saving is 32/b; the cost is the
+// quantize+dequantize compute and the rounding error, both measured by
 // BenchmarkAblationQuantize.
 
+// QuantizedLen returns the packed byte length of n values at the given
+// width: ceil(n·bits/8).
+func QuantizedLen(n int, bits uint) int {
+	return (n*int(bits) + 7) / 8
+}
+
 // Quantize compresses g to bits-bit codes and returns the packed codes plus
-// the scale needed to reconstruct. bits must be one of 1, 2, 4, 8.
+// the scale needed to reconstruct. bits must be in [1, 8].
 func Quantize(g []float32, bits uint) ([]uint8, float32) {
-	if bits == 0 || bits > 8 || 8%bits != 0 {
-		panic("dist: Quantize bits must be 1, 2, 4 or 8")
+	if bits == 0 || bits > 8 {
+		panic("dist: Quantize bits must be in [1, 8]")
 	}
 	var scale float32
 	for _, v := range g {
@@ -18,9 +28,8 @@ func Quantize(g []float32, bits uint) ([]uint8, float32) {
 			scale = a
 		}
 	}
-	per := int(8 / bits)
 	levels := uint8(1<<bits - 1)
-	codes := make([]uint8, (len(g)+per-1)/per)
+	codes := make([]uint8, QuantizedLen(len(g), bits))
 	if scale == 0 {
 		return codes, 0
 	}
@@ -35,7 +44,12 @@ func Quantize(g []float32, bits uint) ([]uint8, float32) {
 			q = float32(levels)
 		}
 		c := uint8(q + 0.5)
-		codes[i/per] |= c << (uint(i%per) * bits)
+		bitpos := i * int(bits)
+		idx, off := bitpos/8, uint(bitpos%8)
+		codes[idx] |= c << off
+		if off+bits > 8 {
+			codes[idx+1] |= c >> (8 - off)
+		}
 	}
 	return codes, scale
 }
@@ -43,8 +57,8 @@ func Quantize(g []float32, bits uint) ([]uint8, float32) {
 // Dequantize reconstructs values from packed codes into dst (whose length
 // determines how many values are decoded).
 func Dequantize(codes []uint8, scale float32, bits uint, dst []float32) {
-	if bits == 0 || bits > 8 || 8%bits != 0 {
-		panic("dist: Dequantize bits must be 1, 2, 4 or 8")
+	if bits == 0 || bits > 8 {
+		panic("dist: Dequantize bits must be in [1, 8]")
 	}
 	if scale == 0 {
 		for i := range dst {
@@ -52,12 +66,17 @@ func Dequantize(codes []uint8, scale float32, bits uint, dst []float32) {
 		}
 		return
 	}
-	per := int(8 / bits)
 	levels := uint8(1<<bits - 1)
 	mask := levels
 	half := float32(levels) / 2
 	for i := range dst {
-		c := (codes[i/per] >> (uint(i%per) * bits)) & mask
+		bitpos := i * int(bits)
+		idx, off := bitpos/8, uint(bitpos%8)
+		c := codes[idx] >> off
+		if off+bits > 8 {
+			c |= codes[idx+1] << (8 - off)
+		}
+		c &= mask
 		dst[i] = (float32(c)/half - 1) * scale
 	}
 }

@@ -1,0 +1,132 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"deep500/internal/tensor"
+)
+
+// TestQuantizePropertyRoundTrip is the property test of the wire codec:
+// for every width 1..8 (including the cross-byte widths 3, 5, 6, 7) and a
+// spread of ragged lengths, the round-trip error of every element is
+// bounded by half a quantization step, the packed length matches
+// QuantizedLen exactly, and the codes decode identically from a fresh
+// buffer (no dependence on dst contents).
+func TestQuantizePropertyRoundTrip(t *testing.T) {
+	lengths := []int{1, 2, 3, 7, 8, 9, 17, 63, 255, 1000}
+	for _, n := range lengths {
+		rng := tensor.NewRNG(uint64(1000 + n))
+		g := tensor.RandNormal(rng, 0, 2, n).Data()
+		for bits := uint(1); bits <= 8; bits++ {
+			codes, scale := Quantize(g, bits)
+			if want := QuantizedLen(n, bits); len(codes) != want {
+				t.Fatalf("n=%d bits=%d: %d code bytes, want %d", n, bits, len(codes), want)
+			}
+			dst := make([]float32, n)
+			for i := range dst {
+				dst[i] = float32(math.NaN()) // must be fully overwritten
+			}
+			Dequantize(codes, scale, bits, dst)
+			levels := float64(uint(1)<<bits - 1)
+			halfStep := float64(scale) / levels // (2·scale/levels)/2
+			for i := range g {
+				d := math.Abs(float64(g[i] - dst[i]))
+				if math.IsNaN(d) || d > halfStep+1e-6 {
+					t.Fatalf("n=%d bits=%d elem %d: |%g - %g| = %g exceeds half step %g",
+						n, bits, i, g[i], dst[i], d, halfStep)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantizeErrorShrinksWithBits checks monotone refinement: doubling the
+// width at least halves the worst-case error on the same vector.
+func TestQuantizeErrorShrinksWithBits(t *testing.T) {
+	rng := tensor.NewRNG(77)
+	g := tensor.RandNormal(rng, 0, 1, 4096).Data()
+	prev := math.Inf(1)
+	for _, bits := range []uint{1, 2, 3, 4, 5, 6, 7, 8} {
+		codes, scale := Quantize(g, bits)
+		dst := make([]float32, len(g))
+		Dequantize(codes, scale, bits, dst)
+		var worst float64
+		for i := range g {
+			if d := math.Abs(float64(g[i] - dst[i])); d > worst {
+				worst = d
+			}
+		}
+		if worst >= prev {
+			t.Fatalf("bits=%d: worst error %g did not shrink from %g", bits, worst, prev)
+		}
+		prev = worst
+	}
+}
+
+// TestQuantizeZeroAndConstant pins the degenerate inputs: an all-zero
+// vector quantizes to scale 0 and reconstructs to exact zeros; a constant
+// vector reconstructs its value exactly (the shared-absmax scale maps the
+// extremes onto representable codes).
+func TestQuantizeZeroAndConstant(t *testing.T) {
+	for bits := uint(1); bits <= 8; bits++ {
+		zero := make([]float32, 19)
+		codes, scale := Quantize(zero, bits)
+		if scale != 0 {
+			t.Fatalf("bits=%d: zero vector scale %g", bits, scale)
+		}
+		dst := make([]float32, 19)
+		for i := range dst {
+			dst[i] = 5
+		}
+		Dequantize(codes, scale, bits, dst)
+		for i, v := range dst {
+			if v != 0 {
+				t.Fatalf("bits=%d: zero vector decoded %g at %d", bits, v, i)
+			}
+		}
+
+		konst := []float32{2.5, 2.5, 2.5, 2.5, 2.5}
+		codes, scale = Quantize(konst, bits)
+		out := make([]float32, len(konst))
+		Dequantize(codes, scale, bits, out)
+		for i, v := range out {
+			if math.Abs(float64(v-2.5)) > 1e-6 {
+				t.Fatalf("bits=%d: constant decoded %g at %d", bits, v, i)
+			}
+		}
+	}
+}
+
+// TestQuantizeLegacyLayout pins wire-format compatibility: for the
+// byte-aligned widths the bitstream packing must reproduce the historical
+// per-byte layout (code i at byte i·bits/8, shifted (i·bits)%8), so frames
+// written by older builds decode identically.
+func TestQuantizeLegacyLayout(t *testing.T) {
+	g := []float32{-1, -0.5, 0, 0.25, 0.5, 0.75, 1, -0.25}
+	for _, bits := range []uint{1, 2, 4, 8} {
+		codes, scale := Quantize(g, bits)
+		per := int(8 / bits)
+		legacy := make([]uint8, (len(g)+per-1)/per)
+		levels := uint8(1<<bits - 1)
+		half := float32(levels) / 2
+		for i, v := range g {
+			q := (v/scale + 1) * half
+			if q < 0 {
+				q = 0
+			}
+			if q > float32(levels) {
+				q = float32(levels)
+			}
+			legacy[i/per] |= uint8(q+0.5) << (uint(i%per) * bits)
+		}
+		if len(codes) != len(legacy) {
+			t.Fatalf("bits=%d: length %d, legacy %d", bits, len(codes), len(legacy))
+		}
+		for i := range codes {
+			if codes[i] != legacy[i] {
+				t.Fatalf("bits=%d: byte %d = %08b, legacy %08b", bits, i, codes[i], legacy[i])
+			}
+		}
+	}
+}

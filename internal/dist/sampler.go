@@ -1,6 +1,8 @@
 package dist
 
 import (
+	"fmt"
+
 	"deep500/internal/tensor"
 	"deep500/internal/training"
 )
@@ -70,6 +72,32 @@ func (s *DistributedSampler) Next() *Batch {
 	s.pos += s.batch
 	shape := append([]int{s.batch}, s.ds.SampleShape()...)
 	return &Batch{X: tensor.From(xData, shape...), Labels: tensor.From(labels, s.batch)}
+}
+
+// CaptureState snapshots the shard cursor and shuffle RNG, making the
+// sampler checkpointable: a worker restarted by the job control plane
+// resumes exactly where its shard left off, and every future epoch
+// reshuffles as the uninterrupted run would have (the shared permutation
+// stays aligned with the surviving workers).
+func (s *DistributedSampler) CaptureState() training.SamplerState {
+	rng := s.rng.CaptureState()
+	return training.SamplerState{Order: append([]int(nil), s.idx...), Pos: s.pos, RNG: &rng}
+}
+
+// RestoreState rewinds the shard cursor and shuffle RNG.
+func (s *DistributedSampler) RestoreState(st training.SamplerState) error {
+	for _, idx := range st.Order {
+		if idx < 0 || idx >= s.ds.Len() {
+			return fmt.Errorf("dist: checkpointed shard index %d out of range for dataset of %d", idx, s.ds.Len())
+		}
+	}
+	if st.RNG == nil {
+		return fmt.Errorf("dist: checkpoint has no RNG state for a distributed sampler")
+	}
+	s.idx = append(s.idx[:0], st.Order...)
+	s.pos = st.Pos
+	s.rng.RestoreState(*st.RNG)
+	return nil
 }
 
 // Batch aliases training.Batch so dist samplers satisfy training.Sampler.

@@ -1,0 +1,127 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Handler builds the trainer-service HTTP API over a Manager:
+//
+//	POST   /v1/jobs                 submit a Spec, returns the Job
+//	GET    /v1/jobs                 list jobs
+//	GET    /v1/jobs/{id}            one job's full status
+//	DELETE /v1/jobs/{id}            cancel
+//	GET    /v1/jobs/{id}/peers      rank → transport address table
+//	POST   /v1/jobs/{id}/register   rank callback: transport address + pid
+//	POST   /v1/jobs/{id}/heartbeat  rank callback: liveness + progress
+//	POST   /v1/jobs/{id}/done       rank callback: clean completion
+//	GET    /metrics                 Prometheus text exposition
+//	GET    /healthz
+func Handler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec Spec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
+			return
+		}
+		job, err := m.Submit(spec)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, job)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": m.List()})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, err := m.Get(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, job)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, err := m.Cancel(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, job)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/peers", func(w http.ResponseWriter, r *http.Request) {
+		addrs, err := m.PeerAddrs(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"addrs": addrs})
+	})
+	mux.HandleFunc("POST /v1/jobs/{id}/register", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Rank int    `json:"rank"`
+			Addr string `json:"addr"`
+			PID  int    `json:"pid"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := m.Register(r.PathValue("id"), body.Rank, body.Addr, body.PID); err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("POST /v1/jobs/{id}/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Rank int     `json:"rank"`
+			Step int     `json:"step"`
+			Loss float64 `json:"loss"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := m.Heartbeat(r.PathValue("id"), body.Rank, body.Step, body.Loss); err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("POST /v1/jobs/{id}/done", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Rank int     `json:"rank"`
+			Step int     `json:"step"`
+			Loss float64 `json:"loss"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := m.Done(r.PathValue("id"), body.Rank, body.Step, body.Loss); err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.Handle("GET /metrics", m.Metrics().Handler())
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

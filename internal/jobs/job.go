@@ -1,0 +1,122 @@
+package jobs
+
+import (
+	"time"
+)
+
+// JobState is the lifecycle state of a job (the FfDL-style state machine:
+// pending → deploying → running → succeeded | failed | cancelled, with
+// per-worker restarts inside running).
+type JobState string
+
+const (
+	StatePending   JobState = "pending"
+	StateDeploying JobState = "deploying"
+	StateRunning   JobState = "running"
+	StateSucceeded JobState = "succeeded"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether no further transitions happen.
+func (s JobState) Terminal() bool {
+	return s == StateSucceeded || s == StateFailed || s == StateCancelled
+}
+
+// WorkerPhase is the lifecycle state of one rank process.
+type WorkerPhase string
+
+const (
+	WorkerStarting  WorkerPhase = "starting"
+	WorkerRunning   WorkerPhase = "running"
+	WorkerDone      WorkerPhase = "done"
+	WorkerCrashed   WorkerPhase = "crashed"
+	WorkerRestarted WorkerPhase = "restarted" // crashed, replacement spawned
+)
+
+// Worker is the control plane's view of one rank.
+type Worker struct {
+	// Rank is the transport rank; rank 0 is the parameter server in
+	// centralized schemes.
+	Rank int `json:"rank"`
+	// Role is "ps" or "worker".
+	Role string `json:"role"`
+	// PID is the rank process's OS pid (negative for in-process test
+	// runners). The CI smoke test reads it to kill a worker mid-run.
+	PID int `json:"pid"`
+	// Addr is the rank's transport listen address, registered by the
+	// process at startup ("" until then, and for the highest rank, which
+	// only dials).
+	Addr string `json:"addr,omitempty"`
+	// Phase is the rank's lifecycle state.
+	Phase WorkerPhase `json:"phase"`
+	// Restarts counts replacement processes spawned for this rank.
+	Restarts int `json:"restarts"`
+	// Step and Loss mirror the rank's latest heartbeat.
+	Step int     `json:"step"`
+	Loss float64 `json:"loss"`
+	// LastHeartbeat is the arrival time of the latest heartbeat (or spawn
+	// time before the first one).
+	LastHeartbeat time.Time `json:"last_heartbeat"`
+	// Error is the failure message of a crashed rank.
+	Error string `json:"error,omitempty"`
+
+	// incarnation discriminates process generations so a stale exit
+	// notification from a replaced process is ignored.
+	incarnation int
+	proc        Proc
+	done        bool // rank reported completion via POST done
+}
+
+// Job is one tracked training job. All fields are guarded by the owning
+// Manager's mutex; JSON marshalling happens on snapshots.
+type Job struct {
+	ID      string    `json:"id"`
+	Spec    Spec      `json:"spec"`
+	State   JobState  `json:"state"`
+	Created time.Time `json:"created"`
+	Started time.Time `json:"started,omitempty"`
+	// Finished is the terminal-transition time.
+	Finished time.Time `json:"finished,omitempty"`
+	// Error is the failure reason of a failed job.
+	Error string `json:"error,omitempty"`
+	// Workers is indexed by rank.
+	Workers []*Worker `json:"workers"`
+
+	exits   chan exitEvent
+	stop    chan struct{} // closed on terminal transition; stops the monitor
+	stopped bool
+}
+
+// exitEvent is a rank process termination notice.
+type exitEvent struct {
+	rank        int
+	incarnation int
+	err         error
+}
+
+// snapshot deep-copies the JSON-visible state (called under the manager
+// lock; the copy is marshalled outside it).
+func (j *Job) snapshot() *Job {
+	cp := &Job{
+		ID: j.ID, Spec: j.Spec, State: j.State,
+		Created: j.Created, Started: j.Started, Finished: j.Finished,
+		Error:   j.Error,
+		Workers: make([]*Worker, len(j.Workers)),
+	}
+	for i, w := range j.Workers {
+		wc := *w
+		wc.proc = nil
+		cp.Workers[i] = &wc
+	}
+	return cp
+}
+
+// markStopped closes the monitor stop channel exactly once (manager lock
+// held).
+func (j *Job) markStopped() {
+	if !j.stopped {
+		j.stopped = true
+		close(j.stop)
+	}
+}

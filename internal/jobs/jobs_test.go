@@ -1,0 +1,480 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"deep500/internal/obs"
+)
+
+// startControlPlane wires the full production stack — Manager, HTTP API,
+// LocalRunner — with test-friendly timing. The LocalRunner runs every rank
+// through the real RunRank path (HTTP registration, TCP transport,
+// checkpointing) as goroutines, so the whole lifecycle runs under -race.
+func startControlPlane(t *testing.T) (*Manager, *httptest.Server) {
+	t.Helper()
+	runner := &LocalRunner{Heartbeat: 20}
+	m, err := NewManager(Config{
+		Runner:           runner,
+		HeartbeatTimeout: 10 * time.Second,
+		PollInterval:     50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(m))
+	runner.ControlURL = srv.URL
+	t.Cleanup(func() {
+		m.Shutdown()
+		srv.Close()
+	})
+	return m, srv
+}
+
+// awaitState polls until the job reaches want or the deadline passes.
+func awaitState(t *testing.T, m *Manager, id string, want JobState, within time.Duration) *Job {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		j, err := m.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.State == want {
+			return j
+		}
+		if j.State.Terminal() || time.Now().After(deadline) {
+			t.Fatalf("job %s: state %s (error %q), want %s", id, j.State, j.Error, want)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// scrapeMetric reads one sample out of the control plane's Prometheus
+// exposition.
+func scrapeMetric(t *testing.T, m *Manager, name string) float64 {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	m.Metrics().Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	for _, line := range strings.Split(rec.Body.String(), "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			var v float64
+			if _, err := fmt.Sscanf(strings.TrimPrefix(line, name+" "), "%g", &v); err != nil {
+				t.Fatalf("parsing %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not in exposition", name)
+	return 0
+}
+
+func TestSpecDefaults(t *testing.T) {
+	s := Spec{}.WithDefaults()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("default spec invalid: %v", err)
+	}
+	if s.Scheme != SchemeASGD || s.Workers != 2 || s.Optimizer != "sgd" {
+		t.Fatalf("unexpected defaults: %+v", s)
+	}
+	if got := s.WorldSize(); got != 3 {
+		t.Fatalf("asgd world = workers+PS: got %d want 3", got)
+	}
+	if got := s.WorkerIndex(1); got != 0 {
+		t.Fatalf("rank 1 is worker 0 under a PS, got %d", got)
+	}
+	d := Spec{Scheme: SchemeDSGD}.WithDefaults()
+	if got := d.WorldSize(); got != 2 {
+		t.Fatalf("dsgd world = workers: got %d want 2", got)
+	}
+	// 512 samples / 2 workers / batch 8 × 2 epochs.
+	if got := s.TotalSteps(); got != 64 {
+		t.Fatalf("TotalSteps = %d, want 64", got)
+	}
+	if got := (Spec{CheckpointDir: "/tmp/x"}).CheckpointPath(2); got != "/tmp/x/rank-2.d5nx" {
+		t.Fatalf("CheckpointPath = %q", got)
+	}
+	if got := (Spec{}).CheckpointPath(2); got != "" {
+		t.Fatalf("CheckpointPath without dir = %q, want empty", got)
+	}
+}
+
+func TestSpecValidateRejects(t *testing.T) {
+	cases := []Spec{
+		{Scheme: "ring"},                   // unknown scheme
+		{Model: "transformer"},             // unknown model
+		{QuantBits: 9},                     // out of range
+		{Samples: 8, Workers: 4, Batch: 8}, // zero steps per epoch
+	}
+	for i, c := range cases {
+		if err := c.WithDefaults().Validate(); err == nil {
+			t.Errorf("case %d (%+v): expected validation error", i, c)
+		}
+	}
+}
+
+// TestMetricsCoverDistNames pins the two-way contract with obs.DistNames:
+// every canonical d500_dist_* metric is registered by the control plane.
+// (CoreNames are covered by the d500 package's own conformance test.)
+func TestMetricsCoverDistNames(t *testing.T) {
+	m := NewMetrics()
+	rec := httptest.NewRecorder()
+	m.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body := rec.Body.String()
+	for _, name := range obs.DistNames() {
+		if !strings.Contains(body, name) {
+			t.Errorf("metric %s missing from control-plane exposition", name)
+		}
+	}
+}
+
+// TestJobASGDSucceeds runs the real thing end to end: submit an async
+// parameter-server job, three rank processes (PS + 2 workers) join over
+// loopback TCP, train, report done, and the job reaches succeeded.
+func TestJobASGDSucceeds(t *testing.T) {
+	m, _ := startControlPlane(t)
+	job, err := m.Submit(Spec{
+		Scheme: SchemeASGD, Workers: 2,
+		Samples: 64, Batch: 8, Epochs: 1, Hidden: 8, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := awaitState(t, m, job.ID, StateSucceeded, 30*time.Second)
+	if len(final.Workers) != 3 {
+		t.Fatalf("want 3 ranks, got %d", len(final.Workers))
+	}
+	if final.Workers[0].Role != "ps" {
+		t.Fatalf("rank 0 role = %q, want ps", final.Workers[0].Role)
+	}
+	for _, w := range final.Workers {
+		if w.Phase != WorkerDone {
+			t.Errorf("rank %d phase %s, want done", w.Rank, w.Phase)
+		}
+	}
+	// Each worker ran 64/2/8 = 4 steps and reported progress.
+	for _, rank := range []int{1, 2} {
+		if final.Workers[rank].Step != 4 {
+			t.Errorf("rank %d step %d, want 4", rank, final.Workers[rank].Step)
+		}
+	}
+	if m.Metrics().JobsRunning.Value() != 0 {
+		t.Errorf("jobs_running gauge = %d after completion", m.Metrics().JobsRunning.Value())
+	}
+}
+
+// TestJobDSGDSucceeds covers the decentralized path: no PS rank, the
+// workers allreduce over the loopback ring.
+func TestJobDSGDSucceeds(t *testing.T) {
+	m, _ := startControlPlane(t)
+	job, err := m.Submit(Spec{
+		Scheme: SchemeDSGD, Workers: 2,
+		Samples: 64, Batch: 8, Epochs: 1, Hidden: 8, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := awaitState(t, m, job.ID, StateSucceeded, 30*time.Second)
+	if len(final.Workers) != 2 {
+		t.Fatalf("dsgd wants no PS rank: got %d ranks", len(final.Workers))
+	}
+	for _, w := range final.Workers {
+		if w.Role != "worker" {
+			t.Errorf("rank %d role %q", w.Rank, w.Role)
+		}
+	}
+}
+
+// TestWorkerKillRestartsFromCheckpoint is the fault-tolerance acceptance
+// test: kill a worker mid-run; the manager restarts it, the replacement
+// resumes from its exact-resume checkpoint, and the job still succeeds.
+func TestWorkerKillRestartsFromCheckpoint(t *testing.T) {
+	m, _ := startControlPlane(t)
+	dir := t.TempDir()
+	job, err := m.Submit(Spec{
+		Scheme: SchemeASGD, Workers: 2,
+		Samples: 512, Batch: 8, Epochs: 4, Hidden: 8, Seed: 11,
+		CheckpointDir: dir, CheckpointEvery: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := job.Spec
+	total := spec.TotalSteps() // 512/2/8 × 4 = 128
+
+	// Wait until rank 1 has made real progress (≥ one checkpoint past
+	// restore-ambiguity) but is far from done, then kill it.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		j, err := m.Get(job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.State.Terminal() {
+			t.Fatalf("job finished (%s) before the kill: error %q", j.State, j.Error)
+		}
+		if s := j.Workers[1].Step; s >= 4 && s <= total-8 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rank 1 never reached the kill window (step %d)", j.Workers[1].Step)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := m.KillRank(job.ID, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	final := awaitState(t, m, job.ID, StateSucceeded, 60*time.Second)
+	w := final.Workers[1]
+	if w.Restarts < 1 {
+		t.Fatalf("rank 1 restarts = %d, want ≥ 1", w.Restarts)
+	}
+	if w.Phase != WorkerDone {
+		t.Fatalf("rank 1 phase %s, want done", w.Phase)
+	}
+	if _, err := os.Stat(spec.CheckpointPath(1)); err != nil {
+		t.Fatalf("rank 1 checkpoint missing: %v", err)
+	}
+	// The restart resumed rather than started over: the replacement's final
+	// step is the full budget, and it got there without re-running from 0
+	// (the checkpoint pinned a step ≥ 2 before the kill).
+	if w.Step != total {
+		t.Fatalf("rank 1 final step %d, want %d", w.Step, total)
+	}
+}
+
+// TestCrashWithoutCheckpointRestartsFromZero pins the documented fallback:
+// no CheckpointDir means the replacement rejoins from step 0 — the async
+// server absorbs the replayed gradients and the job still succeeds.
+func TestCrashWithoutCheckpointRestartsFromZero(t *testing.T) {
+	m, _ := startControlPlane(t)
+	job, err := m.Submit(Spec{
+		Scheme: SchemeASGD, Workers: 2,
+		Samples: 1024, Batch: 8, Epochs: 4, Hidden: 8, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		j, err := m.Get(job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.State.Terminal() {
+			t.Fatalf("job finished (%s) before the kill: error %q", j.State, j.Error)
+		}
+		if j.Workers[2].Step >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("rank 2 never progressed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := m.KillRank(job.ID, 2); err != nil {
+		t.Fatal(err)
+	}
+	final := awaitState(t, m, job.ID, StateSucceeded, 60*time.Second)
+	if final.Workers[2].Restarts < 1 {
+		t.Fatalf("rank 2 restarts = %d, want ≥ 1", final.Workers[2].Restarts)
+	}
+}
+
+// TestDSGDWorkerDeathFailsJob pins the scheme matrix: the allreduce ring
+// cannot tolerate member loss, so a killed dsgd worker fails the job
+// instead of restarting.
+func TestDSGDWorkerDeathFailsJob(t *testing.T) {
+	m, _ := startControlPlane(t)
+	job, err := m.Submit(Spec{
+		Scheme: SchemeDSGD, Workers: 2,
+		Samples: 256, Batch: 8, Epochs: 4, Hidden: 8, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		j, err := m.Get(job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.State == StateFailed {
+			t.Fatalf("job failed before the kill: %q", j.Error)
+		}
+		if j.State == StateRunning && j.Workers[0].Step >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started training")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := m.KillRank(job.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	final := awaitState(t, m, job.ID, StateFailed, 60*time.Second)
+	if final.Workers[0].Restarts != 0 {
+		t.Fatalf("dsgd rank restarted %d times; ring schemes must not restart", final.Workers[0].Restarts)
+	}
+	if m.Metrics().JobsRunning.Value() != 0 {
+		t.Errorf("jobs_running gauge = %d after failure", m.Metrics().JobsRunning.Value())
+	}
+}
+
+// blockingRunner fakes rank processes that never register or heartbeat —
+// the heartbeat watchdog must kill them, and once restarts are exhausted
+// the job fails.
+type blockingRunner struct{}
+
+func (blockingRunner) Start(job *Job, rank int) (Proc, error) {
+	return &blockingProc{stop: make(chan struct{})}, nil
+}
+
+type blockingProc struct{ stop chan struct{} }
+
+func (p *blockingProc) Wait() error {
+	<-p.stop
+	return fmt.Errorf("killed")
+}
+
+func (p *blockingProc) Kill() error {
+	select {
+	case <-p.stop:
+	default:
+		close(p.stop)
+	}
+	return nil
+}
+
+func (p *blockingProc) PID() int { return -1 }
+
+func TestHeartbeatTimeoutKillsSilentRanks(t *testing.T) {
+	m, err := NewManager(Config{
+		Runner:           blockingRunner{},
+		HeartbeatTimeout: 150 * time.Millisecond,
+		PollInterval:     25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Shutdown)
+	job, err := m.Submit(Spec{
+		Scheme: SchemeASGD, Workers: 1, MaxRestarts: 1,
+		Samples: 16, Batch: 8, Epochs: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := awaitState(t, m, job.ID, StateFailed, 30*time.Second)
+	if final.Error == "" {
+		t.Fatal("failed job carries no error")
+	}
+	if v := scrapeMetric(t, m, obs.MetricDistHeartbeatTimeoutTotal); v == 0 {
+		t.Error("heartbeat timeouts not counted")
+	}
+	// Both ranks went stale together; whichever exit lands first (the
+	// non-restartable PS fails the job outright) the state machine must
+	// settle with no live processes.
+	for _, w := range final.Workers {
+		if w.Phase == WorkerRunning {
+			t.Errorf("rank %d still marked running after failure", w.Rank)
+		}
+	}
+}
+
+// TestHTTPAPI exercises the job monitor surface end to end over a real
+// job: submit via POST, observe via GET, metrics and health, cancel.
+func TestHTTPAPI(t *testing.T) {
+	m, srv := startControlPlane(t)
+
+	spec, _ := json.Marshal(Spec{
+		Scheme: SchemeASGD, Workers: 2,
+		Samples: 64, Batch: 8, Epochs: 1, Hidden: 8, Seed: 1,
+	})
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs: %s", resp.Status)
+	}
+	var job Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if job.ID == "" {
+		t.Fatal("submitted job has no ID")
+	}
+
+	awaitState(t, m, job.ID, StateSucceeded, 30*time.Second)
+
+	get := func(path string) (int, string) {
+		r, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		b, _ := io.ReadAll(r.Body)
+		return r.StatusCode, string(b)
+	}
+
+	if code, body := get("/v1/jobs/" + job.ID); code != http.StatusOK ||
+		!strings.Contains(body, `"state":"succeeded"`) {
+		t.Fatalf("GET job: %d %s", code, body)
+	}
+	if code, body := get("/v1/jobs"); code != http.StatusOK || !strings.Contains(body, job.ID) {
+		t.Fatalf("GET list: %d %s", code, body)
+	}
+	if code, _ := get("/v1/jobs/nope"); code != http.StatusNotFound {
+		t.Fatalf("GET missing job: %d, want 404", code)
+	}
+	if code, body := get("/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, obs.MetricDistJobsSucceededTotal) {
+		t.Fatalf("GET /metrics: %d", code)
+	} else if !strings.Contains(body, obs.MetricDistHeartbeatsTotal) {
+		t.Fatal("metrics exposition missing heartbeat counter")
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("GET /healthz: %d", code)
+	}
+
+	// Cancel is idempotent on a terminal job (stays succeeded).
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+job.ID, nil)
+	r, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE: %s", r.Status)
+	}
+	j, _ := m.Get(job.ID)
+	if j.State != StateSucceeded {
+		t.Fatalf("cancel after success flipped state to %s", j.State)
+	}
+}
+
+// TestSubmitRejectsBadSpec pins validation at the API boundary.
+func TestSubmitRejectsBadSpec(t *testing.T) {
+	_, srv := startControlPlane(t)
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"scheme":"ring"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad spec: %s, want 400", resp.Status)
+	}
+}

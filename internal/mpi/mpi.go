@@ -11,6 +11,7 @@
 package mpi
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -211,7 +212,33 @@ func (r *Rank) RecvTagged(src int) ([]float32, int) {
 // the first available message with its source. It busy-waits with a
 // scheduler yield; use for server loops that consume from all workers.
 func (r *Rank) RecvAny() ([]float32, int) {
+	data, src, _ := r.RecvAnyTagged()
+	return data, src
+}
+
+// RecvAnyTagged is RecvAny returning the message tag as well.
+func (r *Rank) RecvAnyTagged() ([]float32, int, int) {
+	data, src, tag, _ := r.recvAny(nil)
+	return data, src, tag
+}
+
+// RecvAnyCtx is RecvAnyTagged that returns ctx.Err() if the context ends
+// before a message arrives — the cancellation-aware receive the parameter
+// server uses so a cancel unblocks it promptly instead of at the next
+// message.
+func (r *Rank) RecvAnyCtx(ctx context.Context) ([]float32, int, int, error) {
+	return r.recvAny(ctx)
+}
+
+// recvAny scans all sources until a message is available; a non-nil ctx is
+// checked every sweep.
+func (r *Rank) recvAny(ctx context.Context) ([]float32, int, int, error) {
 	for {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, 0, err
+			}
+		}
 		for src := 0; src < r.world.size; src++ {
 			if src == r.id {
 				continue
@@ -222,12 +249,32 @@ func (r *Rank) RecvAny() ([]float32, int) {
 				}
 				r.clock += r.world.cost.PerMessageCPU.Seconds()
 				r.world.Volume.AddReceived(int64(len(msg.data)) * 4)
-				return msg.data, src
+				return msg.data, src, msg.tag, nil
 			}
 		}
 		// Nothing ready: block on a round-robin scan with short sleeps to
 		// avoid burning CPU; determinism of *virtual* time is preserved
 		// because arrival stamps, not wall time, order the simulation.
+		time.Sleep(time.Microsecond)
+	}
+}
+
+// RecvCtx is Recv(src) that returns ctx.Err() if the context ends before a
+// message from src arrives.
+func (r *Rank) RecvCtx(ctx context.Context, src int) ([]float32, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if msg, ok := r.world.boxes[r.id][src].tryPop(); ok {
+			if msg.arrival > r.clock {
+				r.clock = msg.arrival
+			}
+			r.clock += r.world.cost.PerMessageCPU.Seconds()
+			r.chargeHostCopy(int64(len(msg.data)) * 4)
+			r.world.Volume.AddReceived(int64(len(msg.data)) * 4)
+			return msg.data, nil
+		}
 		time.Sleep(time.Microsecond)
 	}
 }

@@ -1,9 +1,10 @@
 package obs
 
-// Canonical metric names. Every metric the d500 layer registers is named
-// here, and Names() is the single source of truth the tools/docscheck
-// metrics↔docs conformance gate compares against docs/operations.md: a
-// metric added without a doc row (or documented without existing) fails CI.
+// Canonical metric names. Every metric the d500 layer and the distributed
+// control plane register is named here, and Names() is the single source
+// of truth the tools/docscheck metrics↔docs conformance gate compares
+// against docs/operations.md: a metric added without a doc row (or
+// documented without existing) fails CI.
 const (
 	// Serving (d500serve /metrics).
 	MetricServeRequestsTotal       = "d500_serve_requests_total"
@@ -30,10 +31,21 @@ const (
 	MetricTrainEpochsTotal      = "d500_train_epochs_total"
 	MetricEvalAccuracy          = "d500_eval_accuracy"
 	MetricCheckpointWritesTotal = "d500_checkpoint_writes_total"
+
+	// Distributed job control plane (d500dist -role launch /metrics).
+	MetricDistJobsSubmittedTotal    = "d500_dist_jobs_submitted_total"
+	MetricDistJobsRunning           = "d500_dist_jobs_running"
+	MetricDistJobsSucceededTotal    = "d500_dist_jobs_succeeded_total"
+	MetricDistJobsFailedTotal       = "d500_dist_jobs_failed_total"
+	MetricDistWorkersRunning        = "d500_dist_workers_running"
+	MetricDistWorkerRestartsTotal   = "d500_dist_worker_restarts_total"
+	MetricDistHeartbeatsTotal       = "d500_dist_heartbeats_total"
+	MetricDistHeartbeatTimeoutTotal = "d500_dist_heartbeat_timeouts_total"
 )
 
-// Names returns every canonical metric name, in declaration order.
-func Names() []string {
+// CoreNames returns the canonical names registered by the d500 session
+// layer (serving + training), in declaration order.
+func CoreNames() []string {
 	return []string{
 		MetricServeRequestsTotal,
 		MetricServeQueueDepth,
@@ -58,4 +70,24 @@ func Names() []string {
 		MetricEvalAccuracy,
 		MetricCheckpointWritesTotal,
 	}
+}
+
+// DistNames returns the canonical names registered by the distributed job
+// control plane (internal/jobs), in declaration order.
+func DistNames() []string {
+	return []string{
+		MetricDistJobsSubmittedTotal,
+		MetricDistJobsRunning,
+		MetricDistJobsSucceededTotal,
+		MetricDistJobsFailedTotal,
+		MetricDistWorkersRunning,
+		MetricDistWorkerRestartsTotal,
+		MetricDistHeartbeatsTotal,
+		MetricDistHeartbeatTimeoutTotal,
+	}
+}
+
+// Names returns every canonical metric name, in declaration order.
+func Names() []string {
+	return append(CoreNames(), DistNames()...)
 }

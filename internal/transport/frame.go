@@ -1,0 +1,246 @@
+// Package transport is the networked fabric of Deep500-Go's Level 3: a
+// TCP point-to-point transport with length-prefixed binary framing,
+// persistent reused connections, read/write deadlines and bounded
+// retry-with-backoff dialing. TCPRank implements the same fabric surface
+// as the in-process simulator (*mpi.Rank) — the dist.Rank interface — so
+// every distributed optimizer (DSGD, DPSGD, model averaging, sparse,
+// parameter server) runs unchanged over real sockets, and the ring
+// allreduce and the sync/async/stale parameter server execute over
+// loopback or a real network instead of goroutine mailboxes.
+//
+// Frames carry either full-precision float32 vectors or the gradient
+// quantization wire format of dist.Quantize (packed b-bit codes + shared
+// absmax scale); a rank built with QuantizeBits compresses every payload
+// transparently, trading 32/b wire bytes for rounding error.
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"deep500/internal/dist"
+)
+
+// Wire format: every message is one frame — a fixed 24-byte header
+// followed by the payload.
+//
+//	offset  size  field
+//	0       4     magic "D5TP"
+//	4       1     version (1)
+//	5       1     type (FrameF32 | FrameQuant | FrameHello)
+//	6       1     quantization bits (FrameQuant only, 1..8; else 0)
+//	7       1     reserved (0)
+//	8       4     source rank, int32 little-endian
+//	12      4     message tag, int32 little-endian
+//	16      4     decoded float32 count, uint32 little-endian
+//	20      4     payload byte length, uint32 little-endian
+//
+// FrameF32 payloads are count little-endian float32s. FrameQuant payloads
+// are a 4-byte little-endian scale followed by the packed codes
+// (dist.QuantizedLen(count, bits) bytes). FrameHello has no payload; it is
+// the first frame on every dialed connection and identifies the dialer's
+// rank (Src). Decoding validates every field and returns errors — a
+// truncated, oversized or corrupted frame can never panic a server.
+
+// FrameType discriminates the payload encoding of a frame.
+type FrameType uint8
+
+const (
+	// FrameF32 carries a full-precision float32 vector.
+	FrameF32 FrameType = iota
+	// FrameQuant carries a dist.Quantize-packed vector plus its scale.
+	FrameQuant
+	// FrameHello opens a connection: no payload, Src is the dialer's rank.
+	FrameHello
+)
+
+const (
+	// headerLen is the fixed frame header size in bytes.
+	headerLen = 24
+	// frameVersion is the current wire version.
+	frameVersion = 1
+	// MaxPayload bounds a frame's payload (256 MiB — far above any packed
+	// parameter vector in the zoo); declared lengths beyond it are rejected
+	// before allocation, so a corrupt header cannot OOM the receiver.
+	MaxPayload = 256 << 20
+)
+
+// magic is the frame preamble.
+var magic = [4]byte{'D', '5', 'T', 'P'}
+
+// Frame is one decoded wire message.
+type Frame struct {
+	Type FrameType
+	// Bits is the quantization width of a FrameQuant payload.
+	Bits uint8
+	// Src is the sender's rank.
+	Src int32
+	// Tag is the message tag (dist.TagGrad, dist.TagDone, ...).
+	Tag int32
+	// Count is the decoded float32 element count.
+	Count uint32
+	// Payload is the raw payload bytes (see the wire format above).
+	Payload []byte
+}
+
+// AppendFrame appends f's wire encoding to dst and returns the result.
+func AppendFrame(dst []byte, f *Frame) []byte {
+	var h [headerLen]byte
+	copy(h[0:4], magic[:])
+	h[4] = frameVersion
+	h[5] = byte(f.Type)
+	h[6] = f.Bits
+	binary.LittleEndian.PutUint32(h[8:12], uint32(f.Src))
+	binary.LittleEndian.PutUint32(h[12:16], uint32(f.Tag))
+	binary.LittleEndian.PutUint32(h[16:20], f.Count)
+	binary.LittleEndian.PutUint32(h[20:24], uint32(len(f.Payload)))
+	dst = append(dst, h[:]...)
+	return append(dst, f.Payload...)
+}
+
+// validate checks a decoded header+payload for structural consistency.
+func (f *Frame) validate() error {
+	switch f.Type {
+	case FrameF32:
+		if f.Bits != 0 {
+			return fmt.Errorf("transport: float frame with bits=%d", f.Bits)
+		}
+		if len(f.Payload) != int(f.Count)*4 {
+			return fmt.Errorf("transport: float frame count %d needs %d payload bytes, got %d",
+				f.Count, f.Count*4, len(f.Payload))
+		}
+	case FrameQuant:
+		if f.Bits == 0 || f.Bits > 8 {
+			return fmt.Errorf("transport: quantized frame with bits=%d", f.Bits)
+		}
+		want := 4 + dist.QuantizedLen(int(f.Count), uint(f.Bits))
+		if len(f.Payload) != want {
+			return fmt.Errorf("transport: quantized frame count %d bits %d needs %d payload bytes, got %d",
+				f.Count, f.Bits, want, len(f.Payload))
+		}
+	case FrameHello:
+		if len(f.Payload) != 0 || f.Count != 0 {
+			return fmt.Errorf("transport: hello frame with payload")
+		}
+		if f.Src < 0 {
+			return fmt.Errorf("transport: hello frame with negative rank %d", f.Src)
+		}
+	default:
+		return fmt.Errorf("transport: unknown frame type %d", f.Type)
+	}
+	return nil
+}
+
+// decodeHeader parses and validates the fixed header fields, returning the
+// declared payload length.
+func decodeHeader(h []byte) (Frame, int, error) {
+	if len(h) < headerLen {
+		return Frame{}, 0, fmt.Errorf("transport: truncated header (%d of %d bytes)", len(h), headerLen)
+	}
+	if [4]byte(h[0:4]) != magic {
+		return Frame{}, 0, fmt.Errorf("transport: bad magic %q", h[0:4])
+	}
+	if h[4] != frameVersion {
+		return Frame{}, 0, fmt.Errorf("transport: unsupported frame version %d", h[4])
+	}
+	f := Frame{
+		Type:  FrameType(h[5]),
+		Bits:  h[6],
+		Src:   int32(binary.LittleEndian.Uint32(h[8:12])),
+		Tag:   int32(binary.LittleEndian.Uint32(h[12:16])),
+		Count: binary.LittleEndian.Uint32(h[16:20]),
+	}
+	plen := binary.LittleEndian.Uint32(h[20:24])
+	if plen > MaxPayload {
+		return Frame{}, 0, fmt.Errorf("transport: payload length %d exceeds limit %d", plen, MaxPayload)
+	}
+	if f.Count > MaxPayload/4 {
+		return Frame{}, 0, fmt.Errorf("transport: element count %d exceeds limit", f.Count)
+	}
+	return f, int(plen), nil
+}
+
+// DecodeFrame decodes one frame from the front of b, returning the frame
+// and the bytes consumed. Truncated, oversized and corrupt inputs return
+// errors, never panic.
+func DecodeFrame(b []byte) (Frame, int, error) {
+	f, plen, err := decodeHeader(b)
+	if err != nil {
+		return Frame{}, 0, err
+	}
+	if len(b) < headerLen+plen {
+		return Frame{}, 0, fmt.Errorf("transport: truncated payload (%d of %d bytes)", len(b)-headerLen, plen)
+	}
+	f.Payload = b[headerLen : headerLen+plen]
+	if err := f.validate(); err != nil {
+		return Frame{}, 0, err
+	}
+	return f, headerLen + plen, nil
+}
+
+// WriteFrame writes f's wire encoding to w.
+func WriteFrame(w io.Writer, f *Frame) error {
+	buf := AppendFrame(make([]byte, 0, headerLen+len(f.Payload)), f)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads exactly one frame from r.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var h [headerLen]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		return Frame{}, err
+	}
+	f, plen, err := decodeHeader(h[:])
+	if err != nil {
+		return Frame{}, err
+	}
+	f.Payload = make([]byte, plen)
+	if _, err := io.ReadFull(r, f.Payload); err != nil {
+		return Frame{}, fmt.Errorf("transport: reading %d payload bytes: %w", plen, err)
+	}
+	if err := f.validate(); err != nil {
+		return Frame{}, err
+	}
+	return f, nil
+}
+
+// EncodeVector builds the frame for a float32 vector from src with tag:
+// full precision when bits is 0, dist.Quantize compression otherwise.
+func EncodeVector(src, tag int, data []float32, bits uint) Frame {
+	if bits > 0 && len(data) > 0 {
+		codes, scale := dist.Quantize(data, bits)
+		payload := make([]byte, 4+len(codes))
+		binary.LittleEndian.PutUint32(payload[0:4], math.Float32bits(scale))
+		copy(payload[4:], codes)
+		return Frame{Type: FrameQuant, Bits: uint8(bits), Src: int32(src), Tag: int32(tag),
+			Count: uint32(len(data)), Payload: payload}
+	}
+	payload := make([]byte, 4*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(payload[i*4:], math.Float32bits(v))
+	}
+	return Frame{Type: FrameF32, Src: int32(src), Tag: int32(tag),
+		Count: uint32(len(data)), Payload: payload}
+}
+
+// DecodeVector reconstructs the float32 vector of a FrameF32 or FrameQuant
+// frame (quantized payloads are dequantized through dist.Dequantize).
+func DecodeVector(f *Frame) ([]float32, error) {
+	switch f.Type {
+	case FrameF32:
+		data := make([]float32, f.Count)
+		for i := range data {
+			data[i] = math.Float32frombits(binary.LittleEndian.Uint32(f.Payload[i*4:]))
+		}
+		return data, nil
+	case FrameQuant:
+		scale := math.Float32frombits(binary.LittleEndian.Uint32(f.Payload[0:4]))
+		data := make([]float32, f.Count)
+		dist.Dequantize(f.Payload[4:], scale, uint(f.Bits), data)
+		return data, nil
+	}
+	return nil, fmt.Errorf("transport: frame type %d carries no vector", f.Type)
+}

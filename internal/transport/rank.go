@@ -1,0 +1,663 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"deep500/internal/dist"
+	"deep500/internal/mpi"
+)
+
+// NetError is the failure a TCPRank operation surfaces: the fabric methods
+// satisfy the error-free dist.Rank interface, so they panic with a
+// *NetError and callers unwrap it with Protect.
+type NetError struct {
+	// Op names the failing operation ("send", "recv", "dial", ...).
+	Op string
+	// Rank is the local rank, Peer the remote one (-1 if not applicable).
+	Rank, Peer int
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *NetError) Error() string {
+	return fmt.Sprintf("transport: rank %d %s peer %d: %v", e.Rank, e.Op, e.Peer, e.Err)
+}
+
+func (e *NetError) Unwrap() error { return e.Err }
+
+// Protect runs fn, converting a *NetError panic from the fabric back into
+// an ordinary error. Other panics propagate.
+func Protect(fn func() error) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			ne, ok := p.(*NetError)
+			if !ok {
+				panic(p)
+			}
+			err = ne
+		}
+	}()
+	return fn()
+}
+
+// Options configures a TCPRank.
+type Options struct {
+	// ID is this rank's index in [0, Size); Size is the world size.
+	ID, Size int
+	// Listener accepts connections from higher ranks. Required when Size > 1
+	// and ID < Size-1; the rank owns and closes it.
+	Listener net.Listener
+	// Peers holds the listen address of every rank; only entries below ID
+	// are dialed (the connection rule is "higher rank dials lower", which
+	// keeps restarts simple: a restarted worker re-dials the server).
+	Peers []string
+	// DialRanks lists the lower ranks to dial eagerly at construction
+	// (nil = all of 0..ID-1, the full mesh the ring collectives need).
+	// Centralized topologies pass []int{0}: workers form a star around the
+	// parameter server and never depend on sibling workers' listeners,
+	// which disappear as siblings finish. Other lower ranks are still
+	// dialed on demand if a send targets them.
+	DialRanks []int
+	// DialTimeout bounds one dial attempt. Default 2s.
+	DialTimeout time.Duration
+	// DialRetries bounds redial attempts per connection. Default 40.
+	DialRetries int
+	// DialBackoff is the initial retry backoff, doubling per attempt up to
+	// 1s. Default 50ms.
+	DialBackoff time.Duration
+	// IOTimeout is the per-frame write (and handshake read) deadline.
+	// Default 30s.
+	IOTimeout time.Duration
+	// RecvTimeout bounds every blocking receive; an expired wait is a fabric
+	// failure (peer hung or dead), surfaced as *NetError. Default 2m.
+	RecvTimeout time.Duration
+	// QuantizeBits, when 1..8, ships every non-empty payload in the
+	// dist.Quantize wire format at that width; 0 sends full precision.
+	QuantizeBits uint
+	// BestEffortSend makes sends to unreachable peers drop (counted in
+	// Stats) instead of failing. The parameter server runs with this on, so
+	// a reply to a worker that just died cannot take the server down.
+	BestEffortSend bool
+}
+
+func (o *Options) withDefaults() Options {
+	v := *o
+	if v.DialTimeout <= 0 {
+		v.DialTimeout = 2 * time.Second
+	}
+	if v.DialRetries <= 0 {
+		v.DialRetries = 40
+	}
+	if v.DialBackoff <= 0 {
+		v.DialBackoff = 50 * time.Millisecond
+	}
+	if v.IOTimeout <= 0 {
+		v.IOTimeout = 30 * time.Second
+	}
+	if v.RecvTimeout <= 0 {
+		v.RecvTimeout = 2 * time.Minute
+	}
+	return v
+}
+
+// Stats is a snapshot of a rank's wire counters.
+type Stats struct {
+	SentBytes, RecvBytes   int64
+	SentFrames, RecvFrames int64
+	// Dropped counts best-effort sends abandoned because the peer was
+	// unreachable.
+	Dropped int64
+	// Redials counts dial attempts beyond the first per established
+	// connection (retries and reconnects).
+	Redials int64
+}
+
+// message is one delivered payload.
+type message struct {
+	data []float32
+	tag  int
+}
+
+// peer is the connection slot for one remote rank.
+type peer struct {
+	wmu  sync.Mutex // serializes frame writes on conn
+	conn net.Conn
+	gen  int // bumped on every (re)install, guards stale teardown
+}
+
+// TCPRank is the networked fabric: it implements dist.Rank (and
+// dist.CancelableRank) over persistent TCP connections, one duplex
+// connection per peer pair, established by the higher rank dialing the
+// lower. Frames are demultiplexed by per-connection reader goroutines into
+// per-source mailboxes, so sends never block on the application draining
+// and the ring allreduce's send-then-receive step cannot deadlock.
+//
+// Like *mpi.Rank, a TCPRank's receive methods are owned by one goroutine
+// (the rank's main loop); readers deliver concurrently from any number of
+// connections.
+type TCPRank struct {
+	opt Options
+
+	mu    sync.Mutex // guards peers' conn/gen
+	peers []*peer
+
+	inbox struct {
+		sync.Mutex
+		queues [][]message
+		rr     int // round-robin cursor for RecvAny fairness
+	}
+	notify chan struct{} // cap 1, signaled on every delivery
+
+	closed   atomic.Bool
+	closedCh chan struct{}
+	wg       sync.WaitGroup
+
+	sentBytes, recvBytes   atomic.Int64
+	sentFrames, recvFrames atomic.Int64
+	dropped, redials       atomic.Int64
+}
+
+var (
+	_ dist.Rank           = (*TCPRank)(nil)
+	_ dist.CancelableRank = (*TCPRank)(nil)
+)
+
+// New builds the rank, starts its accept loop, and eagerly dials every
+// lower rank (with bounded retry-with-backoff, so peers may come up in any
+// order). It returns once all lower connections are established.
+// DefaultOptions returns the transport's resolved defaults (what a zero
+// Options becomes): dial/IO/receive deadlines and retry policy. d500info
+// prints these.
+func DefaultOptions() Options { return (&Options{}).withDefaults() }
+
+func New(opt Options) (*TCPRank, error) {
+	opt = opt.withDefaults()
+	if opt.Size < 1 || opt.ID < 0 || opt.ID >= opt.Size {
+		return nil, fmt.Errorf("transport: rank %d out of range for world size %d", opt.ID, opt.Size)
+	}
+	if len(opt.Peers) < opt.ID {
+		return nil, fmt.Errorf("transport: %d peer addresses for rank %d", len(opt.Peers), opt.ID)
+	}
+	if opt.Listener == nil && opt.Size > 1 && opt.ID < opt.Size-1 {
+		return nil, fmt.Errorf("transport: rank %d needs a listener (ranks above it dial in)", opt.ID)
+	}
+	t := &TCPRank{
+		opt:      opt,
+		peers:    make([]*peer, opt.Size),
+		notify:   make(chan struct{}, 1),
+		closedCh: make(chan struct{}),
+	}
+	for i := range t.peers {
+		t.peers[i] = &peer{}
+	}
+	t.inbox.queues = make([][]message, opt.Size)
+	if opt.Listener != nil {
+		t.wg.Add(1)
+		go t.acceptLoop()
+	}
+	dialSet := opt.DialRanks
+	if dialSet == nil {
+		dialSet = make([]int, opt.ID)
+		for i := range dialSet {
+			dialSet[i] = i
+		}
+	}
+	for _, dst := range dialSet {
+		if dst < 0 || dst >= opt.ID {
+			continue
+		}
+		if _, _, err := t.dialPeer(dst); err != nil {
+			t.Close()
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// ID returns this rank's index.
+func (t *TCPRank) ID() int { return t.opt.ID }
+
+// Size returns the world size.
+func (t *TCPRank) Size() int { return t.opt.Size }
+
+// Stats snapshots the wire counters.
+func (t *TCPRank) Stats() Stats {
+	return Stats{
+		SentBytes:  t.sentBytes.Load(),
+		RecvBytes:  t.recvBytes.Load(),
+		SentFrames: t.sentFrames.Load(),
+		RecvFrames: t.recvFrames.Load(),
+		Dropped:    t.dropped.Load(),
+		Redials:    t.redials.Load(),
+	}
+}
+
+// Close tears the rank down: listener, every connection, and all reader
+// goroutines. Blocked receives unblock with a *NetError.
+func (t *TCPRank) Close() error {
+	if !t.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(t.closedCh)
+	if t.opt.Listener != nil {
+		t.opt.Listener.Close()
+	}
+	t.mu.Lock()
+	for _, p := range t.peers {
+		if p.conn != nil {
+			p.conn.Close()
+			p.conn = nil
+		}
+		p.gen++
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return nil
+}
+
+// acceptLoop accepts connections from higher ranks and hands each to the
+// hello handshake.
+func (t *TCPRank) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.opt.Listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go t.handshake(c)
+	}
+}
+
+// handshake reads the dialer's hello frame and installs the connection for
+// that source rank. A malformed or untimely hello just drops the
+// connection — a stray client cannot wedge the fabric.
+func (t *TCPRank) handshake(c net.Conn) {
+	defer t.wg.Done()
+	c.SetReadDeadline(time.Now().Add(t.opt.IOTimeout))
+	f, err := ReadFrame(c)
+	if err != nil || f.Type != FrameHello {
+		c.Close()
+		return
+	}
+	src := int(f.Src)
+	// The dial rule is higher-dials-lower, so a valid dialer outranks us.
+	if src <= t.opt.ID || src >= t.opt.Size {
+		c.Close()
+		return
+	}
+	c.SetReadDeadline(time.Time{})
+	t.install(src, c)
+}
+
+// install makes c the live connection to src (closing any predecessor) and
+// starts its reader.
+func (t *TCPRank) install(src int, c net.Conn) {
+	t.mu.Lock()
+	if t.closed.Load() {
+		t.mu.Unlock()
+		c.Close()
+		return
+	}
+	p := t.peers[src]
+	if p.conn != nil {
+		p.conn.Close()
+	}
+	p.conn = c
+	p.gen++
+	gen := p.gen
+	t.mu.Unlock()
+	t.wg.Add(1)
+	go t.reader(src, c, gen)
+}
+
+// dropConn clears the connection to src if it is still generation gen.
+func (t *TCPRank) dropConn(src, gen int) {
+	t.mu.Lock()
+	p := t.peers[src]
+	if p.gen == gen && p.conn != nil {
+		p.conn.Close()
+		p.conn = nil
+	}
+	t.mu.Unlock()
+}
+
+// reader drains frames from one connection into the mailbox of src until
+// the connection dies.
+func (t *TCPRank) reader(src int, c net.Conn, gen int) {
+	defer t.wg.Done()
+	br := bufio.NewReaderSize(c, 64<<10)
+	for {
+		f, err := ReadFrame(br)
+		if err != nil {
+			t.dropConn(src, gen)
+			return
+		}
+		if f.Type == FrameHello {
+			continue
+		}
+		data, err := DecodeVector(&f)
+		if err != nil {
+			t.dropConn(src, gen)
+			return
+		}
+		t.recvBytes.Add(int64(headerLen + len(f.Payload)))
+		t.recvFrames.Add(1)
+		t.push(src, message{data: data, tag: int(f.Tag)})
+	}
+}
+
+// push appends a message to src's mailbox and signals the owner.
+func (t *TCPRank) push(src int, m message) {
+	t.inbox.Lock()
+	t.inbox.queues[src] = append(t.inbox.queues[src], m)
+	t.inbox.Unlock()
+	select {
+	case t.notify <- struct{}{}:
+	default:
+	}
+}
+
+// dialPeer establishes the connection to a lower rank with bounded
+// retry-with-backoff and sends the hello frame.
+func (t *TCPRank) dialPeer(dst int) (net.Conn, int, error) {
+	addr := t.opt.Peers[dst]
+	if addr == "" {
+		return nil, 0, fmt.Errorf("transport: rank %d has no address for peer %d", t.opt.ID, dst)
+	}
+	backoff := t.opt.DialBackoff
+	var lastErr error
+	for attempt := 0; attempt <= t.opt.DialRetries; attempt++ {
+		if t.closed.Load() {
+			return nil, 0, fmt.Errorf("transport: rank closed")
+		}
+		if attempt > 0 {
+			t.redials.Add(1)
+			select {
+			case <-time.After(backoff):
+			case <-t.closedCh:
+				return nil, 0, fmt.Errorf("transport: rank closed")
+			}
+			if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+		}
+		c, err := net.DialTimeout("tcp", addr, t.opt.DialTimeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		hello := Frame{Type: FrameHello, Src: int32(t.opt.ID)}
+		c.SetWriteDeadline(time.Now().Add(t.opt.IOTimeout))
+		if err := WriteFrame(c, &hello); err != nil {
+			c.Close()
+			lastErr = err
+			continue
+		}
+		c.SetWriteDeadline(time.Time{})
+		if tc, ok := c.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		t.install(dst, c)
+		t.mu.Lock()
+		gen := t.peers[dst].gen
+		t.mu.Unlock()
+		return c, gen, nil
+	}
+	return nil, 0, fmt.Errorf("transport: rank %d dialing peer %d at %s: %w (after %d attempts)",
+		t.opt.ID, dst, addr, lastErr, t.opt.DialRetries+1)
+}
+
+// acquire returns the live connection to dst, dialing (lower peers) or
+// awaiting an inbound connection (higher peers) until deadline.
+func (t *TCPRank) acquire(dst int, deadline time.Time) (net.Conn, int, error) {
+	for {
+		t.mu.Lock()
+		p := t.peers[dst]
+		c, gen := p.conn, p.gen
+		t.mu.Unlock()
+		if c != nil {
+			return c, gen, nil
+		}
+		if dst < t.opt.ID {
+			return t.dialPeer(dst)
+		}
+		// Higher ranks dial us; all we can do is wait for the connection.
+		if time.Now().After(deadline) {
+			return nil, 0, fmt.Errorf("transport: peer %d not connected", dst)
+		}
+		select {
+		case <-time.After(10 * time.Millisecond):
+		case <-t.closedCh:
+			return nil, 0, fmt.Errorf("transport: rank closed")
+		}
+	}
+}
+
+// sendFrame writes one encoded frame to dst, re-acquiring the connection
+// once on write failure. Under BestEffortSend an unreachable peer drops
+// the frame; otherwise the failure panics as *NetError.
+func (t *TCPRank) sendFrame(dst int, buf []byte) {
+	if dst == t.opt.ID || dst < 0 || dst >= t.opt.Size {
+		panic(&NetError{Op: "send", Rank: t.opt.ID, Peer: dst, Err: fmt.Errorf("invalid destination")})
+	}
+	wait := t.opt.RecvTimeout
+	if t.opt.BestEffortSend {
+		// A best-effort sender (the parameter server) must not stall its
+		// loop on a dead peer: give a reconnecting worker a short grace
+		// window, then drop.
+		wait = time.Second
+	}
+	deadline := time.Now().Add(wait)
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		c, gen, err := t.acquire(dst, deadline)
+		if err != nil {
+			lastErr = err
+			break
+		}
+		p := t.peers[dst]
+		p.wmu.Lock()
+		c.SetWriteDeadline(time.Now().Add(t.opt.IOTimeout))
+		_, werr := c.Write(buf)
+		p.wmu.Unlock()
+		if werr == nil {
+			t.sentBytes.Add(int64(len(buf)))
+			t.sentFrames.Add(1)
+			return
+		}
+		lastErr = werr
+		t.dropConn(dst, gen)
+	}
+	if t.opt.BestEffortSend {
+		t.dropped.Add(1)
+		return
+	}
+	panic(&NetError{Op: "send", Rank: t.opt.ID, Peer: dst, Err: lastErr})
+}
+
+// Send transmits data to dst (tag 0).
+func (t *TCPRank) Send(dst int, data []float32, simBytes int64) {
+	t.SendTagged(dst, data, 0, simBytes)
+}
+
+// SendTagged transmits data to dst with a message tag. simBytes is a
+// simulator concept and ignored: the wire bytes here are real.
+func (t *TCPRank) SendTagged(dst int, data []float32, tag int, _ int64) {
+	f := EncodeVector(t.opt.ID, tag, data, t.opt.QuantizeBits)
+	t.sendFrame(dst, AppendFrame(make([]byte, 0, headerLen+len(f.Payload)), &f))
+}
+
+// popFrom dequeues the next message from src, if any.
+func (t *TCPRank) popFrom(src int) (message, bool) {
+	t.inbox.Lock()
+	defer t.inbox.Unlock()
+	q := t.inbox.queues[src]
+	if len(q) == 0 {
+		return message{}, false
+	}
+	m := q[0]
+	t.inbox.queues[src] = q[1:]
+	return m, true
+}
+
+// popAny dequeues the next message from any source, round-robin fair.
+func (t *TCPRank) popAny() (message, int, bool) {
+	t.inbox.Lock()
+	defer t.inbox.Unlock()
+	for off := 0; off < t.opt.Size; off++ {
+		s := (t.inbox.rr + off) % t.opt.Size
+		if q := t.inbox.queues[s]; len(q) > 0 {
+			m := q[0]
+			t.inbox.queues[s] = q[1:]
+			t.inbox.rr = (s + 1) % t.opt.Size
+			return m, s, true
+		}
+	}
+	return message{}, -1, false
+}
+
+// waitMsg blocks for the next message from src (or any source when src is
+// -1), honoring ctx and the rank's RecvTimeout.
+func (t *TCPRank) waitMsg(ctx context.Context, src int) (message, int, error) {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	timeout := time.After(t.opt.RecvTimeout)
+	for {
+		if src >= 0 {
+			if m, ok := t.popFrom(src); ok {
+				return m, src, nil
+			}
+		} else if m, s, ok := t.popAny(); ok {
+			return m, s, nil
+		}
+		select {
+		case <-t.notify:
+		case <-done:
+			return message{}, -1, ctx.Err()
+		case <-timeout:
+			return message{}, -1, &NetError{Op: "recv", Rank: t.opt.ID, Peer: src,
+				Err: fmt.Errorf("no message within %v", t.opt.RecvTimeout)}
+		case <-t.closedCh:
+			return message{}, -1, &NetError{Op: "recv", Rank: t.opt.ID, Peer: src,
+				Err: fmt.Errorf("rank closed")}
+		}
+	}
+}
+
+// mustMsg is waitMsg for the error-free blocking interface methods.
+func (t *TCPRank) mustMsg(src int) (message, int) {
+	m, s, err := t.waitMsg(nil, src)
+	if err != nil {
+		if ne, ok := err.(*NetError); ok {
+			panic(ne)
+		}
+		panic(&NetError{Op: "recv", Rank: t.opt.ID, Peer: src, Err: err})
+	}
+	return m, s
+}
+
+// Recv blocks for the next message from src.
+func (t *TCPRank) Recv(src int) []float32 {
+	m, _ := t.mustMsg(src)
+	return m.data
+}
+
+// RecvTagged blocks for the next message from src, returning payload and tag.
+func (t *TCPRank) RecvTagged(src int) ([]float32, int) {
+	m, _ := t.mustMsg(src)
+	return m.data, m.tag
+}
+
+// RecvAny blocks for the next message from any rank.
+func (t *TCPRank) RecvAny() ([]float32, int) {
+	m, s := t.mustMsg(-1)
+	return m.data, s
+}
+
+// RecvAnyTagged blocks for the next message from any rank, returning
+// payload, source and tag.
+func (t *TCPRank) RecvAnyTagged() ([]float32, int, int) {
+	m, s := t.mustMsg(-1)
+	return m.data, s, m.tag
+}
+
+// RecvCtx is Recv honoring context cancellation.
+func (t *TCPRank) RecvCtx(ctx context.Context, src int) ([]float32, error) {
+	m, _, err := t.waitMsg(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	return m.data, nil
+}
+
+// RecvAnyCtx is RecvAnyTagged honoring context cancellation.
+func (t *TCPRank) RecvAnyCtx(ctx context.Context) ([]float32, int, int, error) {
+	m, s, err := t.waitMsg(ctx, -1)
+	if err != nil {
+		return nil, -1, 0, err
+	}
+	return m.data, s, m.tag, nil
+}
+
+// AllreduceSum sums data elementwise across all ranks in place. The TCP
+// fabric always runs the bandwidth-optimal ring over its point-to-point
+// sends (the algo hint is a simulator concept), with chunking identical to
+// the simulator's ring so both fabrics produce the same floats.
+func (t *TCPRank) AllreduceSum(_ mpi.AllreduceAlgo, data []float32, _ int64) {
+	dist.RingAllreduce(t, data)
+}
+
+// NewLocalWorld builds an n-rank loopback world for tests and the
+// single-process simulation mode: n listeners on 127.0.0.1, fully meshed.
+// Callers must Close every returned rank. Ranks are constructed
+// concurrently because New blocks until its downward dials land.
+func NewLocalWorld(n int, tweak func(*Options)) ([]*TCPRank, error) {
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for j := 0; j < i; j++ {
+				listeners[j].Close()
+			}
+			return nil, err
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	ranks := make([]*TCPRank, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			opt := Options{ID: i, Size: n, Listener: listeners[i], Peers: addrs}
+			if tweak != nil {
+				tweak(&opt)
+			}
+			ranks[i], errs[i] = New(opt)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			for _, r := range ranks {
+				if r != nil {
+					r.Close()
+				}
+			}
+			return nil, err
+		}
+	}
+	return ranks, nil
+}
