@@ -1,0 +1,214 @@
+// Command d500load is the open-loop traffic generator for d500serve: it
+// fires HTTP inference requests on a deterministic, seeded Poisson
+// schedule (steady, ramp or spike profile) without waiting for
+// completions — offered load is independent of service capacity, so
+// overload, backpressure and autoscaler reaction are visible instead of
+// self-throttled — then reports latency percentiles, goodput, and
+// timeout/reject rates, and checks them against an SLO.
+//
+// Usage:
+//
+//	d500load -url http://127.0.0.1:8500 -rate 200 -duration 5s
+//	d500load -url http://127.0.0.1:8500 -model hi -profile spike -rate 100 -peak 2000 \
+//	         -duration 3s -spike-start 1s -spike-len 500ms -seed 500
+//	d500load -rate 300 -duration 2s -slo-p99 250ms -slo-served 0.98   # exit 1 on SLO failure
+//
+// The request body is synthesized from the target model's input signature
+// (GET /v1/models), so the generator works against any served model. The
+// exit code is the SLO verdict: 0 pass, 1 fail, 2 usage/transport error.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"deep500/internal/load"
+)
+
+// modelInfo is the subset of the /v1/models listing the generator needs:
+// the tenant's name and its input signature.
+type modelInfo struct {
+	Name   string `json:"name"`
+	Inputs []struct {
+		Name  string `json:"Name"`
+		Shape []int  `json:"Shape"`
+	} `json:"inputs"`
+}
+
+// discover fetches the served models and picks the target: the named one,
+// or the sole tenant when no name is given.
+func discover(client *http.Client, base, model string) (modelInfo, error) {
+	resp, err := client.Get(base + "/v1/models")
+	if err != nil {
+		return modelInfo{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return modelInfo{}, fmt.Errorf("GET /v1/models: %s", resp.Status)
+	}
+	var listing struct {
+		Models []modelInfo `json:"models"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		return modelInfo{}, fmt.Errorf("decoding /v1/models: %w", err)
+	}
+	if model == "" {
+		if len(listing.Models) != 1 {
+			names := make([]string, len(listing.Models))
+			for i, m := range listing.Models {
+				names[i] = m.Name
+			}
+			return modelInfo{}, fmt.Errorf("server has %d models (%s); pick one with -model", len(listing.Models), strings.Join(names, ", "))
+		}
+		return listing.Models[0], nil
+	}
+	for _, m := range listing.Models {
+		if m.Name == model {
+			return m, nil
+		}
+	}
+	return modelInfo{}, fmt.Errorf("model %q is not served", model)
+}
+
+// buildBody synthesizes one single-row request body from the model's
+// input signature (dynamic dimensions become 1).
+func buildBody(info modelInfo) ([]byte, error) {
+	if len(info.Inputs) == 0 {
+		return nil, fmt.Errorf("model %q reports no inputs", info.Name)
+	}
+	feeds := make(map[string]any, len(info.Inputs))
+	for _, in := range info.Inputs {
+		shape := append([]int(nil), in.Shape...)
+		vol := 1
+		for i, d := range shape {
+			if d < 0 {
+				shape[i] = 1
+			}
+			vol *= shape[i]
+		}
+		feeds[in.Name] = map[string]any{"shape": shape, "data": make([]float32, vol)}
+	}
+	return json.Marshal(map[string]any{"feeds": feeds})
+}
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	base := flag.String("url", "http://127.0.0.1:8500", "d500serve base URL")
+	model := flag.String("model", "", "target model name (default: the sole served model)")
+	profile := flag.String("profile", "steady", "traffic shape: steady, ramp, spike")
+	rate := flag.Float64("rate", 100, "baseline arrival rate, requests/second")
+	peak := flag.Float64("peak", 0, "ramp's final rate or the spike's elevated rate")
+	duration := flag.Duration("duration", 5*time.Second, "generation window")
+	spikeStart := flag.Duration("spike-start", 0, "spike window start offset")
+	spikeLen := flag.Duration("spike-len", 0, "spike window length")
+	seed := flag.Uint64("seed", 500, "schedule seed: same (profile, seed) always sends the same schedule")
+	deadline := flag.Duration("deadline", 500*time.Millisecond, "per-request deadline (0 = none)")
+	sloP99 := flag.Duration("slo-p99", 0, "SLO: p99 latency bound (0 = skip)")
+	sloTimeout := flag.Float64("slo-timeout", 0, "SLO: max timed-out fraction of sent requests")
+	sloReject := flag.Float64("slo-reject", 0, "SLO: max rejected fraction of sent requests")
+	sloServed := flag.Float64("slo-served", 0, "SLO: min served fraction of sent requests (0 = skip)")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "d500load: unexpected argument %q\n", flag.Arg(0))
+		return 2
+	}
+
+	p := load.Profile{
+		Kind:       load.Kind(*profile),
+		Rate:       *rate,
+		Peak:       *peak,
+		Duration:   *duration,
+		SpikeStart: *spikeStart,
+		SpikeLen:   *spikeLen,
+	}
+	if err := p.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "d500load:", err)
+		return 2
+	}
+
+	client := &http.Client{}
+	target := strings.TrimRight(*base, "/")
+	info, err := discover(client, target, *model)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "d500load:", err)
+		return 2
+	}
+	body, err := buildBody(info)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "d500load:", err)
+		return 2
+	}
+	inferURL := target + "/v1/models/" + info.Name + "/infer"
+
+	send := func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, inferURL, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			// Unwrap so load.Classify sees the context expiry.
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return ctxErr
+			}
+			return err
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return nil
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			return load.ErrRejected
+		default:
+			return fmt.Errorf("HTTP %s", resp.Status)
+		}
+	}
+
+	fmt.Printf("d500load: %s profile against %s (model %q), %.0f req/s", p.Kind, target, info.Name, p.Rate)
+	if p.Kind != load.Steady {
+		fmt.Printf(" peaking at %.0f req/s", p.Peak)
+	}
+	fmt.Printf(" for %v, seed %d\n", p.Duration, *seed)
+
+	res, err := load.Run(context.Background(), load.Config{
+		Profile:  p,
+		Seed:     *seed,
+		Deadline: *deadline,
+		Send:     send,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "d500load:", err)
+		return 2
+	}
+
+	fmt.Printf("d500load: sent %d — ok %d, rejected %d, timeout %d, failed %d\n",
+		res.Sent, res.OK, res.Rejected, res.TimedOut, res.Failed)
+	fmt.Printf("d500load: latency p50 %v  p95 %v  p99 %v — goodput %.1f req/s\n",
+		res.Percentile(0.50).Round(time.Microsecond),
+		res.Percentile(0.95).Round(time.Microsecond),
+		res.Percentile(0.99).Round(time.Microsecond),
+		res.Goodput())
+
+	verdict := res.Check(load.SLO{
+		P99:            *sloP99,
+		MaxTimeoutFrac: *sloTimeout,
+		MaxRejectFrac:  *sloReject,
+		MinServedFrac:  *sloServed,
+	})
+	fmt.Println("d500load: slo", verdict)
+	if !verdict.Pass {
+		return 1
+	}
+	return 0
+}

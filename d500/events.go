@@ -8,10 +8,11 @@ import (
 
 // Event is a structured observation from a Session or Server: a training
 // step or epoch finishing, an evaluation completing, a benchmark sample
-// being recorded, a serving micro-batch executing, a replica crashing, or
-// a checkpoint landing on disk. The concrete types are StepEnd, EpochEnd,
-// EvalEnd, BenchSample, ServeSample, ReplicaDown and CheckpointSaved;
-// consumers type-switch on the value they receive.
+// being recorded, a serving micro-batch executing, the autoscaler resizing
+// a replica pool, a replica crashing, or a checkpoint landing on disk. The
+// concrete types are StepEnd, EpochEnd, EvalEnd, BenchSample, ServeSample,
+// ServeScale, ReplicaDown and CheckpointSaved; consumers type-switch on
+// the value they receive.
 type Event interface{ event() }
 
 // StepEnd is emitted after every optimization step.
@@ -73,6 +74,19 @@ type ServeSample struct {
 	Exec time.Duration
 }
 
+// ServeScale is emitted by a Server whose autoscaler (WithMaxReplicas)
+// changed the replica pool: a replica was added under queue pressure, or
+// an idle scaled-up replica was retired by draining. Emitted from the
+// scaler goroutine; unlike ServeSample it is NOT serialized with the
+// batch events, so a hook consuming it together with them must be
+// thread-safe (Metrics is).
+type ServeScale struct {
+	// Replicas is the pool size after the change.
+	Replicas int
+	// Up reports the direction: true for a scale-up.
+	Up bool
+}
+
 // ReplicaDown is emitted by a Server when one of its replicas crashes: a
 // panic in the replica's pass was recovered, its in-flight requests failed
 // with ErrReplicaCrash, and the pool continues at degraded capacity.
@@ -105,6 +119,7 @@ func (EpochEnd) event()        {}
 func (EvalEnd) event()         {}
 func (BenchSample) event()     {}
 func (ServeSample) event()     {}
+func (ServeScale) event()      {}
 func (ReplicaDown) event()     {}
 func (CheckpointSaved) event() {}
 
@@ -147,6 +162,12 @@ func ConsoleHook(w io.Writer) Hook {
 		case ServeSample:
 			fmt.Fprintf(w, "serve replica %d  batch %d req / %d rows  wait %s  exec %s\n",
 				ev.Replica, ev.Requests, ev.Rows, fdur(ev.QueueWait), fdur(ev.Exec))
+		case ServeScale:
+			dir := "down to"
+			if ev.Up {
+				dir = "up to"
+			}
+			fmt.Fprintf(w, "serve autoscale %s %d replicas\n", dir, ev.Replicas)
 		case ReplicaDown:
 			state := "dead"
 			if ev.Respawned {

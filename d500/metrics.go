@@ -83,14 +83,73 @@ func (m *Metrics) Hook() Hook {
 	}
 }
 
+// serveSource abstracts what the serving gauges are read from, so one
+// registration path covers both a standalone Server (a single implicit
+// tenant) and a multi-tenant Registry (aggregates summed across tenants,
+// plus one labeled series per tenant).
+type serveSource struct {
+	stats    func() ServerStats           // aggregate serving counters
+	models   func() []ModelStatus         // per-tenant state (one synthetic entry for a Server)
+	registry func() (l, s, u, sh float64) // loads, swaps, unloads, sheds
+	arena    func() float64               // idle arena bytes
+}
+
 // Observe exports the server's counters and gauges: queue depth/capacity,
 // batch totals and occupancy, rejection/expiry/failure counts, replica
-// capacity (configured, live, crashes, respawns) and the shared arena's
-// idle footprint. Values are read from Server.Stats at scrape time, so
-// they never drift from GET /stats. Call at most once per Metrics.
+// capacity (configured, live, crashes, respawns, autoscaler moves) and the
+// shared arena's idle footprint. Values are read from Server.Stats at
+// scrape time, so they never drift from GET /stats. The multi-tenant
+// series render the server as a single tenant named after its model; the
+// registry lifecycle counters stay at zero. Call Observe or
+// ObserveRegistry at most once per Metrics.
 func (m *Metrics) Observe(s *Server) {
+	name := s.name
+	m.observeServe(serveSource{
+		stats: s.Stats,
+		models: func() []ModelStatus {
+			return []ModelStatus{{Name: name, Stats: s.Stats()}}
+		},
+		registry: func() (float64, float64, float64, float64) { return 0, 0, 0, 0 },
+		arena: func() float64 {
+			if s.arena == nil {
+				return 0
+			}
+			return float64(s.arena.FreeBytes())
+		},
+	})
+}
+
+// ObserveRegistry exports a multi-tenant registry: every aggregate series
+// Observe exports (summed across tenants, so dashboards built for a
+// single server keep working), the registry lifecycle counters
+// (loads/swaps/unloads, priority sheds), a loaded-tenant gauge, and
+// per-tenant series labeled by model name that appear and vanish with hot
+// load/unload. Call Observe or ObserveRegistry at most once per Metrics.
+func (m *Metrics) ObserveRegistry(r *Registry) {
+	m.observeServe(serveSource{
+		stats:  func() ServerStats { return r.Stats().Aggregate },
+		models: r.Models,
+		registry: func() (float64, float64, float64, float64) {
+			st := r.Stats()
+			return float64(st.Loads), float64(st.Swaps), float64(st.Unloads), float64(st.Sheds)
+		},
+		arena: r.arenaBytes,
+	})
+}
+
+func (m *Metrics) observeServe(src serveSource) {
 	stats := func(f func(ServerStats) float64) func() float64 {
-		return func() float64 { return f(s.Stats()) }
+		return func() float64 { return f(src.stats()) }
+	}
+	perModel := func(f func(ModelStatus) float64) func() map[string]float64 {
+		return func() map[string]float64 {
+			models := src.models()
+			out := make(map[string]float64, len(models))
+			for _, st := range models {
+				out[st.Name] = f(st)
+			}
+			return out
+		}
 	}
 	m.reg.GaugeFunc(obs.MetricServeQueueDepth,
 		"Current admission-queue length.",
@@ -117,10 +176,10 @@ func (m *Metrics) Observe(s *Server) {
 		"Requests failed by batch errors, including replica crashes.",
 		stats(func(st ServerStats) float64 { return float64(st.Failed) }))
 	m.reg.GaugeFunc(obs.MetricServeReplicas,
-		"Configured replica count.",
+		"Configured replica floor.",
 		stats(func(st ServerStats) float64 { return float64(st.Replicas) }))
 	m.reg.GaugeFunc(obs.MetricServeReplicasLive,
-		"Replicas currently serving; below the configured count the pool is degraded.",
+		"Replicas currently serving; below the configured floor the pool is degraded.",
 		stats(func(st ServerStats) float64 { return float64(st.LiveReplicas) }))
 	m.reg.CounterFunc(obs.MetricServeReplicaCrashesTotal,
 		"Replica panics recovered.",
@@ -128,15 +187,39 @@ func (m *Metrics) Observe(s *Server) {
 	m.reg.CounterFunc(obs.MetricServeReplicaRespawns,
 		"Crashed replicas rebuilt from the shared weights.",
 		stats(func(st ServerStats) float64 { return float64(st.Respawns) }))
-	arena := s.arena
+	m.reg.CounterFunc(obs.MetricServeScaleUpsTotal,
+		"Replicas added by the queue-driven autoscaler.",
+		stats(func(st ServerStats) float64 { return float64(st.ScaleUps) }))
+	m.reg.CounterFunc(obs.MetricServeScaleDownsTotal,
+		"Idle replicas retired (drained) by the autoscaler.",
+		stats(func(st ServerStats) float64 { return float64(st.ScaleDowns) }))
 	m.reg.GaugeFunc(obs.MetricServeArenaBytes,
-		"Idle bytes pooled in the replica-shared tensor arena (0 without -arena).",
-		func() float64 {
-			if arena == nil {
-				return 0
-			}
-			return float64(arena.FreeBytes())
-		})
+		"Idle bytes pooled in the replica-shared tensor arenas (0 without -arena).",
+		src.arena)
+	m.reg.GaugeFunc(obs.MetricServeModels,
+		"Models currently loaded (1 for a standalone server).",
+		func() float64 { return float64(len(src.models())) })
+	m.reg.CounterFunc(obs.MetricServeModelLoadsTotal,
+		"Models hot-loaded into the registry.",
+		func() float64 { l, _, _, _ := src.registry(); return l })
+	m.reg.CounterFunc(obs.MetricServeModelSwapsTotal,
+		"Atomic version swaps (a load replacing a served model).",
+		func() float64 { _, s, _, _ := src.registry(); return s })
+	m.reg.CounterFunc(obs.MetricServeModelUnloadsTotal,
+		"Models unloaded from the registry.",
+		func() float64 { _, _, u, _ := src.registry(); return u })
+	m.reg.CounterFunc(obs.MetricServeShedTotal,
+		"Admissions shed because a higher-priority model was under pressure.",
+		func() float64 { _, _, _, sh := src.registry(); return sh })
+	m.reg.CounterVecFunc(obs.MetricServeModelRequestsTotal,
+		"Requests admitted, by model.", "model",
+		perModel(func(st ModelStatus) float64 { return float64(st.Stats.Requests) }))
+	m.reg.GaugeVecFunc(obs.MetricServeModelQueueDepth,
+		"Current admission-queue length, by model.", "model",
+		perModel(func(st ModelStatus) float64 { return float64(st.Stats.QueueDepth) }))
+	m.reg.GaugeVecFunc(obs.MetricServeModelReplicasLive,
+		"Replicas currently serving, by model.", "model",
+		perModel(func(st ModelStatus) float64 { return float64(st.Stats.LiveReplicas) }))
 }
 
 // Handler serves the registry in Prometheus text exposition format;

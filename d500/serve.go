@@ -39,12 +39,16 @@ type ServerStats = serve.Stats
 
 // serverConfig is the resolved server configuration.
 type serverConfig struct {
-	sess     []Option
-	maxBatch int
-	linger   time.Duration
-	replicas int
-	queue    int
-	respawn  bool
+	sess        []Option
+	maxBatch    int
+	linger      time.Duration
+	replicas    int
+	maxReplicas int
+	queue       int
+	respawn     bool
+	scaleEvery  time.Duration
+	scaleUpOcc  float64
+	scaleIdle   time.Duration
 }
 
 // ServerOption configures NewServer. Options are applied in order; the
@@ -86,6 +90,60 @@ func WithReplicas(n int) ServerOption {
 			return fmt.Errorf("d500: WithReplicas requires at least 1 replica, got %d", n)
 		}
 		c.replicas = n
+		return nil
+	}
+}
+
+// WithMaxReplicas enables queue-driven autoscaling: the pool starts at
+// WithReplicas (the floor it also shrinks back to when idle) and grows
+// toward n while admission-queue occupancy stays above the scale-up
+// high-water mark. Scaled-down replicas retire by draining — a replica
+// is never stopped mid-batch. The default (n equal to the replica floor)
+// keeps the pool fixed.
+func WithMaxReplicas(n int) ServerOption {
+	return func(c *serverConfig) error {
+		if n < 1 {
+			return fmt.Errorf("d500: WithMaxReplicas requires at least 1 replica, got %d", n)
+		}
+		c.maxReplicas = n
+		return nil
+	}
+}
+
+// WithScaleInterval sets how often the autoscaler samples queue occupancy
+// (default 25ms). Only meaningful with WithMaxReplicas.
+func WithScaleInterval(d time.Duration) ServerOption {
+	return func(c *serverConfig) error {
+		if d <= 0 {
+			return fmt.Errorf("d500: WithScaleInterval requires a positive duration, got %v", d)
+		}
+		c.scaleEvery = d
+		return nil
+	}
+}
+
+// WithScaleUpOccupancy sets the queue-occupancy fraction at or above
+// which the autoscaler adds a replica (default 0.5). Only meaningful with
+// WithMaxReplicas.
+func WithScaleUpOccupancy(frac float64) ServerOption {
+	return func(c *serverConfig) error {
+		if frac <= 0 || frac > 1 {
+			return fmt.Errorf("d500: WithScaleUpOccupancy requires a fraction in (0, 1], got %g", frac)
+		}
+		c.scaleUpOcc = frac
+		return nil
+	}
+}
+
+// WithScaleDownIdle sets how long the queue must stay empty before a
+// scaled-up replica is retired (default 500ms). Only meaningful with
+// WithMaxReplicas.
+func WithScaleDownIdle(d time.Duration) ServerOption {
+	return func(c *serverConfig) error {
+		if d <= 0 {
+			return fmt.Errorf("d500: WithScaleDownIdle requires a positive duration, got %v", d)
+		}
+		c.scaleIdle = d
 		return nil
 	}
 }
@@ -134,6 +192,7 @@ func WithSession(opts ...Option) ServerOption {
 // (see the Session concurrency contract).
 type Server struct {
 	inner *serve.Server
+	name  string // model name, the per-tenant metrics label
 	stats OptimizeStats
 	opt   bool
 	arena *tensor.Arena // replica-shared arena, nil without WithArena
@@ -159,6 +218,9 @@ func NewServer(m *graph.Model, opts ...ServerOption) (*Server, error) {
 		if err := opt(&cfg); err != nil {
 			return nil, err
 		}
+	}
+	if cfg.maxReplicas > 0 && cfg.maxReplicas < cfg.replicas {
+		return nil, fmt.Errorf("d500: WithMaxReplicas(%d) is below the replica floor %d", cfg.maxReplicas, cfg.replicas)
 	}
 	// Resolve the replica template exactly like New resolves a Session, so
 	// option validation and defaulting stay in one place.
@@ -209,6 +271,7 @@ func NewServer(m *graph.Model, opts ...ServerOption) (*Server, error) {
 
 	var observe func(serve.Sample)
 	var onDown func(int, error, bool)
+	var onScale func(int, bool)
 	if hook := base.cfg.hook; hook != nil {
 		observe = func(sm serve.Sample) {
 			hook(ServeSample{
@@ -222,22 +285,31 @@ func NewServer(m *graph.Model, opts ...ServerOption) (*Server, error) {
 		onDown = func(replica int, cause error, respawned bool) {
 			hook(ReplicaDown{Replica: replica, Err: cause, Respawned: respawned})
 		}
+		onScale = func(replicas int, up bool) {
+			hook(ServeScale{Replicas: replicas, Up: up})
+		}
 	}
 
 	inner, err := serve.New(serve.Options{
-		MaxBatch:      cfg.maxBatch,
-		MaxLinger:     cfg.linger,
-		Replicas:      cfg.replicas,
-		QueueDepth:    cfg.queue,
-		NewExecutor:   factory,
-		Observe:       observe,
-		Respawn:       cfg.respawn,
-		OnReplicaDown: onDown,
+		MaxBatch:         cfg.maxBatch,
+		MaxLinger:        cfg.linger,
+		Replicas:         cfg.replicas,
+		MaxReplicas:      cfg.maxReplicas,
+		QueueDepth:       cfg.queue,
+		ScaleInterval:    cfg.scaleEvery,
+		ScaleUpOccupancy: cfg.scaleUpOcc,
+		ScaleDownIdle:    cfg.scaleIdle,
+		NewExecutor:      factory,
+		Observe:          observe,
+		Respawn:          cfg.respawn,
+		OnReplicaDown:    onDown,
+		OnScale:          onScale,
 	})
 	if err != nil {
 		return nil, err
 	}
 	s.inner = inner
+	s.name = m.Name
 	return s, nil
 }
 
@@ -289,6 +361,15 @@ type ServerDefaults struct {
 	MaxLinger  time.Duration
 	Replicas   int
 	QueueDepth int
+	// MaxReplicas / ScaleInterval / ScaleUpOccupancy / ScaleDownIdle mirror
+	// the autoscaler defaults (MaxReplicas equal to Replicas: fixed pool).
+	MaxReplicas      int
+	ScaleInterval    time.Duration
+	ScaleUpOccupancy float64
+	ScaleDownIdle    time.Duration
+	// DrainGrace / ShedOccupancy mirror the registry defaults.
+	DrainGrace    time.Duration
+	ShedOccupancy float64
 	// PoolWorkers is the shared kernel worker budget replicas draw from.
 	PoolWorkers int
 	// Frameworks lists the framework profiles WithSession(WithFramework)
@@ -301,11 +382,17 @@ type ServerDefaults struct {
 // defaults can never drift from the running ones.
 func DefaultServerConfig() ServerDefaults {
 	return ServerDefaults{
-		MaxBatch:    serve.DefaultMaxBatch,
-		MaxLinger:   0,
-		Replicas:    serve.DefaultReplicas,
-		QueueDepth:  serve.DefaultQueueDepth(serve.DefaultReplicas, serve.DefaultMaxBatch),
-		PoolWorkers: poolWorkers(nil),
-		Frameworks:  Frameworks(),
+		MaxBatch:         serve.DefaultMaxBatch,
+		MaxLinger:        0,
+		Replicas:         serve.DefaultReplicas,
+		QueueDepth:       serve.DefaultQueueDepth(serve.DefaultReplicas, serve.DefaultMaxBatch),
+		MaxReplicas:      serve.DefaultReplicas,
+		ScaleInterval:    serve.DefaultScaleInterval,
+		ScaleUpOccupancy: serve.DefaultScaleUpOccupancy,
+		ScaleDownIdle:    serve.DefaultScaleDownIdle,
+		DrainGrace:       serve.DefaultDrainGrace,
+		ShedOccupancy:    serve.DefaultShedOccupancy,
+		PoolWorkers:      poolWorkers(nil),
+		Frameworks:       Frameworks(),
 	}
 }

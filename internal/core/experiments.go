@@ -72,6 +72,8 @@ func RegisterExperiments(s *bench.Suite, o Options) {
 		Run: func(c *bench.Context) error { return runGemmExp(c, o) }})
 	s.Register(bench.Definition{ID: "dist", Title: "Distributed: DSGD scaling over TCP loopback",
 		Run: func(c *bench.Context) error { return runDistExp(c, o) }})
+	s.Register(bench.Definition{ID: "load", Title: "Open-loop load: SLO-checked traffic vs autoscaling pool",
+		Run: func(c *bench.Context) error { return runLoadExp(c, o) }})
 }
 
 // recordDist exports a timing distribution as one record.

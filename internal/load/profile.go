@@ -1,0 +1,128 @@
+package load
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"deep500/internal/tensor"
+)
+
+// Kind names a traffic shape.
+type Kind string
+
+const (
+	// Steady is a homogeneous Poisson process at Rate arrivals/second.
+	Steady Kind = "steady"
+	// Ramp grows the arrival rate linearly from Rate to Peak across
+	// Duration.
+	Ramp Kind = "ramp"
+	// Spike holds Rate, except for the [SpikeStart, SpikeStart+SpikeLen)
+	// window where the rate jumps to Peak.
+	Spike Kind = "spike"
+)
+
+// Profile is one open-loop traffic shape: a time-varying arrival-rate
+// function λ(t) sampled into a concrete Poisson arrival schedule by
+// Schedule. The same (profile, seed) pair always yields the same
+// schedule — the property that makes request counts benchmarkable.
+type Profile struct {
+	// Kind selects the shape (default Steady).
+	Kind Kind
+	// Rate is the baseline arrival rate in requests/second.
+	Rate float64
+	// Peak is the ramp's final rate or the spike's elevated rate
+	// (ignored for Steady).
+	Peak float64
+	// Duration is the generation window.
+	Duration time.Duration
+	// SpikeStart / SpikeLen position the Spike window inside Duration.
+	SpikeStart time.Duration
+	SpikeLen   time.Duration
+}
+
+// Validate reports the first configuration error.
+func (p Profile) Validate() error {
+	if p.Rate <= 0 {
+		return fmt.Errorf("load: profile rate %g must be positive", p.Rate)
+	}
+	if p.Duration <= 0 {
+		return fmt.Errorf("load: profile duration %v must be positive", p.Duration)
+	}
+	switch p.Kind {
+	case Steady, "":
+	case Ramp:
+		if p.Peak <= 0 {
+			return fmt.Errorf("load: ramp profile needs a positive peak rate, got %g", p.Peak)
+		}
+	case Spike:
+		if p.Peak <= 0 {
+			return fmt.Errorf("load: spike profile needs a positive peak rate, got %g", p.Peak)
+		}
+		if p.SpikeLen <= 0 {
+			return fmt.Errorf("load: spike profile needs a positive spike length, got %v", p.SpikeLen)
+		}
+		if p.SpikeStart < 0 || p.SpikeStart+p.SpikeLen > p.Duration {
+			return fmt.Errorf("load: spike window [%v, %v) outside profile duration %v",
+				p.SpikeStart, p.SpikeStart+p.SpikeLen, p.Duration)
+		}
+	default:
+		return fmt.Errorf("load: unknown profile kind %q", p.Kind)
+	}
+	return nil
+}
+
+// rateAt is λ(t), the instantaneous arrival rate t seconds into the
+// profile.
+func (p Profile) rateAt(t float64) float64 {
+	switch p.Kind {
+	case Ramp:
+		frac := t / p.Duration.Seconds()
+		return p.Rate + (p.Peak-p.Rate)*frac
+	case Spike:
+		if t >= p.SpikeStart.Seconds() && t < (p.SpikeStart+p.SpikeLen).Seconds() {
+			return p.Peak
+		}
+		return p.Rate
+	default:
+		return p.Rate
+	}
+}
+
+// maxRate bounds λ(t), the thinning envelope.
+func (p Profile) maxRate() float64 {
+	switch p.Kind {
+	case Ramp, Spike:
+		return math.Max(p.Rate, p.Peak)
+	default:
+		return p.Rate
+	}
+}
+
+// Schedule samples the profile into a sorted list of arrival offsets
+// using Lewis–Shedler thinning: candidate arrivals are drawn from a
+// homogeneous Poisson process at the envelope rate (exponential gaps),
+// and each candidate at time t is kept with probability λ(t)/λmax. The
+// generator is a seeded SplitMix64, so the schedule — including its
+// length — is a pure function of (profile, seed).
+func (p Profile) Schedule(seed uint64) ([]time.Duration, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := tensor.NewRNG(seed)
+	envelope := p.maxRate()
+	end := p.Duration.Seconds()
+	var out []time.Duration
+	t := 0.0
+	for {
+		// Exponential inter-arrival gap at the envelope rate. 1-U keeps
+		// the argument in (0, 1], avoiding log(0).
+		t += -math.Log(1-rng.Float64()) / envelope
+		if t >= end {
+			return out, nil
+		}
+		if rng.Float64()*envelope <= p.rateAt(t) {
+			out = append(out, time.Duration(t*float64(time.Second)))
+		}
+	}
+}

@@ -24,6 +24,18 @@ const (
 	MetricServeReplicaRespawns     = "d500_serve_replica_respawns_total"
 	MetricServeArenaBytes          = "d500_serve_arena_bytes"
 
+	// Multi-tenant serving (model registry + autoscaler).
+	MetricServeModels             = "d500_serve_models"
+	MetricServeModelLoadsTotal    = "d500_serve_model_loads_total"
+	MetricServeModelSwapsTotal    = "d500_serve_model_swaps_total"
+	MetricServeModelUnloadsTotal  = "d500_serve_model_unloads_total"
+	MetricServeShedTotal          = "d500_serve_shed_total"
+	MetricServeScaleUpsTotal      = "d500_serve_scale_ups_total"
+	MetricServeScaleDownsTotal    = "d500_serve_scale_downs_total"
+	MetricServeModelRequestsTotal = "d500_serve_model_requests_total"
+	MetricServeModelQueueDepth    = "d500_serve_model_queue_depth"
+	MetricServeModelReplicasLive  = "d500_serve_model_replicas_live"
+
 	// Training (Session.Train through a Metrics hook).
 	MetricTrainStepsTotal       = "d500_train_steps_total"
 	MetricTrainLoss             = "d500_train_loss"
@@ -63,6 +75,16 @@ func CoreNames() []string {
 		MetricServeReplicaCrashesTotal,
 		MetricServeReplicaRespawns,
 		MetricServeArenaBytes,
+		MetricServeModels,
+		MetricServeModelLoadsTotal,
+		MetricServeModelSwapsTotal,
+		MetricServeModelUnloadsTotal,
+		MetricServeShedTotal,
+		MetricServeScaleUpsTotal,
+		MetricServeScaleDownsTotal,
+		MetricServeModelRequestsTotal,
+		MetricServeModelQueueDepth,
+		MetricServeModelReplicasLive,
 		MetricTrainStepsTotal,
 		MetricTrainLoss,
 		MetricTrainAccuracy,

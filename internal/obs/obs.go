@@ -177,6 +177,43 @@ func (r *Registry) CounterFunc(name, help string, f func() float64) {
 	})
 }
 
+// renderVecFunc writes one labeled series per map entry, label values
+// sorted, so the same state always renders the same bytes.
+func renderVecFunc(w io.Writer, name, label string, f func() map[string]float64) error {
+	vals := f()
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s{%s=%q} %s\n", name, label, k, fmtFloat(vals[k])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GaugeVecFunc registers a one-label gauge family whose series set and
+// values are read from f at scrape time — the natural shape for
+// per-tenant state someone else owns (a model registry's queue depths):
+// series appear and disappear as tenants load and unload.
+func (r *Registry) GaugeVecFunc(name, help, label string, f func() map[string]float64) {
+	r.register(name, help, "gauge", func(w io.Writer, name string) error {
+		return renderVecFunc(w, name, label, f)
+	})
+}
+
+// CounterVecFunc registers a one-label counter family read from f at
+// scrape time. Each series must be monotonic for as long as it exists;
+// a series vanishing (tenant unloaded) is fine — Prometheus treats it
+// as a staleness marker, not a reset.
+func (r *Registry) CounterVecFunc(name, help, label string, f func() map[string]float64) {
+	r.register(name, help, "counter", func(w io.Writer, name string) error {
+		return renderVecFunc(w, name, label, f)
+	})
+}
+
 // Histogram is a fixed-bucket cumulative histogram of observations.
 type Histogram struct {
 	bounds []float64

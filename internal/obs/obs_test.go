@@ -57,6 +57,51 @@ func TestRenderFormat(t *testing.T) {
 	}
 }
 
+// TestVecFuncs checks the func-driven labeled families: one series per
+// map entry, label values sorted, series appearing and vanishing with the
+// backing state (the model-registry shape).
+func TestVecFuncs(t *testing.T) {
+	r := NewRegistry()
+	state := map[string]float64{"mlp": 2, "lenet": 5}
+	r.GaugeVecFunc("tenant_depth", "queue depth by model", "model",
+		func() map[string]float64 { return state })
+	r.CounterVecFunc("tenant_total", "requests by model", "model",
+		func() map[string]float64 { return state })
+
+	out := render(t, r)
+	for _, want := range []string{
+		"# TYPE tenant_depth gauge\ntenant_depth{model=\"lenet\"} 5\ntenant_depth{model=\"mlp\"} 2\n",
+		"# TYPE tenant_total counter\ntenant_total{model=\"lenet\"} 5\ntenant_total{model=\"mlp\"} 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Unloading a tenant drops its series; loading one adds it.
+	delete(state, "lenet")
+	state["cnn"] = 1
+	out = render(t, r)
+	if strings.Contains(out, "lenet") {
+		t.Fatalf("unloaded tenant still rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "tenant_depth{model=\"cnn\"} 1\n") {
+		t.Fatalf("new tenant missing:\n%s", out)
+	}
+
+	// An empty family renders headers only — valid exposition.
+	for k := range state {
+		delete(state, k)
+	}
+	out = render(t, r)
+	if strings.Contains(out, "tenant_depth{") {
+		t.Fatalf("empty family rendered series:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE tenant_depth gauge\n") {
+		t.Fatalf("empty family lost its header:\n%s", out)
+	}
+}
+
 // TestHistogram checks cumulative bucketing, the +Inf bucket, and sum/count.
 func TestHistogram(t *testing.T) {
 	r := NewRegistry()

@@ -249,3 +249,218 @@ func TestChaosAllReplicasDead(t *testing.T) {
 		t.Fatalf("Close of a dead pool: %v", err)
 	}
 }
+
+// slowCrashyFactory is crashyFactory with a fixed per-op delay, so passes
+// are slow enough that the autoscaler's occupancy sampling deterministically
+// observes a backlogged queue (and injected panics land while scale
+// decisions are in flight).
+func slowCrashyFactory(m *graph.Model, armed *atomic.Int32, opDelay time.Duration) func() (executor.GraphExecutor, error) {
+	return func() (executor.GraphExecutor, error) {
+		e, err := executor.New(m)
+		if err != nil {
+			return nil, err
+		}
+		e.Events = &executor.Events{BeforeOp: func(*graph.Node) {
+			if armed.Add(-1) >= 0 {
+				panic("chaos: injected operator fault")
+			}
+			armed.Add(1)
+			time.Sleep(opDelay)
+		}}
+		return e, nil
+	}
+}
+
+// TestChaosCrashDuringScaleDownDrain runs crash injection against an
+// actively autoscaling pool: bursts force scale-ups, idle windows force
+// draining scale-downs, and a panic is armed exactly inside each
+// scale-down window so crashes land while retirements are in flight. The
+// accepted = served + failed identity must reconcile exactly, the
+// autoscaler must both grow and shrink, and the pool must respect its
+// floor and keep serving.
+func TestChaosCrashDuringScaleDownDrain(t *testing.T) {
+	m := chaosModel()
+	var armed atomic.Int32
+	armed.Store(-1)
+	srv, err := New(Options{
+		MaxBatch:         1,
+		Replicas:         1,
+		MaxReplicas:      3,
+		QueueDepth:       8,
+		ScaleInterval:    time.Millisecond,
+		ScaleDownIdle:    5 * time.Millisecond,
+		ScaleUpOccupancy: 0.5,
+		Respawn:          true,
+		NewExecutor:      slowCrashyFactory(m, &armed, 200*time.Microsecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close(context.Background())
+
+	var served, crashed, rejected, other atomic.Int64
+	var sent atomic.Int64
+	infer := func(wg *sync.WaitGroup, seed uint64) {
+		defer wg.Done()
+		sent.Add(1)
+		_, err := srv.Infer(context.Background(), map[string]*tensor.Tensor{"x": inputFor(m, 1, seed)})
+		switch {
+		case err == nil:
+			served.Add(1)
+		case errors.Is(err, ErrReplicaCrash):
+			crashed.Add(1)
+		case errors.Is(err, ErrQueueFull):
+			rejected.Add(1)
+		default:
+			other.Add(1)
+		}
+	}
+
+	const cycles = 5
+	for c := 0; c < cycles; c++ {
+		// Burst: backlog the queue so the scaler grows the pool.
+		var wg sync.WaitGroup
+		for i := 0; i < 24; i++ {
+			wg.Add(1)
+			go infer(&wg, uint64(c*100+i))
+		}
+		wg.Wait()
+		// Idle into the scale-down window, then crash whichever worker
+		// picks up the next request while retirements are in flight.
+		time.Sleep(7 * time.Millisecond)
+		armed.Store(1)
+		wg.Add(1)
+		go infer(&wg, uint64(c))
+		wg.Wait()
+		armed.Store(-1)
+		time.Sleep(3 * time.Millisecond) // let respawns/retirements settle
+	}
+
+	if other.Load() != 0 {
+		t.Fatalf("%d requests failed with unexpected errors", other.Load())
+	}
+	if served.Load()+crashed.Load()+rejected.Load() != sent.Load() {
+		t.Fatalf("accounting: %d served + %d crashed + %d rejected != %d sent",
+			served.Load(), crashed.Load(), rejected.Load(), sent.Load())
+	}
+	st := srv.Stats()
+	if st.Requests != uint64(served.Load()) || st.Failed != uint64(crashed.Load()) || st.Rejected != uint64(rejected.Load()) {
+		t.Fatalf("stats (%d served, %d failed, %d rejected) disagree with callers (%d, %d, %d)",
+			st.Requests, st.Failed, st.Rejected, served.Load(), crashed.Load(), rejected.Load())
+	}
+	if st.ScaleUps == 0 {
+		t.Fatalf("autoscaler never scaled up under bursts: %+v", st)
+	}
+	if st.ScaleDowns == 0 {
+		t.Fatalf("autoscaler never scaled down across idle windows: %+v", st)
+	}
+	if st.LiveReplicas < 1 || st.LiveReplicas > 3 {
+		t.Fatalf("pool outside [floor, ceiling]: %+v", st)
+	}
+	// The pool must still answer after crashes landed mid-retirement.
+	if _, err := srv.Infer(context.Background(), map[string]*tensor.Tensor{"x": inputFor(m, 1, 9999)}); err != nil {
+		t.Fatalf("pool broken after chaos: %v", err)
+	}
+}
+
+// TestChaosSwapNeverRoutesToDeadPool kills every replica of a model's v1
+// pool under fire, then atomically swaps in a healthy v2 while clients
+// keep hammering. Requests racing the swap must resolve to v1's crash
+// error or v2's answer — never hang, never surface ErrClosed — and after
+// the swap commits the registry must never route to the dead pool again.
+func TestChaosSwapNeverRoutesToDeadPool(t *testing.T) {
+	m := chaosModel()
+	var armed atomic.Int32
+	armed.Store(-1)
+	r := NewRegistry(RegistryOptions{})
+	defer r.Close(context.Background())
+
+	v1 := ModelSpec{Version: "v1", Build: func() (*Server, error) {
+		return New(Options{MaxBatch: 1, Replicas: 2, QueueDepth: 32, NewExecutor: crashyFactory(m, &armed)})
+	}}
+	if err := r.Load("model", v1); err != nil {
+		t.Fatal(err)
+	}
+	feeds := func(seed uint64) map[string]*tensor.Tensor {
+		return map[string]*tensor.Tensor{"x": inputFor(m, 1, seed)}
+	}
+	if _, err := r.Infer(context.Background(), "model", feeds(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hammer the model from four clients while v1's pool dies.
+	var served, crashed, rejected, other atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, err := r.Infer(context.Background(), "model", feeds(uint64(g*1000+i)))
+				switch {
+				case err == nil:
+					served.Add(1)
+				case errors.Is(err, ErrReplicaCrash):
+					crashed.Add(1)
+				case errors.Is(err, ErrQueueFull):
+					rejected.Add(1)
+				default:
+					other.Add(1)
+				}
+			}
+		}(g)
+	}
+
+	// Arm enough faults to kill both v1 replicas (no respawn) and wait for
+	// the pool to be fully dead.
+	armed.Store(1 << 20)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		srv, ok := r.Get("model")
+		if ok && srv.Stats().LiveReplicas == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("v1 pool never fully died")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Swap in a healthy v2 while the hammers are still firing.
+	armed.Store(-1)
+	if err := r.Load("model", testSpec(m, "v2", 0, Options{Replicas: 2, QueueDepth: 1024})); err != nil {
+		t.Fatal(err)
+	}
+	// After the swap commits, the registry must never route to the dead
+	// pool: fresh sequential requests all succeed.
+	for i := 0; i < 50; i++ {
+		if _, err := r.Infer(context.Background(), "model", feeds(uint64(5000+i))); err != nil {
+			t.Fatalf("post-swap request %d hit the dead pool: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if other.Load() != 0 {
+		t.Fatalf("%d requests resolved to errors outside the crash/backpressure taxonomy (ErrClosed must not escape a swap)", other.Load())
+	}
+	if crashed.Load() == 0 {
+		t.Fatal("no request observed the dying v1 pool — the chaos phase did not bite")
+	}
+	if served.Load() == 0 {
+		t.Fatal("no request was served across the swap")
+	}
+	st := r.Stats()
+	if st.Swaps != 1 {
+		t.Fatalf("registry swaps = %d, want 1", st.Swaps)
+	}
+	if got := r.Models(); len(got) != 1 || got[0].Version != "v2" {
+		t.Fatalf("post-swap Models() = %+v, want single v2", got)
+	}
+}

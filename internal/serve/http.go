@@ -67,34 +67,49 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	var req InferRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+	feeds, ok := decodeFeeds(w, r)
+	if !ok {
 		return
-	}
-	feeds := make(map[string]*tensor.Tensor, len(req.Feeds))
-	for name, tj := range req.Feeds {
-		if len(tj.Data) != tensor.Volume(tj.Shape) {
-			writeError(w, http.StatusBadRequest,
-				fmt.Sprintf("feed %q: %d data values do not fill shape %v", name, len(tj.Data), tj.Shape))
-			return
-		}
-		for _, d := range tj.Shape {
-			if d < 0 {
-				writeError(w, http.StatusBadRequest,
-					fmt.Sprintf("feed %q: negative dimension in shape %v", name, tj.Shape))
-				return
-			}
-		}
-		feeds[name] = tensor.From(tj.Data, tj.Shape...)
 	}
 	outs, err := s.Infer(r.Context(), feeds)
 	if err != nil {
 		writeError(w, statusFor(err), err.Error())
 		return
 	}
+	writeOutputs(w, outs)
+}
+
+// decodeFeeds parses and validates an InferRequest body, writing the 400
+// response itself on failure (second result false). Shared by the
+// single-model handler and the registry front end.
+func decodeFeeds(w http.ResponseWriter, r *http.Request) (map[string]*tensor.Tensor, bool) {
+	var req InferRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return nil, false
+	}
+	feeds := make(map[string]*tensor.Tensor, len(req.Feeds))
+	for name, tj := range req.Feeds {
+		if len(tj.Data) != tensor.Volume(tj.Shape) {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("feed %q: %d data values do not fill shape %v", name, len(tj.Data), tj.Shape))
+			return nil, false
+		}
+		for _, d := range tj.Shape {
+			if d < 0 {
+				writeError(w, http.StatusBadRequest,
+					fmt.Sprintf("feed %q: negative dimension in shape %v", name, tj.Shape))
+				return nil, false
+			}
+		}
+		feeds[name] = tensor.From(tj.Data, tj.Shape...)
+	}
+	return feeds, true
+}
+
+func writeOutputs(w http.ResponseWriter, outs map[string]*tensor.Tensor) {
 	resp := InferResponse{Outputs: make(map[string]TensorJSON, len(outs))}
 	for name, t := range outs {
 		resp.Outputs[name] = TensorJSON{Shape: t.Shape(), Data: t.Data()}
@@ -119,6 +134,8 @@ func statusFor(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrBadRequest):
 		return http.StatusBadRequest
+	case errors.Is(err, ErrUnknownModel):
+		return http.StatusNotFound
 	case errors.Is(err, ErrReplicaCrash):
 		return http.StatusInternalServerError
 	case errors.Is(err, context.DeadlineExceeded):

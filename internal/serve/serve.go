@@ -4,21 +4,31 @@
 // philosophy (measure the full stack under realistic load) leaves to the
 // serving layer.
 //
-// Three pieces compose:
+// Four pieces compose:
 //
 //   - a dynamic micro-batching queue: single-item Infer requests are
 //     coalesced into one batched tensor execution, flushing when the batch
 //     reaches MaxBatch rows or when MaxLinger has elapsed since the batch
 //     opened; batched outputs are split back per request;
-//   - a session-replica pool: Replicas independent executors built over
-//     one shared model (parameter tensors are referenced, not copied, so
-//     all replicas serve the same weights) — the executor contract is
-//     single-goroutine, so serving concurrency comes from replicas, not
-//     from sharing one executor;
+//   - a session-replica pool: independent executors built over one shared
+//     model (parameter tensors are referenced, not copied, so all replicas
+//     serve the same weights) — the executor contract is single-goroutine,
+//     so serving concurrency comes from replicas, not from sharing one
+//     executor;
 //   - admission control: a bounded queue with typed backpressure errors
 //     (ErrQueueFull when the queue is at capacity, ErrClosed after
 //     shutdown began), so overload is surfaced to clients immediately
-//     instead of accumulating unbounded latency.
+//     instead of accumulating unbounded latency;
+//   - an optional queue-occupancy autoscaler: when MaxReplicas exceeds
+//     Replicas, a scaler goroutine samples the admission queue every
+//     ScaleInterval and grows the pool while occupancy sits at or above
+//     the ScaleUpOccupancy high-water mark, then retires surplus replicas
+//     (draining — a retiring worker finishes its current batch, never
+//     aborts mid-batch) once the queue has been empty for ScaleDownIdle.
+//
+// Multi-tenant serving stacks a Registry on top: one named entry per
+// model, each with its own queue + replica pool, hot load/unload and
+// atomic version swap (see registry.go).
 //
 // Public entry points: New (with Options), Server.Infer, Server.Handler
 // (the HTTP JSON front end), Server.Stats and Server.Close. Per-request
@@ -67,10 +77,22 @@ const (
 	DefaultReplicas = 1
 	// defaultQueueFactor sizes the admission queue per replica×batch.
 	defaultQueueFactor = 4
+	// DefaultScaleInterval is the autoscaler's queue-sampling period when
+	// Options.ScaleInterval is zero.
+	DefaultScaleInterval = 25 * time.Millisecond
+	// DefaultScaleUpOccupancy is the queue-occupancy high-water fraction
+	// (queued/capacity) at which the autoscaler adds a replica, when
+	// Options.ScaleUpOccupancy is zero.
+	DefaultScaleUpOccupancy = 0.5
+	// DefaultScaleDownIdle is how long the queue must stay empty before a
+	// surplus replica is retired, when Options.ScaleDownIdle is zero.
+	DefaultScaleDownIdle = 500 * time.Millisecond
 )
 
 // DefaultQueueDepth is the admission-queue bound resolved when
-// Options.QueueDepth is zero: replicas × maxBatch × 4.
+// Options.QueueDepth is zero: replicas × maxBatch × 4. An autoscaling
+// server sizes it from MaxReplicas so the queue can absorb the burst that
+// justifies scaling up.
 func DefaultQueueDepth(replicas, maxBatch int) int {
 	return replicas * maxBatch * defaultQueueFactor
 }
@@ -89,16 +111,35 @@ type Options struct {
 	// after its first request is picked up (default 0: flush with whatever
 	// is already queued, never wait).
 	MaxLinger time.Duration
-	// Replicas is the number of independent executor replicas serving
-	// requests (default 1). Replicas share model weights; each runs its
-	// passes on its own goroutine.
+	// Replicas is the baseline number of independent executor replicas
+	// serving requests (default 1). Replicas share model weights; each
+	// runs its passes on its own goroutine. With autoscaling enabled this
+	// is the floor the pool never shrinks below.
 	Replicas int
-	// QueueDepth bounds the admission queue (default Replicas*MaxBatch*4).
-	// A full queue rejects with ErrQueueFull.
+	// MaxReplicas, when greater than Replicas, enables the queue-occupancy
+	// autoscaler: the pool grows toward MaxReplicas under sustained
+	// backlog and shrinks back to Replicas when idle. Zero (or any value
+	// ≤ Replicas) disables autoscaling and fixes the pool at Replicas.
+	MaxReplicas int
+	// ScaleInterval is the autoscaler's sampling period (default 25ms).
+	ScaleInterval time.Duration
+	// ScaleUpOccupancy is the queue-occupancy fraction (queued requests /
+	// queue capacity) at or above which a sampled tick adds one replica
+	// (default 0.5).
+	ScaleUpOccupancy float64
+	// ScaleDownIdle is how long the queue must remain empty (no request
+	// dispatched, nothing queued) before one surplus replica is retired
+	// per tick (default 500ms). Retirement drains: the replica finishes
+	// the batch it is running and exits between batches.
+	ScaleDownIdle time.Duration
+	// QueueDepth bounds the admission queue (default
+	// max(Replicas, MaxReplicas)*MaxBatch*4). A full queue rejects with
+	// ErrQueueFull.
 	QueueDepth int
 	// NewExecutor builds one replica executor. It is called Replicas times
-	// at New; all replicas must be built over the same model so they share
-	// parameter tensors. Required.
+	// at New and again for every respawn and autoscale-up; all replicas
+	// must be built over the same model so they share parameter tensors.
+	// Required.
 	NewExecutor func() (executor.GraphExecutor, error)
 	// Observe, when non-nil, receives one Sample per executed batch.
 	// Calls are serialized across replicas, so the observer need not be
@@ -109,10 +150,14 @@ type Options struct {
 	// stays dead and the pool serves at permanently degraded capacity.
 	Respawn bool
 	// OnReplicaDown, when non-nil, is called once per replica crash with
-	// the replica index, the recovered panic (wrapped in ErrReplicaCrash),
+	// the replica id, the recovered panic (wrapped in ErrReplicaCrash),
 	// and whether the replica was respawned. Calls are serialized with
 	// Observe, so the same single-threaded observer may back both.
 	OnReplicaDown func(replica int, cause error, respawned bool)
+	// OnScale, when non-nil, is called after every autoscaler decision
+	// with the pool size the decision targets and the direction (up=true
+	// for scale-up). Calls are serialized with Observe.
+	OnScale func(replicas int, up bool)
 }
 
 // Sample is the per-batch observation emitted through Options.Observe:
@@ -156,25 +201,28 @@ func (r *request) finish(outs map[string]*tensor.Tensor, err error) {
 // executor replicas through the micro-batcher. Construct with New; Server
 // methods are safe for concurrent use by any number of goroutines.
 type Server struct {
-	opts     Options
-	inputs   []graph.TensorInfo
-	outputs  []string
-	model    *graph.Model
-	replicas []executor.GraphExecutor
+	opts    Options
+	inputs  []graph.TensorInfo
+	outputs []string
+	model   *graph.Model
 
-	queue chan *request
-	ctx   context.Context
-	stop  context.CancelFunc
-	wg    sync.WaitGroup
+	queue   chan *request
+	ctx     context.Context
+	stop    context.CancelFunc
+	closing chan struct{} // closed by Close before waiting; stops the scaler
+	wg      sync.WaitGroup
 
 	mu     sync.RWMutex // guards closed vs queue sends
 	closed bool
 
 	observeMu sync.Mutex
 
-	statsMu sync.Mutex
-	stats   statsAccum
-	live    int // replicas currently serving (decremented on crash)
+	statsMu  sync.Mutex
+	stats    statsAccum
+	live     int                   // replicas currently serving (decremented on crash/retire)
+	stops    map[int]chan struct{} // per-worker retire signals, keyed by replica id
+	nextID   int
+	lastBusy time.Time // last time any worker dispatched a request
 }
 
 // statsAccum is the mutable counter set behind Server.Stats.
@@ -182,13 +230,14 @@ type statsAccum struct {
 	requests, rows, batches  uint64
 	rejected, expired, fails uint64
 	crashes, respawns        uint64
+	scaleUps, scaleDowns     uint64
 	queueWait, execTime      time.Duration
 }
 
-// New builds the replica pool and starts one batching worker per replica.
-// Every replica is switched to inference mode (training-dependent
-// operators like dropout and batch normalization serve their inference
-// behaviour).
+// New builds the replica pool and starts one batching worker per replica
+// (plus the autoscaler goroutine when MaxReplicas > Replicas). Every
+// replica is switched to inference mode (training-dependent operators
+// like dropout and batch normalization serve their inference behaviour).
 func New(opts Options) (*Server, error) {
 	if opts.NewExecutor == nil {
 		return nil, errors.New("serve: Options.NewExecutor is required")
@@ -202,14 +251,30 @@ func New(opts Options) (*Server, error) {
 	if opts.Replicas <= 0 {
 		opts.Replicas = DefaultReplicas
 	}
+	if opts.MaxReplicas < opts.Replicas {
+		opts.MaxReplicas = opts.Replicas
+	}
+	if opts.ScaleInterval <= 0 {
+		opts.ScaleInterval = DefaultScaleInterval
+	}
+	if opts.ScaleUpOccupancy <= 0 || opts.ScaleUpOccupancy > 1 {
+		opts.ScaleUpOccupancy = DefaultScaleUpOccupancy
+	}
+	if opts.ScaleDownIdle <= 0 {
+		opts.ScaleDownIdle = DefaultScaleDownIdle
+	}
 	if opts.QueueDepth <= 0 {
-		opts.QueueDepth = DefaultQueueDepth(opts.Replicas, opts.MaxBatch)
+		opts.QueueDepth = DefaultQueueDepth(opts.MaxReplicas, opts.MaxBatch)
 	}
 	s := &Server{
-		opts:  opts,
-		queue: make(chan *request, opts.QueueDepth),
+		opts:     opts,
+		queue:    make(chan *request, opts.QueueDepth),
+		closing:  make(chan struct{}),
+		stops:    make(map[int]chan struct{}),
+		lastBusy: time.Now(),
 	}
 	s.ctx, s.stop = context.WithCancel(context.Background())
+	execs := make([]executor.GraphExecutor, 0, opts.Replicas)
 	for i := 0; i < opts.Replicas; i++ {
 		e, err := opts.NewExecutor()
 		if err != nil {
@@ -217,16 +282,18 @@ func New(opts Options) (*Server, error) {
 			return nil, fmt.Errorf("serve: building replica %d: %w", i, err)
 		}
 		e.SetTraining(false)
-		s.replicas = append(s.replicas, e)
+		execs = append(execs, e)
 	}
-	m := s.replicas[0].Network().Model
+	m := execs[0].Network().Model
 	s.model = m
 	s.inputs = m.Inputs
 	s.outputs = m.Outputs
-	s.live = len(s.replicas)
-	for i := range s.replicas {
+	for _, e := range execs {
+		s.startWorker(e)
+	}
+	if opts.MaxReplicas > opts.Replicas {
 		s.wg.Add(1)
-		go s.worker(i)
+		go s.scaler()
 	}
 	return s, nil
 }
@@ -329,17 +396,61 @@ func inputNames(infos []graph.TensorInfo) []string {
 	return names
 }
 
+// startWorker registers a replica under a fresh id and launches its
+// serving goroutine. Callers pass an executor already switched to
+// inference mode.
+func (s *Server) startWorker(e executor.GraphExecutor) {
+	s.statsMu.Lock()
+	id := s.nextID
+	s.nextID++
+	stopc := make(chan struct{})
+	s.stops[id] = stopc
+	s.live++
+	s.statsMu.Unlock()
+	s.wg.Add(1)
+	go s.worker(id, e, stopc)
+}
+
+// retire is a worker's exit path for an autoscale-down: deregister and
+// leave the pool. The retiring worker has already finished (or never
+// started) its last batch — retirement drains, it never aborts a pass.
+func (s *Server) retire(id int) {
+	s.statsMu.Lock()
+	delete(s.stops, id) // usually already removed by the scaler; idempotent
+	s.live--
+	s.statsMu.Unlock()
+}
+
 // worker is one replica's serving loop: pull a request, linger to coalesce
 // a batch, execute, split, respond. A panicking pass does not unwind past
 // runBatch: the worker hands the wreckage to handleCrash and exits, leaving
-// the rest of the pool serving.
-func (s *Server) worker(replica int) {
+// the rest of the pool serving. A closed stop channel retires the worker
+// between batches.
+func (s *Server) worker(id int, e executor.GraphExecutor, stopc chan struct{}) {
 	defer s.wg.Done()
 	for {
-		req, ok := <-s.queue
-		if !ok {
+		// A pending retire wins over new work so scale-down converges even
+		// under sustained load.
+		select {
+		case <-stopc:
+			s.retire(id)
 			return
+		default:
 		}
+		var req *request
+		var ok bool
+		select {
+		case <-stopc:
+			s.retire(id)
+			return
+		case req, ok = <-s.queue:
+			if !ok {
+				return
+			}
+		}
+		s.statsMu.Lock()
+		s.lastBusy = time.Now()
+		s.statsMu.Unlock()
 		batch := []*request{req}
 		rows := req.rows
 		switch {
@@ -380,8 +491,8 @@ func (s *Server) worker(replica int) {
 			}
 			timer.Stop()
 		}
-		if crashErr := s.runBatch(replica, batch); crashErr != nil {
-			s.handleCrash(replica, crashErr, batch)
+		if crashErr := s.runBatch(id, e, batch); crashErr != nil {
+			s.handleCrash(id, crashErr, batch)
 			return
 		}
 	}
@@ -389,13 +500,13 @@ func (s *Server) worker(replica int) {
 
 // runBatch executes one batch, converting a panic anywhere in the pass into
 // an ErrReplicaCrash-wrapped error instead of unwinding the process.
-func (s *Server) runBatch(replica int, batch []*request) (crashErr error) {
+func (s *Server) runBatch(id int, e executor.GraphExecutor, batch []*request) (crashErr error) {
 	defer func() {
 		if p := recover(); p != nil {
-			crashErr = fmt.Errorf("%w: replica %d panicked: %v", ErrReplicaCrash, replica, p)
+			crashErr = fmt.Errorf("%w: replica %d panicked: %v", ErrReplicaCrash, id, p)
 		}
 	}()
-	s.execute(replica, batch)
+	s.execute(id, e, batch)
 	return nil
 }
 
@@ -405,7 +516,7 @@ func (s *Server) runBatch(replica int, batch []*request) (crashErr error) {
 // the observer. If the last replica dies without a respawn, a drainer
 // goroutine keeps failing queued requests so callers never hang and Close
 // still completes.
-func (s *Server) handleCrash(replica int, crashErr error, batch []*request) {
+func (s *Server) handleCrash(id int, crashErr error, batch []*request) {
 	failed := 0
 	for _, r := range batch {
 		if !r.answered {
@@ -416,6 +527,7 @@ func (s *Server) handleCrash(replica int, crashErr error, batch []*request) {
 	s.statsMu.Lock()
 	s.stats.fails += uint64(failed)
 	s.stats.crashes++
+	delete(s.stops, id)
 	s.live--
 	s.statsMu.Unlock()
 
@@ -427,15 +539,10 @@ func (s *Server) handleCrash(replica int, crashErr error, batch []*request) {
 		if !closed {
 			if e, err := s.opts.NewExecutor(); err == nil {
 				e.SetTraining(false)
-				// The write to s.replicas[replica] happens-before the new
-				// worker goroutine starts; no other goroutine reads this slot.
-				s.replicas[replica] = e
 				s.statsMu.Lock()
 				s.stats.respawns++
-				s.live++
 				s.statsMu.Unlock()
-				s.wg.Add(1)
-				go s.worker(replica)
+				s.startWorker(e)
 				respawned = true
 			}
 		}
@@ -446,18 +553,18 @@ func (s *Server) handleCrash(replica int, crashErr error, batch []*request) {
 		s.statsMu.Unlock()
 		if lastDown {
 			s.wg.Add(1)
-			go s.drain()
+			go s.drainDead()
 		}
 	}
 	if s.opts.OnReplicaDown != nil {
 		s.observeMu.Lock()
-		s.opts.OnReplicaDown(replica, crashErr, respawned)
+		s.opts.OnReplicaDown(id, crashErr, respawned)
 		s.observeMu.Unlock()
 	}
 }
 
-// drain fails queued requests once no replica is left to serve them.
-func (s *Server) drain() {
+// drainDead fails queued requests once no replica is left to serve them.
+func (s *Server) drainDead() {
 	defer s.wg.Done()
 	for req := range s.queue {
 		req.finish(nil, fmt.Errorf("%w: no live replicas", ErrReplicaCrash))
@@ -467,8 +574,91 @@ func (s *Server) drain() {
 	}
 }
 
+// scaler is the autoscaling loop, started when MaxReplicas > Replicas. It
+// samples the admission queue every ScaleInterval: occupancy at or above
+// the high-water mark grows the pool by one replica per tick (up to
+// MaxReplicas); an empty queue that has dispatched nothing for
+// ScaleDownIdle retires one surplus replica per tick (down to Replicas).
+// Decisions are based on the undrained pool size (workers not yet asked to
+// retire), so a slow drain cannot trigger a second retirement below the
+// floor.
+func (s *Server) scaler() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.opts.ScaleInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.closing:
+			return
+		case <-s.ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		depth := len(s.queue)
+		occ := float64(depth) / float64(cap(s.queue))
+		s.statsMu.Lock()
+		pool := len(s.stops)
+		idle := time.Since(s.lastBusy)
+		s.statsMu.Unlock()
+		switch {
+		case pool == 0:
+			// Every replica crashed without respawn: the pool is dead, not
+			// under-provisioned. Leave it to drainDead.
+		case occ >= s.opts.ScaleUpOccupancy && pool < s.opts.MaxReplicas:
+			e, err := s.opts.NewExecutor()
+			if err != nil {
+				continue
+			}
+			e.SetTraining(false)
+			s.statsMu.Lock()
+			s.stats.scaleUps++
+			s.statsMu.Unlock()
+			s.startWorker(e)
+			s.notifyScale(true)
+		case depth == 0 && pool > s.opts.Replicas && idle >= s.opts.ScaleDownIdle:
+			s.statsMu.Lock()
+			var victim chan struct{}
+			for vid, c := range s.stops {
+				victim = c
+				delete(s.stops, vid)
+				break
+			}
+			if victim != nil {
+				s.stats.scaleDowns++
+			}
+			s.statsMu.Unlock()
+			if victim != nil {
+				close(victim)
+				s.notifyScale(false)
+			}
+		}
+	}
+}
+
+// notifyScale reports an autoscaler decision through OnScale, serialized
+// with Observe. The reported pool size is the decision's target (the
+// retiring replica of a scale-down may still be draining its last batch).
+func (s *Server) notifyScale(up bool) {
+	if s.opts.OnScale == nil {
+		return
+	}
+	s.statsMu.Lock()
+	pool := len(s.stops)
+	s.statsMu.Unlock()
+	s.observeMu.Lock()
+	s.opts.OnScale(pool, up)
+	s.observeMu.Unlock()
+}
+
+// queueOccupancy is the admission queue's current fill fraction. The
+// Registry's priority shedding uses it to decide whether a model is under
+// pressure.
+func (s *Server) queueOccupancy() float64 {
+	return float64(len(s.queue)) / float64(cap(s.queue))
+}
+
 // execute runs one coalesced batch on a replica and distributes results.
-func (s *Server) execute(replica int, batch []*request) {
+func (s *Server) execute(id int, e executor.GraphExecutor, batch []*request) {
 	// Requests whose context expired while queued are answered with their
 	// context error and excluded from the pass.
 	live := make([]*request, 0, len(batch))
@@ -505,7 +695,7 @@ func (s *Server) execute(replica int, batch []*request) {
 		// The pass runs under the server's lifetime context: per-request
 		// deadlines stop applying once the batch is dispatched (documented
 		// on Infer), while Close-with-deadline can still abort it.
-		outs, err = s.replicas[replica].Inference(s.ctx, feeds)
+		outs, err = e.Inference(s.ctx, feeds)
 	}
 	execTime := time.Since(start)
 	wait := start.Sub(oldest)
@@ -563,7 +753,7 @@ func (s *Server) execute(replica int, batch []*request) {
 	if s.opts.Observe != nil {
 		s.observeMu.Lock()
 		s.opts.Observe(Sample{
-			Replica:   replica,
+			Replica:   id,
 			Requests:  len(live),
 			Rows:      rows,
 			QueueWait: wait,
@@ -608,6 +798,7 @@ func (s *Server) Close(ctx context.Context) error {
 	if !s.closed {
 		s.closed = true
 		close(s.queue)
+		close(s.closing)
 	}
 	s.mu.Unlock()
 
@@ -645,6 +836,11 @@ type Stats struct {
 	Crashes      uint64 `json:"crashes"`
 	Respawns     uint64 `json:"respawns"`
 	LiveReplicas int    `json:"live_replicas"`
+	// ScaleUps / ScaleDowns count autoscaler decisions; MaxReplicas echoes
+	// the pool ceiling (equal to Replicas when autoscaling is disabled).
+	ScaleUps    uint64 `json:"scale_ups"`
+	ScaleDowns  uint64 `json:"scale_downs"`
+	MaxReplicas int    `json:"max_replicas"`
 	// AvgQueueWait / AvgExec are per-batch means (nanoseconds on the
 	// wire, time.Duration JSON encoding).
 	AvgQueueWait time.Duration `json:"avg_queue_wait_ns"`
@@ -674,6 +870,9 @@ func (s *Server) Stats() Stats {
 		Crashes:      a.crashes,
 		Respawns:     a.respawns,
 		LiveReplicas: live,
+		ScaleUps:     a.scaleUps,
+		ScaleDowns:   a.scaleDowns,
+		MaxReplicas:  s.opts.MaxReplicas,
 		QueueDepth:   len(s.queue),
 		QueueCap:     cap(s.queue),
 		Replicas:     s.opts.Replicas,
