@@ -22,8 +22,10 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -33,6 +35,7 @@ import (
 	"deep500/internal/jobs"
 	"deep500/internal/models"
 	"deep500/internal/mpi"
+	"deep500/internal/obs/trace"
 )
 
 func main() {
@@ -53,6 +56,9 @@ func main() {
 	maxRestarts := flag.Int("max-restarts", 2, "launch: per-worker restart budget")
 	addr := flag.String("addr", "127.0.0.1:6500", "launch: control-plane HTTP listen address")
 	hbTimeout := flag.Duration("heartbeat-timeout", 15*time.Second, "launch: silence before a rank is declared dead")
+	traceOn := flag.Bool("trace", false, "trace the run: launcher + rank spans assemble into one tree (GET /debug/traces on -addr)")
+	traceSlow := flag.Duration("trace-slow", 0, "tail-sample any step at least this slow (implies -trace; 0 = default 250ms)")
+	pprofOn := flag.Bool("pprof", false, "launch: mount net/http/pprof on the control-plane listener")
 	// Rank-process plumbing (set by the launcher, not by hand).
 	jobID := flag.String("job", "", "ps/worker: job ID")
 	rank := flag.Int("rank", -1, "ps/worker: rank index")
@@ -81,9 +87,12 @@ func main() {
 			},
 			addr:      *addr,
 			hbTimeout: *hbTimeout,
+			traceOn:   *traceOn || *traceSlow > 0,
+			traceSlow: *traceSlow,
+			pprof:     *pprofOn,
 		})
 	case "ps", "worker":
-		runRankProcess(*jobID, *rank, *control)
+		runRankProcess(*jobID, *rank, *control, *traceOn || *traceSlow > 0, *traceSlow)
 	default:
 		fmt.Fprintf(os.Stderr, "d500dist: unknown role %q (sim, launch, ps, worker)\n", *role)
 		os.Exit(2)
@@ -96,6 +105,9 @@ type launchConfig struct {
 	spec      jobs.Spec
 	addr      string
 	hbTimeout time.Duration
+	traceOn   bool
+	traceSlow time.Duration
+	pprof     bool
 }
 
 func runLaunch(cfg launchConfig) {
@@ -109,14 +121,45 @@ func runLaunch(cfg launchConfig) {
 	}
 	controlURL := "http://" + ln.Addr().String()
 
+	// The launcher's tracer roots every job's span tree; rank processes get
+	// the -trace flags forwarded so they trace their side and upload the
+	// spans back to POST /v1/jobs/{id}/spans — one tree across processes.
+	var tr *trace.Tracer
+	var extraArgs []string
+	if cfg.traceOn {
+		opts := trace.Options{Process: "launcher"}
+		if cfg.traceSlow > 0 {
+			opts.SlowThreshold = cfg.traceSlow
+		}
+		tr = trace.New(opts)
+		extraArgs = append(extraArgs, "-trace")
+		if cfg.traceSlow > 0 {
+			extraArgs = append(extraArgs, "-trace-slow", cfg.traceSlow.String())
+		}
+	}
+
 	mgr, err := jobs.NewManager(jobs.Config{
-		Runner:           &jobs.ExecRunner{Binary: self, ControlURL: controlURL},
+		Runner:           &jobs.ExecRunner{Binary: self, ControlURL: controlURL, ExtraArgs: extraArgs},
 		HeartbeatTimeout: cfg.hbTimeout,
+		Tracer:           tr,
 	})
 	if err != nil {
 		fatal(err)
 	}
-	srv := &http.Server{Handler: jobs.Handler(mgr)}
+	mux := http.NewServeMux()
+	if tr != nil {
+		mux.Handle("/debug/traces", tr.Recorder().Handler())
+		mux.Handle("/debug/traces/", tr.Recorder().Handler())
+	}
+	if cfg.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	mux.Handle("/", jobs.Handler(mgr))
+	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -128,6 +171,10 @@ func runLaunch(cfg launchConfig) {
 	}
 	fmt.Printf("d500dist: control plane on %s, job %s (%s, %d workers, world %d)\n",
 		controlURL, job.ID, job.Spec.Scheme, job.Spec.Workers, job.Spec.WorldSize())
+	if rm, ok := trace.Parse(job.Spec.Trace); ok {
+		fmt.Printf("d500dist: job trace %s — GET %s/debug/traces?trace=%s\n",
+			trace.FormatID(rm.Trace), controlURL, trace.FormatID(rm.Trace))
+	}
 
 	// Wait for a terminal state, narrating worker restarts as they happen.
 	lastRestarts := 0
@@ -150,6 +197,9 @@ func runLaunch(cfg launchConfig) {
 		}
 		if j.State.Terminal() {
 			printOutcome(j)
+			if tr != nil {
+				printTraceSummary(tr, j)
+			}
 			mgr.Shutdown()
 			srv.Close()
 			if j.State != jobs.StateSucceeded {
@@ -168,6 +218,44 @@ func totalRestarts(j *jobs.Job) int {
 	return n
 }
 
+// printTraceSummary renders the job's assembled span tree per process.
+// Rank processes upload their spans after reporting the terminal state,
+// so the summary waits briefly for every rank's subtree to land.
+func printTraceSummary(tr *trace.Tracer, j *jobs.Job) {
+	rm, ok := trace.Parse(j.Spec.Trace)
+	if !ok {
+		return
+	}
+	want := 1 + j.Spec.WorldSize() // launcher + every rank
+	deadline := time.Now().Add(2 * time.Second)
+	var td trace.TraceData
+	for {
+		td, _ = tr.Recorder().Trace(rm.Trace)
+		procs := map[string]bool{}
+		for _, s := range td.Spans {
+			procs[s.Process] = true
+		}
+		if len(procs) >= want || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	perProc := map[string]int{}
+	for _, s := range td.Spans {
+		perProc[s.Process]++
+	}
+	names := make([]string, 0, len(perProc))
+	for p := range perProc {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	fmt.Printf("d500dist: trace %s assembled %d span(s):", trace.FormatID(rm.Trace), len(td.Spans))
+	for _, p := range names {
+		fmt.Printf(" %s=%d", p, perProc[p])
+	}
+	fmt.Println()
+}
+
 func printOutcome(j *jobs.Job) {
 	fmt.Printf("d500dist: job %s %s", j.ID, j.State)
 	if j.Error != "" {
@@ -180,14 +268,22 @@ func printOutcome(j *jobs.Job) {
 
 // ---- ps / worker: one rank process ----
 
-func runRankProcess(jobID string, rank int, control string) {
+func runRankProcess(jobID string, rank int, control string, traceOn bool, traceSlow time.Duration) {
 	if jobID == "" || rank < 0 || control == "" {
 		fmt.Fprintln(os.Stderr, "d500dist: -job, -rank and -control are required for rank roles")
 		os.Exit(2)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := jobs.RunRank(ctx, jobs.RankConfig{JobID: jobID, Rank: rank, ControlURL: control}); err != nil {
+	rc := jobs.RankConfig{JobID: jobID, Rank: rank, ControlURL: control}
+	if traceOn {
+		opts := trace.Options{Process: fmt.Sprintf("rank-%d", rank)}
+		if traceSlow > 0 {
+			opts.SlowThreshold = traceSlow
+		}
+		rc.Tracer = trace.New(opts)
+	}
+	if err := jobs.RunRank(ctx, rc); err != nil {
 		fmt.Fprintf(os.Stderr, "d500dist: rank %d: %v\n", rank, err)
 		os.Exit(1)
 	}

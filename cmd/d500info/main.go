@@ -2,8 +2,9 @@
 // paper's Table I (framework features), Table II (benchmark features),
 // Fig. 2 (nodes-over-time survey), the registered operator set, the model
 // zoo, the emulated framework backends, the benchmark experiment registry
-// (the ids d500bench -experiment accepts), and the serving defaults of
-// d500serve.
+// (the ids d500bench -experiment accepts), the serving defaults of
+// d500serve, and the observability defaults (tracing flight recorder,
+// pprof) shared by d500serve, d500train and d500dist.
 package main
 
 import (
@@ -75,6 +76,22 @@ func printDist() {
 	fmt.Printf("  %-22s %d per worker\n", "max restarts", s.MaxRestarts)
 }
 
+// printObs renders the observability defaults shared across the binaries:
+// the tracing flight recorder behind -trace/-trace-slow (d500serve,
+// d500train, d500dist) and the -pprof debug surface.
+func printObs() {
+	tc := d500.DefaultTraceConfig()
+	fmt.Println("\nTracing defaults (flags -trace / -trace-slow on d500serve, d500train, d500dist):")
+	fmt.Printf("  %-22s %v (flag -trace-slow; slower roots are always retained)\n", "slow threshold", tc.SlowThreshold)
+	fmt.Printf("  %-22s 1 in %d root traces retained regardless of latency\n", "head sampling", tc.SampleEvery)
+	fmt.Printf("  %-22s %d traces, oldest evicted first\n", "flight recorder", tc.Capacity)
+	fmt.Printf("  %-22s %d spans per trace, overflow dropped and counted\n", "span cap", tc.MaxSpansPerTrace)
+	fmt.Printf("  %-22s GET /debug/traces (JSON), /debug/traces/perfetto (Perfetto/Chrome)\n", "endpoints")
+	fmt.Printf("  %-22s d500_trace_spans_total, d500_trace_spans_dropped_total, d500_trace_traces_sampled_total\n", "metrics")
+	fmt.Println("\npprof (flag -pprof on d500serve and d500dist -role launch):")
+	fmt.Printf("  %-22s off by default; mounts net/http/pprof at GET /debug/pprof/\n", "profiles")
+}
+
 func main() {
 	table := flag.Int("table", 0, "print survey table 1 or 2")
 	fig := flag.Int("fig", 0, "print survey figure 2")
@@ -84,6 +101,7 @@ func main() {
 	showExperiments := flag.Bool("experiments", false, "list registered benchmark experiments")
 	showServe := flag.Bool("serve", false, "show d500serve serving options and defaults")
 	showDist := flag.Bool("dist", false, "show distributed transport and job-spec defaults")
+	showObs := flag.Bool("obs", false, "show observability defaults (tracing flight recorder, pprof)")
 	flag.Parse()
 
 	any := false
@@ -149,6 +167,10 @@ func main() {
 		printDist()
 		any = true
 	}
+	if *showObs {
+		printObs()
+		any = true
+	}
 	if !any {
 		d500.RenderTableI(os.Stdout)
 		d500.RenderTableII(os.Stdout)
@@ -159,5 +181,6 @@ func main() {
 		}
 		printServe()
 		printDist()
+		printObs()
 	}
 }

@@ -18,7 +18,10 @@
 // zoo or a checkpoint), DELETE /v1/models/{name} (unload), GET /v1/models
 // (tenant listing with input signatures), GET /metrics (Prometheus text
 // exposition — see docs/operations.md), GET /stats (serving counters as
-// JSON), GET /healthz. Backpressure surfaces as HTTP 429; a crashed
+// JSON), GET /healthz. Under -trace, GET /debug/traces serves the
+// flight-recorded request traces as JSON and GET /debug/traces/perfetto
+// as Chrome trace-event JSON; -pprof mounts net/http/pprof under
+// /debug/pprof/. Backpressure surfaces as HTTP 429; a crashed
 // replica fails its in-flight requests with 500 and is respawned unless
 // -respawn=false. SIGINT or SIGTERM triggers graceful shutdown (drain the
 // queues, stop the replicas), bounded by -grace.
@@ -31,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -123,6 +127,9 @@ func run() int {
 	optimize := flag.Bool("opt", false, "compile the graph before serving (fusion/folding/DCE)")
 	respawn := flag.Bool("respawn", true, "rebuild crashed replicas from the shared weights")
 	logReq := flag.Bool("log", false, "write one JSON line per HTTP request to stdout")
+	traceOn := flag.Bool("trace", false, "record request traces into the in-memory flight recorder (GET /debug/traces)")
+	traceSlow := flag.Duration("trace-slow", 0, "tail-sample any request at least this slow (implies -trace; 0 = default 250ms)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof profiles under /debug/pprof/")
 	grace := flag.Duration("grace", 10*time.Second, "graceful shutdown budget")
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -135,6 +142,24 @@ func run() int {
 		d500.WithBackendName(*execName),
 		d500.WithHook(metrics.Hook()),
 	}
+	// One tracer shared by every tenant's replicas: all request traces land
+	// in one flight recorder, served at /debug/traces. The d500_trace_*
+	// series are always registered so dashboards keep a stable shape.
+	var tracer *d500.Tracer
+	if *traceOn || *traceSlow > 0 {
+		tc := d500.DefaultTraceConfig()
+		tc.Process = "serve"
+		if *traceSlow > 0 {
+			tc.SlowThreshold = *traceSlow
+		}
+		var err error
+		if tracer, err = d500.NewTracer(tc); err != nil {
+			fmt.Fprintln(os.Stderr, "d500serve:", err)
+			return 2
+		}
+		sessOpts = append(sessOpts, d500.WithTracer(tracer))
+	}
+	metrics.ObserveTracer(tracer)
 	if *arena {
 		sessOpts = append(sessOpts, d500.WithArena())
 	}
@@ -273,6 +298,23 @@ func run() int {
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", metrics.Handler())
+	if tracer != nil {
+		mux.Handle("/debug/traces", tracer.Handler())
+		mux.Handle("/debug/traces/", tracer.Handler())
+		slow := d500.DefaultTraceConfig().SlowThreshold
+		if *traceSlow > 0 {
+			slow = *traceSlow
+		}
+		fmt.Printf("d500serve: tracing on (tail-sampling requests >= %v) — GET /debug/traces\n", slow)
+	}
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Println("d500serve: pprof on — GET /debug/pprof/")
+	}
 	mux.Handle("/", metrics.Middleware(registry.Handler(loader), logw))
 
 	httpSrv := &http.Server{Addr: *addr, Handler: mux}

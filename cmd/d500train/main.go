@@ -61,6 +61,8 @@ func main() {
 	ckpt := flag.String("ckpt", "", "write exact-resume training checkpoints to this path")
 	ckptEvery := flag.Int("ckpt-every", 0, "checkpoint cadence in steps (0 = every epoch boundary)")
 	resume := flag.String("resume", "", "resume training from this checkpoint (pass the original run's flags)")
+	traceOn := flag.Bool("trace", false, "trace the run (step/epoch/per-op spans); retained traces print as trace lines")
+	traceSlow := flag.Duration("trace-slow", 0, "tail-sample any run at least this slow (implies -trace; 0 = default 250ms)")
 	flag.Parse()
 	// A stray positional (e.g. "d500train -opt adam", where boolean -opt
 	// consumes no value and "adam" stops flag parsing) would otherwise run
@@ -114,6 +116,11 @@ func main() {
 	}
 	if *ckptEvery > 0 {
 		opts = append(opts, d500.WithCheckpointEvery(*ckptEvery))
+	}
+	if *traceSlow > 0 {
+		opts = append(opts, d500.WithTraceSlow(*traceSlow))
+	} else if *traceOn {
+		opts = append(opts, d500.WithTrace())
 	}
 	sess, err := d500.New(opts...)
 	fatalIf(err)

@@ -9,10 +9,11 @@ import (
 // Event is a structured observation from a Session or Server: a training
 // step or epoch finishing, an evaluation completing, a benchmark sample
 // being recorded, a serving micro-batch executing, the autoscaler resizing
-// a replica pool, a replica crashing, or a checkpoint landing on disk. The
-// concrete types are StepEnd, EpochEnd, EvalEnd, BenchSample, ServeSample,
-// ServeScale, ReplicaDown and CheckpointSaved; consumers type-switch on
-// the value they receive.
+// a replica pool, a replica crashing, a checkpoint landing on disk, or
+// the session tracer retaining a trace. The concrete types are StepEnd,
+// EpochEnd, EvalEnd, BenchSample, ServeSample, ServeScale, ReplicaDown,
+// CheckpointSaved and TraceSpan; consumers type-switch on the value they
+// receive.
 type Event interface{ event() }
 
 // StepEnd is emitted after every optimization step.
@@ -114,6 +115,26 @@ type CheckpointSaved struct {
 	Path string
 }
 
+// TraceSpan is emitted when a session-owned tracer (WithTrace) retains a
+// trace in its flight recorder — head-sampled, tail-sampled for latency,
+// or errored. TraceID is the exemplar to pass to GET /debug/traces.
+// Like ServeScale, it is delivered on whichever goroutine ended the
+// trace's root span, NOT serialized with the training events: a hook
+// consuming it together with them must be thread-safe (Metrics is;
+// ConsoleHook emits a single Fprintf per event).
+type TraceSpan struct {
+	// Name is the root span's name ("train.run", "serve.request", ...).
+	Name string
+	// TraceID is the 16-hex trace identifier.
+	TraceID string
+	// Duration is the root span's duration.
+	Duration time.Duration
+	// Spans is how many spans the retained trace held at retention.
+	Spans int
+	// Error reports whether the root span recorded an error.
+	Error bool
+}
+
 func (StepEnd) event()         {}
 func (EpochEnd) event()        {}
 func (EvalEnd) event()         {}
@@ -122,6 +143,7 @@ func (ServeSample) event()     {}
 func (ServeScale) event()      {}
 func (ReplicaDown) event()     {}
 func (CheckpointSaved) event() {}
+func (TraceSpan) event()       {}
 
 // Hook consumes the session event stream. Hooks run synchronously on the
 // training/benchmark goroutine: keep them fast, or hand off to a channel.
@@ -176,6 +198,13 @@ func ConsoleHook(w io.Writer) Hook {
 			fmt.Fprintf(w, "serve replica %d DOWN (%s): %v\n", ev.Replica, state, ev.Err)
 		case CheckpointSaved:
 			fmt.Fprintf(w, "checkpoint saved at step %d (epoch %d): %s\n", ev.Step, ev.Epoch, ev.Path)
+		case TraceSpan:
+			status := ""
+			if ev.Error {
+				status = "  ERROR"
+			}
+			fmt.Fprintf(w, "trace %s  %s  %d spans  %s%s\n",
+				ev.TraceID, ev.Name, ev.Spans, fdur(ev.Duration), status)
 		}
 	}
 }

@@ -222,6 +222,24 @@ func (m *Metrics) observeServe(src serveSource) {
 		perModel(func(st ModelStatus) float64 { return float64(st.Stats.LiveReplicas) }))
 }
 
+// ObserveTracer exports the tracer's lifetime counters as the canonical
+// d500_trace_* series: spans recorded, spans dropped (late arrivals and
+// per-trace overflow) and traces retained by sampling. Values are read
+// from Tracer.Counters at scrape time. A nil tracer still registers the
+// series (at zero), so dashboards keep a stable shape whether or not
+// -trace is on. Call at most once per Metrics.
+func (m *Metrics) ObserveTracer(t *Tracer) {
+	m.reg.CounterFunc(obs.MetricTraceSpansTotal,
+		"Spans recorded into trace buffers.",
+		func() float64 { spans, _, _ := t.Counters(); return float64(spans) })
+	m.reg.CounterFunc(obs.MetricTraceSpansDroppedTotal,
+		"Spans dropped: unretained traces, late arrivals after their root ended, or per-trace buffer overflow.",
+		func() float64 { _, dropped, _ := t.Counters(); return float64(dropped) })
+	m.reg.CounterFunc(obs.MetricTraceTracesSampledTotal,
+		"Traces retained in the flight recorder (head-sampled, tail-sampled slow, errored or forced).",
+		func() float64 { _, _, sampled := t.Counters(); return float64(sampled) })
+}
+
 // Handler serves the registry in Prometheus text exposition format;
 // cmd/d500serve mounts it at GET /metrics.
 func (m *Metrics) Handler() http.Handler { return m.reg.Handler() }

@@ -3,6 +3,7 @@ package d500
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"deep500/internal/frameworks"
 	"deep500/internal/kernels"
@@ -80,6 +81,9 @@ type config struct {
 	quick       bool
 	hook        Hook
 	ckptEvery   int // checkpoint cadence in steps (0 = every epoch)
+	traceOwn    bool
+	traceSlow   time.Duration
+	tracer      *Tracer
 }
 
 // Option configures a Session at construction. Options are applied in
@@ -252,6 +256,50 @@ func WithCheckpointEvery(steps int) Option {
 func WithHook(h Hook) Option {
 	return func(c *config) error {
 		c.hook = h
+		return nil
+	}
+}
+
+// WithTrace gives the session its own span tracer with default sampling
+// (DefaultTraceConfig): training runs, serve requests and per-op executor
+// work record into a bounded flight recorder, and every retained trace is
+// reported to the session hook as a TraceSpan event. Use WithTracer
+// instead to share one tracer (and one recorder) across several
+// components. (This is the -trace flag of d500train.)
+func WithTrace() Option {
+	return func(c *config) error {
+		c.traceOwn = true
+		return nil
+	}
+}
+
+// WithTraceSlow enables tracing (as WithTrace) and sets the tail-sampling
+// latency threshold: any request or run whose root span lasts at least d
+// is retained regardless of the head sampler. (This is the -trace-slow
+// flag of d500train, d500serve and d500dist.)
+func WithTraceSlow(d time.Duration) Option {
+	return func(c *config) error {
+		if d <= 0 {
+			return fmt.Errorf("d500: WithTraceSlow requires a positive threshold, got %v", d)
+		}
+		c.traceOwn = true
+		c.traceSlow = d
+		return nil
+	}
+}
+
+// WithTracer attaches a shared tracer built by NewTracer, so this
+// session's spans land in the same flight recorder as the other
+// components holding it (a Server, a jobs manager). Shared tracers are
+// not bound to the session hook — read them via Tracer.Handler or
+// Metrics.ObserveTracer. A nil tracer is rejected; omit the option to
+// run untraced.
+func WithTracer(t *Tracer) Option {
+	return func(c *config) error {
+		if t == nil {
+			return fmt.Errorf("d500: WithTracer requires a non-nil tracer (omit the option to disable tracing)")
+		}
+		c.tracer = t
 		return nil
 	}
 }

@@ -191,11 +191,12 @@ func WithSession(opts ...Option) ServerOption {
 // use — Server is the one concurrency-safe entry point of the package
 // (see the Session concurrency contract).
 type Server struct {
-	inner *serve.Server
-	name  string // model name, the per-tenant metrics label
-	stats OptimizeStats
-	opt   bool
-	arena *tensor.Arena // replica-shared arena, nil without WithArena
+	inner  *serve.Server
+	name   string // model name, the per-tenant metrics label
+	stats  OptimizeStats
+	opt    bool
+	arena  *tensor.Arena // replica-shared arena, nil without WithArena
+	tracer *Tracer       // replica-shared tracer, nil when tracing is off
 }
 
 // NewServer builds a serving pool over the model. The replicas are
@@ -304,14 +305,21 @@ func NewServer(m *graph.Model, opts ...ServerOption) (*Server, error) {
 		Respawn:          cfg.respawn,
 		OnReplicaDown:    onDown,
 		OnScale:          onScale,
+		Tracer:           base.tracer.raw(),
 	})
 	if err != nil {
 		return nil, err
 	}
 	s.inner = inner
 	s.name = m.Name
+	s.tracer = base.tracer
 	return s, nil
 }
+
+// Tracer returns the tracer serving requests record into — the one
+// WithSession(WithTrace/WithTracer) resolved — or nil when tracing is
+// off. Mount Tracer().Handler() to expose the flight recorder.
+func (s *Server) Tracer() *Tracer { return s.tracer }
 
 // Infer runs one inference request through the micro-batching pipeline.
 // Feeds must supply exactly the model's declared inputs, each with a

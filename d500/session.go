@@ -11,6 +11,7 @@ import (
 	"deep500/internal/frameworks"
 	"deep500/internal/graph"
 	"deep500/internal/kernels"
+	"deep500/internal/obs/trace"
 	"deep500/internal/tensor"
 	"deep500/internal/training"
 )
@@ -47,9 +48,10 @@ import (
 // Session, is safe for concurrent method calls. Sessions are cheap: the
 // heavy state is the model's executor, built by Open.
 type Session struct {
-	cfg  config
-	prof *frameworks.Profile
-	pool *kernels.Pool
+	cfg    config
+	prof   *frameworks.Profile
+	pool   *kernels.Pool
+	tracer *Tracer
 
 	model *graph.Model
 	exec  *executor.Executor
@@ -82,8 +84,42 @@ func New(opts ...Option) (*Session, error) {
 	if c.poolWorkers > 0 {
 		s.pool = kernels.NewPool(c.poolWorkers)
 	}
+	switch {
+	case c.tracer != nil:
+		// Shared tracer (WithTracer): recorder and sampling belong to the
+		// owner; no hook binding, so several sessions can share one safely.
+		s.tracer = c.tracer
+	case c.traceOwn:
+		tc := DefaultTraceConfig()
+		if c.traceSlow > 0 {
+			tc.SlowThreshold = c.traceSlow
+		}
+		opts := tc.internal()
+		if c.hook != nil {
+			hook := c.hook
+			opts.OnRetain = func(td trace.TraceData) {
+				root, ok := td.Root()
+				if !ok {
+					return
+				}
+				hook(TraceSpan{
+					Name:     root.Name,
+					TraceID:  fmt.Sprintf("%016x", td.ID),
+					Duration: root.Duration,
+					Spans:    len(td.Spans),
+					Error:    root.Error,
+				})
+			}
+		}
+		s.tracer = &Tracer{t: trace.New(opts)}
+	}
 	return s, nil
 }
+
+// Tracer returns the session's tracer: the one WithTracer attached, the
+// session-owned one WithTrace built, or nil (valid everywhere — tracing
+// off). Mount Tracer().Handler() to expose the flight recorder.
+func (s *Session) Tracer() *Tracer { return s.tracer }
 
 // Backend returns the session's execution backend.
 func (s *Session) Backend() Backend { return s.cfg.backend }

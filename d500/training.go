@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"deep500/internal/metrics"
+	"deep500/internal/obs/trace"
 	"deep500/internal/training"
 )
 
@@ -304,8 +305,18 @@ func (s *Session) Train(ctx context.Context, cfg TrainConfig) (*TrainResult, err
 	if epochs <= 0 {
 		epochs = 1
 	}
+	// The whole run is one trace: epoch, step and per-op spans nest under
+	// this root, and the tail sampler retains slow or failed runs.
+	var root *trace.Span
+	if tr := s.tracer.raw(); tr.Enabled() {
+		root = tr.StartRoot("train.run",
+			trace.Int("epochs", epochs), trace.Bool("resumed", cfg.Resume != nil))
+		runCtx = trace.NewContext(runCtx, root)
+	}
 	start := time.Now()
 	runErr := t.r.RunEpochs(runCtx, epochs)
+	root.SetError(runErr)
+	root.End()
 	if ck != nil {
 		// A checkpoint-write failure cancels the run context, so it takes
 		// precedence over the context error it caused.

@@ -9,6 +9,7 @@ import (
 	"deep500/internal/compile"
 	"deep500/internal/graph"
 	"deep500/internal/kernels"
+	"deep500/internal/obs/trace"
 	"deep500/internal/ops"
 	"deep500/internal/tensor"
 )
@@ -91,6 +92,11 @@ type Executor struct {
 	// outScratch is freeActivations' reused protected-outputs buffer.
 	planOut    map[string]*tensor.Tensor
 	outScratch []*tensor.Tensor
+	// passSpan is the current forward pass's trace span (nil when the pass
+	// is untraced — the common case, costing execNode one nil check). It is
+	// written by forward before the backend runs and read concurrently by
+	// ParallelBackend workers; Span methods are concurrency-safe.
+	passSpan *trace.Span
 	// LastForwardFLOPs is the operator-reported FLOP total of the most
 	// recent forward pass.
 	LastForwardFLOPs int64
@@ -287,6 +293,14 @@ func (e *Executor) forward(ctx context.Context, feeds map[string]*tensor.Tensor)
 	}
 	start := time.Now()
 
+	if parent := trace.FromContext(ctx); parent != nil {
+		e.passSpan = parent.StartChild("exec.forward",
+			trace.String("backend", backendName(e.backend)),
+			trace.Bool("plan", e.planActive),
+			trace.Bool("arena", e.arena != nil),
+			trace.Int("nodes", len(e.order)))
+	}
+
 	if e.values == nil {
 		e.values = make(map[string]*tensor.Tensor, len(e.order)*2)
 		e.nodeIns = make(map[*graph.Node][]*tensor.Tensor, len(e.order))
@@ -313,6 +327,12 @@ func (e *Executor) forward(ctx context.Context, feeds map[string]*tensor.Tensor)
 
 	err := e.backend.RunForward(ctx, e)
 
+	if ps := e.passSpan; ps != nil {
+		ps.AddAttrs(trace.Int("flops", int(e.LastForwardFLOPs)))
+		ps.SetError(err)
+		ps.End()
+		e.passSpan = nil
+	}
 	if err == nil && ev != nil && ev.AfterInference != nil {
 		ev.AfterInference(time.Since(start))
 	}
@@ -375,10 +395,18 @@ func (e *Executor) execNode(n *graph.Node) error {
 		ev.BeforeOp(n)
 		e.eventMu.Unlock()
 	}
+	var opSpan *trace.Span
+	if ps := e.passSpan; ps != nil {
+		opSpan = ps.StartChild("op:"+n.OpType, trace.String("node", n.Name))
+	}
 	opStart := time.Now()
 	e.spinOverhead()
 	outs := op.Forward(ins)
 	opDur := time.Since(opStart)
+	if opSpan != nil {
+		opSpan.AddAttrs(e.opSpanAttrs(op, conv, outs)...)
+		opSpan.End()
+	}
 	if ev != nil && ev.AfterOp != nil {
 		e.eventMu.Lock()
 		ev.AfterOp(n, opDur)
@@ -406,6 +434,38 @@ func (e *Executor) execNode(n *graph.Node) error {
 	e.nodeIns[n] = ins
 	e.nodeOuts[n] = outs
 	return nil
+}
+
+// opSpanAttrs builds a traced op span's attributes: output shape, arena
+// placement and the kernel algorithm in effect. Only called on traced
+// passes, so the allocations here never touch the untraced fast path.
+func (e *Executor) opSpanAttrs(op ops.Operator, conv *ops.Conv2DOp, outs []*tensor.Tensor) []trace.Attr {
+	attrs := make([]trace.Attr, 0, 3)
+	if len(outs) > 0 && outs[0] != nil {
+		attrs = append(attrs,
+			trace.String("shape", fmt.Sprint(outs[0].Shape())),
+			trace.Bool("arena_hit", outs[0].ArenaBacked()))
+	}
+	switch {
+	case conv != nil:
+		attrs = append(attrs, trace.String("algo", conv.Algo.String()))
+	case e.gemmAlgo != nil:
+		if _, ok := op.(ops.GemmAlgoAware); ok {
+			attrs = append(attrs, trace.String("algo", e.gemmAlgo.String()))
+		}
+	}
+	return attrs
+}
+
+// backendName names the execution backend for the pass span.
+func backendName(b ExecBackend) string {
+	switch b.(type) {
+	case SequentialBackend:
+		return "sequential"
+	case *ParallelBackend:
+		return "parallel"
+	}
+	return fmt.Sprintf("%T", b)
 }
 
 // freeActivations ends the activation lifetime of the last pass: it returns
@@ -526,6 +586,7 @@ func (e *Executor) InferenceAndBackprop(ctx context.Context, feeds map[string]*t
 		ev.BeforeBackprop()
 	}
 	start := time.Now()
+	bwdSpan := trace.FromContext(ctx).StartChild("exec.backward", trace.Int("nodes", len(e.order)))
 
 	gradOf := make(map[string]*tensor.Tensor)
 	gradOf[loss] = tensor.Full(1, lossT.Shape()...)
@@ -566,10 +627,12 @@ func (e *Executor) InferenceAndBackprop(ctx context.Context, feeds map[string]*t
 		if ev != nil && ev.BeforeBackwardOp != nil {
 			ev.BeforeBackwardOp(n)
 		}
+		opSpan := bwdSpan.StartChild("op.bwd:"+n.OpType, trace.String("node", n.Name))
 		opStart := time.Now()
 		e.spinOverhead()
 		gradIns := op.Backward(gradOuts, e.nodeIns[n], outs)
 		opDur := time.Since(opStart)
+		opSpan.End()
 		if ev != nil && ev.AfterBackwardOp != nil {
 			ev.AfterBackwardOp(n, opDur)
 		}
@@ -589,6 +652,7 @@ func (e *Executor) InferenceAndBackprop(ctx context.Context, feeds map[string]*t
 			e.net.setGrad(name, g)
 		}
 	}
+	bwdSpan.End()
 	if ev != nil && ev.AfterBackprop != nil {
 		ev.AfterBackprop(time.Since(start))
 	}

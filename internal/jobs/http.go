@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+
+	"deep500/internal/obs/trace"
 )
 
 // Handler builds the trainer-service HTTP API over a Manager:
@@ -16,6 +18,7 @@ import (
 //	POST   /v1/jobs/{id}/register   rank callback: transport address + pid
 //	POST   /v1/jobs/{id}/heartbeat  rank callback: liveness + progress
 //	POST   /v1/jobs/{id}/done       rank callback: clean completion
+//	POST   /v1/jobs/{id}/spans      rank callback: trace-span upload
 //	GET    /metrics                 Prometheus text exposition
 //	GET    /healthz
 func Handler(m *Manager) http.Handler {
@@ -26,10 +29,20 @@ func Handler(m *Manager) http.Handler {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
 			return
 		}
+		// An inbound d500-trace header grafts the job onto the caller's
+		// trace (same contract as the serve endpoints).
+		if spec.Trace == "" {
+			if rm, ok := trace.Parse(r.Header.Get(trace.HeaderName)); ok {
+				spec.Trace = trace.Format(rm.Trace, rm.Span)
+			}
+		}
 		job, err := m.Submit(spec)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err)
 			return
+		}
+		if job.Spec.Trace != "" {
+			w.Header().Set(trace.HeaderName, job.Spec.Trace)
 		}
 		writeJSON(w, http.StatusAccepted, job)
 	})
@@ -107,6 +120,20 @@ func Handler(m *Manager) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("POST /v1/jobs/{id}/spans", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Spans []trace.SpanData `json:"spans"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding spans: %w", err))
+			return
+		}
+		if err := m.IngestSpans(r.PathValue("id"), body.Spans); err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "spans": len(body.Spans)})
 	})
 	mux.Handle("GET /metrics", m.Metrics().Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {

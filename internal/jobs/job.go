@@ -1,7 +1,10 @@
 package jobs
 
 import (
+	"errors"
 	"time"
+
+	"deep500/internal/obs/trace"
 )
 
 // JobState is the lifecycle state of a job (the FfDL-style state machine:
@@ -86,6 +89,9 @@ type Job struct {
 	exits   chan exitEvent
 	stop    chan struct{} // closed on terminal transition; stops the monitor
 	stopped bool
+	// span is the job's forced "dist.job" root span (nil when the manager
+	// is untraced); it ends on the terminal transition.
+	span *trace.Span
 }
 
 // exitEvent is a rank process termination notice.
@@ -112,11 +118,16 @@ func (j *Job) snapshot() *Job {
 	return cp
 }
 
-// markStopped closes the monitor stop channel exactly once (manager lock
-// held).
+// markStopped closes the monitor stop channel exactly once and ends the
+// job span with the terminal state (manager lock held).
 func (j *Job) markStopped() {
 	if !j.stopped {
 		j.stopped = true
 		close(j.stop)
+		j.span.AddAttrs(trace.String("state", string(j.State)))
+		if j.State == StateFailed {
+			j.span.SetError(errors.New(j.Error))
+		}
+		j.span.End()
 	}
 }

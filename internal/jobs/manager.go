@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"deep500/internal/obs/trace"
 )
 
 // Config parameterizes a Manager.
@@ -19,6 +21,11 @@ type Config struct {
 	PollInterval time.Duration
 	// Metrics receives control-plane observations (default: fresh instance).
 	Metrics *Metrics
+	// Tracer, when non-nil, traces every job: Submit starts a forced
+	// "dist.job" root span, rewrites the spec's trace context so rank
+	// processes join it, and POST /v1/jobs/{id}/spans merges the spans
+	// they upload back — one tree across launcher, PS and workers.
+	Tracer *trace.Tracer
 }
 
 // Manager is the lifecycle manager: it owns the job table, spawns rank
@@ -63,6 +70,24 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	var span *trace.Span
+	if tr := m.cfg.Tracer; tr.Enabled() {
+		attrs := []trace.Attr{
+			trace.String("scheme", string(spec.Scheme)),
+			trace.Int("workers", spec.Workers),
+			trace.String("name", spec.Name),
+		}
+		if rm, ok := trace.Parse(spec.Trace); ok {
+			span = tr.StartRemote(rm, "dist.job", attrs...)
+		} else {
+			span = tr.StartRoot("dist.job", attrs...)
+		}
+		// A job trace is always worth keeping, however fast the job ran.
+		span.Force()
+		// Rank processes fetch the spec back; this is how they join the
+		// job's trace.
+		spec.Trace = trace.Format(span.TraceID(), span.SpanID())
+	}
 	m.mu.Lock()
 	m.nextID++
 	j := &Job{
@@ -72,6 +97,7 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 		Created: time.Now(),
 		exits:   make(chan exitEvent, spec.WorldSize()*4),
 		stop:    make(chan struct{}),
+		span:    span,
 	}
 	for rank := 0; rank < spec.WorldSize(); rank++ {
 		role := "worker"
@@ -83,6 +109,7 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 		})
 	}
 	m.jobs[j.ID] = j
+	span.AddAttrs(trace.String("job", j.ID))
 	m.cfg.Metrics.JobsSubmitted.Inc()
 	m.mu.Unlock()
 
@@ -436,6 +463,22 @@ func (m *Manager) Done(id string, rank, step int, loss float64) error {
 	}
 	if loss != 0 {
 		w.Loss = loss
+	}
+	return nil
+}
+
+// IngestSpans merges spans a rank process uploaded into the manager's
+// flight recorder, grafting the worker subtrees onto the job trace. A
+// no-op (but still an existence check) when the manager is untraced.
+func (m *Manager) IngestSpans(id string, spans []trace.SpanData) error {
+	m.mu.Lock()
+	_, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("jobs: no job %q", id)
+	}
+	if m.cfg.Tracer.Enabled() {
+		m.cfg.Tracer.Recorder().Ingest(spans)
 	}
 	return nil
 }

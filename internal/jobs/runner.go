@@ -6,6 +6,8 @@ import (
 	"os"
 	"os/exec"
 	"sync/atomic"
+
+	"deep500/internal/obs/trace"
 )
 
 // Proc is a running rank process as the lifecycle manager sees it.
@@ -32,6 +34,9 @@ type ExecRunner struct {
 	Binary string
 	// ControlURL is the manager's HTTP base URL the rank reports back to.
 	ControlURL string
+	// ExtraArgs are appended to every rank command line (d500dist forwards
+	// its -trace flags through here so rank processes trace too).
+	ExtraArgs []string
 	// Stderr mirrors rank stderr into the manager's (default on).
 	Quiet bool
 }
@@ -42,12 +47,14 @@ func (e *ExecRunner) Start(job *Job, rank int) (Proc, error) {
 	if job.Spec.Scheme.Centralized() && rank == 0 {
 		role = "ps"
 	}
-	cmd := exec.Command(e.Binary,
+	args := []string{
 		"-role", role,
 		"-job", job.ID,
 		"-rank", fmt.Sprint(rank),
 		"-control", e.ControlURL,
-	)
+	}
+	args = append(args, e.ExtraArgs...)
+	cmd := exec.Command(e.Binary, args...)
 	if !e.Quiet {
 		cmd.Stdout = os.Stdout
 		cmd.Stderr = os.Stderr
@@ -75,6 +82,10 @@ type LocalRunner struct {
 	ControlURL string
 	// Heartbeat overrides the rank heartbeat interval (tests shorten it).
 	Heartbeat int // milliseconds; 0 = RunRank default
+	// NewTracer, when set, builds each rank's tracer — one per rank, as
+	// separate processes would have, so tests exercise the real
+	// record-then-upload path.
+	NewTracer func(rank int) *trace.Tracer
 
 	pids atomic.Int64
 }
@@ -90,6 +101,9 @@ func (l *LocalRunner) Start(job *Job, rank int) (Proc, error) {
 	rc := RankConfig{JobID: job.ID, Rank: rank, ControlURL: l.ControlURL}
 	if l.Heartbeat > 0 {
 		rc.HeartbeatMillis = l.Heartbeat
+	}
+	if l.NewTracer != nil {
+		rc.Tracer = l.NewTracer(rank)
 	}
 	go func() { p.done <- RunRank(ctx, rc) }()
 	return p, nil

@@ -12,6 +12,8 @@ package jobs
 import (
 	"fmt"
 	"strings"
+
+	"deep500/internal/obs/trace"
 )
 
 // Scheme is a distributed training scheme the control plane can launch.
@@ -79,6 +81,12 @@ type Spec struct {
 	QuantBits uint `json:"quant_bits,omitempty"`
 	// MaxRestarts bounds per-worker restarts (default 2).
 	MaxRestarts int `json:"max_restarts,omitempty"`
+	// Trace is the job's trace context in d500-trace header form
+	// ("<16hex>-<16hex>"). A traced manager overwrites it on submit with
+	// its own job span, so every rank process fetching the spec joins the
+	// same trace; a submitter may pre-set it to graft the job onto an
+	// existing trace.
+	Trace string `json:"trace,omitempty"`
 }
 
 // WithDefaults returns the spec with zero fields filled in.
@@ -139,6 +147,11 @@ func (s Spec) Validate() error {
 	if s.StepsPerEpoch() < 1 {
 		return fmt.Errorf("jobs: %d samples across %d workers at batch %d yields zero steps per epoch",
 			s.Samples, s.Workers, s.Batch)
+	}
+	if s.Trace != "" {
+		if _, ok := trace.Parse(s.Trace); !ok {
+			return fmt.Errorf("jobs: malformed trace context %q (want <16hex>-<16hex>)", s.Trace)
+		}
 	}
 	return nil
 }

@@ -17,9 +17,15 @@ import (
 	"deep500/internal/graph"
 	"deep500/internal/models"
 	"deep500/internal/mpi"
+	"deep500/internal/obs/trace"
 	"deep500/internal/training"
 	"deep500/internal/transport"
 )
+
+// traceStepEvery samples one distributed optimization step per this many
+// for per-op tracing (plus the first step); every step's subtree on a
+// long job would blow the per-trace span budget.
+const traceStepEvery = 100
 
 // RankConfig is everything a rank process needs to join its job: identity
 // plus the control-plane URL. The spec itself is fetched from the control
@@ -30,6 +36,10 @@ type RankConfig struct {
 	ControlURL string
 	// HeartbeatMillis overrides the heartbeat cadence (default 500).
 	HeartbeatMillis int
+	// Tracer, when non-nil and the fetched spec carries a trace context,
+	// records a "dist.rank" span tree for this rank and uploads it to the
+	// control plane on completion.
+	Tracer *trace.Tracer
 }
 
 // RunRank is the body of one rank process (d500dist -role ps|worker): it
@@ -39,7 +49,7 @@ type RankConfig struct {
 // loop otherwise. Workers of restartable schemes checkpoint to the spec's
 // CheckpointDir and resume from it when the lifecycle manager restarts
 // them after a crash.
-func RunRank(ctx context.Context, rc RankConfig) error {
+func RunRank(ctx context.Context, rc RankConfig) (err error) {
 	cl := &controlClient{base: rc.ControlURL, jobID: rc.JobID,
 		http: &http.Client{Timeout: 10 * time.Second}}
 	job, err := cl.fetchJob(ctx)
@@ -50,6 +60,27 @@ func RunRank(ctx context.Context, rc RankConfig) error {
 	world := spec.WorldSize()
 	if rc.Rank < 0 || rc.Rank >= world {
 		return fmt.Errorf("jobs: rank %d out of range for world %d", rc.Rank, world)
+	}
+
+	// Join the job's trace: the manager stamped its "dist.job" span into
+	// the spec, so this rank's subtree grafts onto it; the spans upload
+	// back at completion for one coherent tree across all processes.
+	var rankSpan *trace.Span
+	if rm, ok := trace.Parse(spec.Trace); ok && rc.Tracer.Enabled() {
+		role := "worker"
+		if spec.Scheme.Centralized() && rc.Rank == 0 {
+			role = "ps"
+		}
+		rankSpan = rc.Tracer.StartRemote(rm, "dist.rank",
+			trace.Int("rank", rc.Rank), trace.String("role", role))
+		defer func() {
+			rankSpan.SetError(err)
+			rankSpan.End()
+			// Best-effort upload: the trace is retained locally either way.
+			if td, ok := rc.Tracer.Recorder().Trace(rm.Trace); ok {
+				cl.uploadSpans(ctx, td.Spans)
+			}
+		}()
 	}
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -91,6 +122,11 @@ func RunRank(ctx context.Context, rc RankConfig) error {
 		return fmt.Errorf("jobs: rank %d joining fabric: %w", rc.Rank, err)
 	}
 	defer rank.Close()
+	// Stamp this rank's span into outbound transport frames so a peer
+	// blocked in a receive can attribute the wait to the sender's trace.
+	if rankSpan != nil {
+		rank.SetTraceContext(rankSpan.TraceID(), rankSpan.SpanID())
+	}
 
 	// A cancelled rank (killed by the manager) may be blocked in a
 	// transport receive that doesn't carry the context; closing the fabric
@@ -128,11 +164,15 @@ func RunRank(ctx context.Context, rc RankConfig) error {
 		}
 	}()
 
+	runCtx := ctx
+	if rankSpan != nil {
+		runCtx = trace.NewContext(ctx, rankSpan)
+	}
 	err = transport.Protect(func() error {
 		if spec.Scheme.Centralized() && rc.Rank == 0 {
-			return runPS(ctx, rank, spec)
+			return runPS(runCtx, rank, spec)
 		}
-		return runTrainLoop(ctx, rank, spec, rc.Rank, &progress)
+		return runTrainLoop(runCtx, rank, spec, rc.Rank, &progress)
 	})
 	if err != nil {
 		return err
@@ -279,14 +319,30 @@ func runTrainLoop(ctx context.Context, rank *transport.TCPRank, spec Spec, rankI
 			sampler.Reset()
 			continue
 		}
-		out, err := opt.Train(ctx, b.Feeds())
+		// First and every traceStepEvery-th step get a span with the full
+		// per-op subtree; the rest run with span-free contexts.
+		var stepSpan *trace.Span
+		stepCtx := ctx
+		if parent := trace.FromContext(ctx); parent != nil {
+			if step%traceStepEvery == 0 {
+				stepSpan = parent.StartChild("dist.step", trace.Int("step", step+1))
+				stepCtx = trace.NewContext(ctx, stepSpan)
+			} else {
+				stepCtx = trace.WithoutSpan(ctx)
+			}
+		}
+		out, err := opt.Train(stepCtx, b.Feeds())
 		if err != nil {
+			stepSpan.SetError(err)
+			stepSpan.End()
 			return err
 		}
 		step++
 		if loss, ok := out["loss"]; ok && loss.Size() > 0 {
 			lastLoss = float64(loss.Data()[0])
 		}
+		stepSpan.AddAttrs(trace.Float("loss", lastLoss))
+		stepSpan.End()
 		progress.store(step, lastLoss)
 		if ckptPath != "" && (step%spec.CheckpointEvery == 0 || step == total) {
 			if err := saveWorkerCheckpoint(ckptPath, model, sampler, step, perEpoch); err != nil {
@@ -398,6 +454,10 @@ func (c *controlClient) heartbeat(ctx context.Context, rank, step int, loss floa
 
 func (c *controlClient) done(ctx context.Context, rank, step int, loss float64) error {
 	return c.post(ctx, "/done", map[string]any{"rank": rank, "step": step, "loss": loss})
+}
+
+func (c *controlClient) uploadSpans(ctx context.Context, spans []trace.SpanData) error {
+	return c.post(ctx, "/spans", map[string]any{"spans": spans})
 }
 
 // awaitPeers polls the control plane until every rank this one must dial

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"deep500/internal/obs/trace"
 )
 
 // statusWriter records the status code and body size a handler produced.
@@ -40,6 +42,10 @@ type accessEntry struct {
 	Bytes  int64   `json:"bytes"`
 	Millis float64 `json:"dur_ms"`
 	Remote string  `json:"remote,omitempty"`
+	// Trace is the request's trace-context exemplar (the d500-trace
+	// response header a traced handler set): a slow log line hands its
+	// trace ID straight to GET /debug/traces?trace=<id>.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Middleware wraps an HTTP handler with request observability: each
@@ -68,6 +74,7 @@ func Middleware(next http.Handler, requests *CounterVec, logw io.Writer) http.Ha
 				Bytes:  sw.bytes,
 				Millis: float64(time.Since(start).Microseconds()) / 1000,
 				Remote: r.RemoteAddr,
+				Trace:  sw.Header().Get(trace.HeaderName),
 			})
 			if err == nil {
 				logMu.Lock()

@@ -53,6 +53,11 @@ const (
 	MetricDistWorkerRestartsTotal   = "d500_dist_worker_restarts_total"
 	MetricDistHeartbeatsTotal       = "d500_dist_heartbeats_total"
 	MetricDistHeartbeatTimeoutTotal = "d500_dist_heartbeat_timeouts_total"
+
+	// Tracing (internal/obs/trace flight recorder, via Metrics.ObserveTracer).
+	MetricTraceSpansTotal         = "d500_trace_spans_total"
+	MetricTraceSpansDroppedTotal  = "d500_trace_spans_dropped_total"
+	MetricTraceTracesSampledTotal = "d500_trace_traces_sampled_total"
 )
 
 // CoreNames returns the canonical names registered by the d500 session
@@ -109,7 +114,18 @@ func DistNames() []string {
 	}
 }
 
+// TraceNames returns the canonical names of the tracing counters,
+// registered wherever a tracer is observed (Metrics.ObserveTracer, the
+// d500dist launcher), in declaration order.
+func TraceNames() []string {
+	return []string{
+		MetricTraceSpansTotal,
+		MetricTraceSpansDroppedTotal,
+		MetricTraceTracesSampledTotal,
+	}
+}
+
 // Names returns every canonical metric name, in declaration order.
 func Names() []string {
-	return append(CoreNames(), DistNames()...)
+	return append(append(CoreNames(), DistNames()...), TraceNames()...)
 }

@@ -1,0 +1,90 @@
+package trace
+
+import "context"
+
+// Context plumbing. Three independent values ride a context:
+//
+//   - the current *Span (NewContext/FromContext), read by the executor to
+//     parent per-op spans — the only per-pass cost when tracing is off is
+//     one Value lookup returning nil;
+//   - an inbound Remote (ContextWithRemote), set by HTTP handlers that
+//     parsed a d500-trace header so Server.Infer can remote-parent the
+//     request's root span;
+//   - an outbound *Capture (ContextWithCapture), filled by Server.Infer
+//     with the root span identity so the handler can echo the d500-trace
+//     response header and the access log can attach the exemplar.
+
+type spanKey struct{}
+
+// NewContext returns ctx carrying s as the current span; a nil span
+// returns ctx unchanged.
+func NewContext(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// WithoutSpan returns ctx with no current span: FromContext below it
+// returns nil even when an enclosing span rides ctx. Layers that sample
+// their subtrees (the training runner's per-op step sampling) use it to
+// suppress descendant spans without dropping the rest of the context.
+func WithoutSpan(ctx context.Context) context.Context {
+	return context.WithValue(ctx, spanKey{}, (*Span)(nil))
+}
+
+// FromContext returns the current span, or nil.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+type remoteKey struct{}
+
+// ContextWithRemote returns ctx carrying an inbound remote trace context.
+func ContextWithRemote(ctx context.Context, rm Remote) context.Context {
+	if rm.Trace == 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, remoteKey{}, rm)
+}
+
+// RemoteFromContext returns the inbound remote trace context, if any.
+func RemoteFromContext(ctx context.Context) (Remote, bool) {
+	if ctx == nil {
+		return Remote{}, false
+	}
+	rm, ok := ctx.Value(remoteKey{}).(Remote)
+	return rm, ok
+}
+
+// Capture receives the identity of the trace started below a handler; the
+// handler reads it back after the call to echo the d500-trace header.
+// It is written and read on the handler's goroutine chain — no locking.
+type Capture struct {
+	// Trace and Span identify the root span started for the request
+	// (zero when tracing is off).
+	Trace, Span uint64
+}
+
+type captureKey struct{}
+
+// ContextWithCapture returns ctx carrying c for a downstream layer to fill.
+func ContextWithCapture(ctx context.Context, c *Capture) context.Context {
+	if c == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, captureKey{}, c)
+}
+
+// CaptureFromContext returns the capture slot, or nil.
+func CaptureFromContext(ctx context.Context) *Capture {
+	if ctx == nil {
+		return nil
+	}
+	c, _ := ctx.Value(captureKey{}).(*Capture)
+	return c
+}

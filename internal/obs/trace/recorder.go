@@ -1,0 +1,257 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SpanData is one finished span — the immutable record form spans reduce
+// to on End, what the flight recorder stores, and the JSON unit worker
+// processes upload to the control plane.
+type SpanData struct {
+	// Trace, ID and Parent are the span identifiers. Parent 0 marks a
+	// local root; a remote-parented root's Parent names a span recorded in
+	// another process.
+	Trace, ID, Parent uint64
+	// Name is the span name ("serve.request", "op:matmul", ...).
+	Name string
+	// Process names the recording process/component.
+	Process string
+	// Start is the span's start; Duration its monotonic length.
+	Start time.Time
+	// Duration is the span's monotonic length.
+	Duration time.Duration
+	// Attrs are the span's typed attributes.
+	Attrs []Attr
+	// Links are trace IDs this span links to (batch → coalesced requests).
+	Links []uint64
+	// Error marks a failed span.
+	Error bool
+}
+
+// spanJSON is SpanData's wire form: IDs in 16-hex (uint64s are not safe
+// in JavaScript number space), times as integer nanoseconds.
+type spanJSON struct {
+	Trace   string         `json:"trace"`
+	Span    string         `json:"span"`
+	Parent  string         `json:"parent,omitempty"`
+	Name    string         `json:"name"`
+	Process string         `json:"process,omitempty"`
+	StartNS int64          `json:"start_unix_ns"`
+	DurNS   int64          `json:"dur_ns"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+	Links   []string       `json:"links,omitempty"`
+	Error   bool           `json:"error,omitempty"`
+}
+
+// attrMap renders attrs as a JSON object, last write winning per key.
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// MarshalJSON renders the span in the upload/debug wire form.
+func (s SpanData) MarshalJSON() ([]byte, error) {
+	j := spanJSON{
+		Trace:   FormatID(s.Trace),
+		Span:    FormatID(s.ID),
+		Name:    s.Name,
+		Process: s.Process,
+		StartNS: s.Start.UnixNano(),
+		DurNS:   s.Duration.Nanoseconds(),
+		Attrs:   attrMap(s.Attrs),
+		Error:   s.Error,
+	}
+	if s.Parent != 0 {
+		j.Parent = FormatID(s.Parent)
+	}
+	for _, l := range s.Links {
+		j.Links = append(j.Links, FormatID(l))
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes the wire form, validating every identifier; a
+// malformed ID is an error, never a zero-ID span.
+func (s *SpanData) UnmarshalJSON(b []byte) error {
+	var j spanJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	tr, ok := parseHex16(j.Trace)
+	if !ok || tr == 0 {
+		return fmt.Errorf("trace: bad trace id %q", j.Trace)
+	}
+	id, ok := parseHex16(j.Span)
+	if !ok || id == 0 {
+		return fmt.Errorf("trace: bad span id %q", j.Span)
+	}
+	var parent uint64
+	if j.Parent != "" {
+		if parent, ok = parseHex16(j.Parent); !ok {
+			return fmt.Errorf("trace: bad parent id %q", j.Parent)
+		}
+	}
+	var links []uint64
+	for _, l := range j.Links {
+		v, ok := parseHex16(l)
+		if !ok {
+			return fmt.Errorf("trace: bad link id %q", l)
+		}
+		links = append(links, v)
+	}
+	var attrs []Attr
+	if len(j.Attrs) > 0 {
+		keys := make([]string, 0, len(j.Attrs))
+		for k := range j.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			attrs = append(attrs, Attr{Key: k, Value: j.Attrs[k]})
+		}
+	}
+	*s = SpanData{
+		Trace: tr, ID: id, Parent: parent,
+		Name: j.Name, Process: j.Process,
+		Start: time.Unix(0, j.StartNS), Duration: time.Duration(j.DurNS),
+		Attrs: attrs, Links: links, Error: j.Error,
+	}
+	return nil
+}
+
+// TraceData is one retained trace: its ID and every recorded span, in
+// end order (the root last among the locally recorded spans).
+type TraceData struct {
+	// ID is the trace identifier.
+	ID uint64 `json:"-"`
+	// Spans are the recorded spans.
+	Spans []SpanData `json:"spans"`
+}
+
+// Root returns the trace's root span: the span whose parent is absent
+// from the trace (a local root has Parent 0; a remote-parented root's
+// parent lives in another process). False when the trace is empty.
+func (td TraceData) Root() (SpanData, bool) {
+	ids := make(map[uint64]bool, len(td.Spans))
+	for _, s := range td.Spans {
+		ids[s.ID] = true
+	}
+	for _, s := range td.Spans {
+		if s.Parent == 0 || !ids[s.Parent] {
+			return s, true
+		}
+	}
+	return SpanData{}, false
+}
+
+// Recorder is the bounded in-memory flight recorder: the most recent
+// retained traces, evicting oldest-first at capacity. Spans arriving for
+// a trace already held (worker uploads joining a launcher trace) merge
+// into the existing entry. Safe for concurrent use.
+type Recorder struct {
+	mu     sync.Mutex
+	cap    int
+	order  []uint64 // insertion order for eviction
+	traces map[uint64]*TraceData
+}
+
+// NewRecorder builds a recorder holding up to capacity traces (minimum 1).
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Recorder{cap: capacity, traces: make(map[uint64]*TraceData)}
+}
+
+// add merges one retained trace.
+func (r *Recorder) add(td TraceData) {
+	if r == nil || td.ID == 0 || len(td.Spans) == 0 {
+		return
+	}
+	r.mu.Lock()
+	if cur, ok := r.traces[td.ID]; ok {
+		// Merge by span ID so a retried upload (the control client retries
+		// POSTs) or a shared-recorder test harness never duplicates spans.
+		seen := make(map[uint64]bool, len(cur.Spans))
+		for _, s := range cur.Spans {
+			seen[s.ID] = true
+		}
+		for _, s := range td.Spans {
+			if !seen[s.ID] {
+				seen[s.ID] = true
+				cur.Spans = append(cur.Spans, s)
+			}
+		}
+	} else {
+		if len(r.order) >= r.cap {
+			delete(r.traces, r.order[0])
+			r.order = r.order[1:]
+		}
+		cp := td
+		cp.Spans = append([]SpanData(nil), td.Spans...)
+		r.traces[td.ID] = &cp
+		r.order = append(r.order, td.ID)
+	}
+	r.mu.Unlock()
+}
+
+// Ingest merges spans recorded by another process (the POST
+// /v1/jobs/{id}/spans upload path), grouping them by trace ID.
+func (r *Recorder) Ingest(spans []SpanData) {
+	if r == nil {
+		return
+	}
+	byTrace := make(map[uint64][]SpanData)
+	var order []uint64
+	for _, s := range spans {
+		if s.Trace == 0 || s.ID == 0 {
+			continue
+		}
+		if _, ok := byTrace[s.Trace]; !ok {
+			order = append(order, s.Trace)
+		}
+		byTrace[s.Trace] = append(byTrace[s.Trace], s)
+	}
+	for _, id := range order {
+		r.add(TraceData{ID: id, Spans: byTrace[id]})
+	}
+}
+
+// Traces snapshots the retained traces, oldest first.
+func (r *Recorder) Traces() []TraceData {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TraceData, 0, len(r.order))
+	for _, id := range r.order {
+		td := r.traces[id]
+		out = append(out, TraceData{ID: id, Spans: append([]SpanData(nil), td.Spans...)})
+	}
+	return out
+}
+
+// Trace returns one retained trace by ID.
+func (r *Recorder) Trace(id uint64) (TraceData, bool) {
+	if r == nil {
+		return TraceData{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	td, ok := r.traces[id]
+	if !ok {
+		return TraceData{}, false
+	}
+	return TraceData{ID: id, Spans: append([]SpanData(nil), td.Spans...)}, true
+}

@@ -1,0 +1,402 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newTest builds a deterministic retain-everything tracer.
+func newTest(tweak func(*Options)) *Tracer {
+	opt := Options{Seed: 1, SampleEvery: 1, SlowThreshold: time.Hour, Process: "test"}
+	if tweak != nil {
+		tweak(&opt)
+	}
+	return New(opt)
+}
+
+// TestSpanLifecycle pins the basic shape: parent links, attrs, links,
+// counters, and the recorder holding the finished trace.
+func TestSpanLifecycle(t *testing.T) {
+	tr := newTest(nil)
+	root := tr.StartRoot("root", String("k", "v"))
+	child := root.StartChild("child", Int("n", 3))
+	child.Link(42)
+	child.End()
+	grand := root.StartChild("late")
+	grand.End()
+	root.End()
+
+	spans, dropped, sampled := tr.Counters()
+	if spans != 3 || dropped != 0 || sampled != 1 {
+		t.Fatalf("counters spans=%d dropped=%d sampled=%d", spans, dropped, sampled)
+	}
+	traces := tr.Recorder().Traces()
+	if len(traces) != 1 || len(traces[0].Spans) != 3 {
+		t.Fatalf("recorded %+v", traces)
+	}
+	td := traces[0]
+	if td.ID != root.TraceID() {
+		t.Fatalf("trace id %x vs root %x", td.ID, root.TraceID())
+	}
+	rootData, ok := td.Root()
+	if !ok || rootData.Name != "root" || rootData.ID != root.SpanID() {
+		t.Fatalf("root %+v ok=%v", rootData, ok)
+	}
+	for _, s := range td.Spans {
+		if s.Name != "root" && s.Parent != root.SpanID() {
+			t.Fatalf("span %q parent %x, want %x", s.Name, s.Parent, root.SpanID())
+		}
+		if s.Process != "test" {
+			t.Fatalf("span %q process %q", s.Name, s.Process)
+		}
+	}
+}
+
+// TestNilSafety: the disabled tracer (nil) and nil spans no-op through
+// the whole API — the property every call site relies on.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer enabled")
+	}
+	s := tr.StartRoot("x")
+	if s != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	s.AddAttrs(String("a", "b"))
+	s.Link(1)
+	s.SetError(errors.New("x"))
+	s.Force()
+	s.End()
+	if c := s.StartChild("y"); c != nil {
+		t.Fatal("nil span returned a child")
+	}
+	if id := s.TraceID(); id != 0 {
+		t.Fatal("nil span has a trace id")
+	}
+	if _, _, n := tr.Counters(); n != 0 {
+		t.Fatal("nil tracer counted")
+	}
+	if tr.Recorder().Traces() != nil {
+		t.Fatal("nil recorder returned traces")
+	}
+	ctx := NewContext(context.Background(), nil)
+	if FromContext(ctx) != nil {
+		t.Fatal("nil span round-tripped through context")
+	}
+}
+
+// TestTailSampling: fast clean traces drop, slow ones and errored ones
+// retain, head sampling retains its 1-in-N regardless.
+func TestTailSampling(t *testing.T) {
+	tr := New(Options{Seed: 2, SampleEvery: 1 << 30, SlowThreshold: 50 * time.Millisecond, Process: "test"})
+
+	// The very first root is always head-sampled (n%N == 1 at n=1) so CI
+	// deterministically retains at least one trace. Burn it.
+	tr.StartRoot("first").End()
+	if _, _, sampled := tr.Counters(); sampled != 1 {
+		t.Fatal("first trace was not head-sampled")
+	}
+
+	fast := tr.StartRoot("fast")
+	fast.StartChild("c").End()
+	fast.End()
+	if _, _, sampled := tr.Counters(); sampled != 1 {
+		t.Fatal("fast clean trace was retained")
+	}
+	if _, dropped, _ := tr.Counters(); dropped != 2 {
+		t.Fatalf("dropped %d spans, want 2", dropped)
+	}
+
+	slow := tr.StartRoot("slow")
+	time.Sleep(60 * time.Millisecond)
+	slow.End()
+	if _, _, sampled := tr.Counters(); sampled != 2 {
+		t.Fatal("slow trace was not tail-sampled")
+	}
+
+	bad := tr.StartRoot("bad")
+	bad.StartChild("c").SetError(errors.New("boom"))
+	bad.End()
+	if _, _, sampled := tr.Counters(); sampled != 3 {
+		t.Fatal("errored trace was not retained")
+	}
+
+	forced := tr.StartRoot("forced")
+	forced.Force()
+	forced.End()
+	if _, _, sampled := tr.Counters(); sampled != 4 {
+		t.Fatal("forced trace was not retained")
+	}
+}
+
+// TestRemoteRoot: a remote-parented root adopts the remote trace ID,
+// parents on the remote span, and always retains.
+func TestRemoteRoot(t *testing.T) {
+	tr := New(Options{Seed: 4, SampleEvery: 1 << 30, SlowThreshold: time.Hour, Process: "worker"})
+	rm := Remote{Trace: 0xabc, Span: 0xdef}
+	s := tr.StartRemote(rm, "rank")
+	s.StartChild("step").End()
+	s.End()
+	td, ok := tr.Recorder().Trace(0xabc)
+	if !ok {
+		t.Fatal("remote trace not retained")
+	}
+	root, ok := td.Root()
+	if !ok || root.Parent != 0xdef || root.Trace != 0xabc {
+		t.Fatalf("remote root %+v", root)
+	}
+	if s2 := tr.StartRemote(Remote{}, "x"); s2 != nil {
+		t.Fatal("zero remote produced a span")
+	}
+}
+
+// TestLateAndCappedSpans: children ending after the root are dropped, and
+// the per-trace span cap holds.
+func TestLateAndCappedSpans(t *testing.T) {
+	tr := newTest(func(o *Options) { o.MaxSpansPerTrace = 3 })
+	root := tr.StartRoot("root")
+	late := root.StartChild("late")
+	for i := 0; i < 5; i++ {
+		root.StartChild("c").End()
+	}
+	root.End()
+	late.End()
+	if c := root.StartChild("after"); c != nil {
+		t.Fatal("child started after root end")
+	}
+	td, ok := tr.Recorder().Trace(root.TraceID())
+	if !ok || len(td.Spans) != 3 {
+		t.Fatalf("retained %d spans, want 3 (cap)", len(td.Spans))
+	}
+	_, dropped, _ := tr.Counters()
+	// 5 children + late: 3 retained (incl. root? root is 1 of the 3)…
+	// 7 spans ended, 3 kept → 4 dropped, plus the refused "after" child.
+	if dropped != 5 {
+		t.Fatalf("dropped %d, want 5", dropped)
+	}
+}
+
+// TestRecorderEvictionAndMerge: capacity evicts oldest; same-ID adds merge.
+func TestRecorderEvictionAndMerge(t *testing.T) {
+	r := NewRecorder(2)
+	mk := func(id uint64) TraceData {
+		return TraceData{ID: id, Spans: []SpanData{{Trace: id, ID: id, Name: "root"}}}
+	}
+	r.add(mk(1))
+	r.add(mk(2))
+	r.add(mk(3))
+	if _, ok := r.Trace(1); ok {
+		t.Fatal("oldest trace not evicted")
+	}
+	if got := len(r.Traces()); got != 2 {
+		t.Fatalf("%d traces, want 2", got)
+	}
+	r.add(TraceData{ID: 2, Spans: []SpanData{{Trace: 2, ID: 7, Parent: 2, Name: "child"}}})
+	td, _ := r.Trace(2)
+	if len(td.Spans) != 2 {
+		t.Fatalf("merge produced %d spans", len(td.Spans))
+	}
+	r.Ingest([]SpanData{
+		{Trace: 3, ID: 8, Parent: 3, Name: "ingested"},
+		{Trace: 0, ID: 9, Name: "invalid"},
+	})
+	td, _ = r.Trace(3)
+	if len(td.Spans) != 2 {
+		t.Fatalf("ingest produced %d spans", len(td.Spans))
+	}
+}
+
+// TestSpanJSONRoundTrip: the upload wire form survives a round trip,
+// including links, attrs and errors.
+func TestSpanJSONRoundTrip(t *testing.T) {
+	in := SpanData{
+		Trace: 0x0102030405060708, ID: 0x1112131415161718, Parent: 0x2122232425262728,
+		Name: "op:matmul", Process: "rank-1",
+		Start: time.Unix(12, 345), Duration: 987 * time.Microsecond,
+		Attrs: []Attr{Int("n", 4), String("s", "x"), Bool("b", true)},
+		Links: []uint64{0xdeadbeef}, Error: true,
+	}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out SpanData
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Trace != in.Trace || out.ID != in.ID || out.Parent != in.Parent ||
+		out.Name != in.Name || out.Process != in.Process ||
+		out.Start.UnixNano() != in.Start.UnixNano() || out.Duration != in.Duration ||
+		len(out.Links) != 1 || out.Links[0] != in.Links[0] || !out.Error {
+		t.Fatalf("round trip mismatch:\n in %+v\nout %+v", in, out)
+	}
+	if len(out.Attrs) != 3 {
+		t.Fatalf("attrs %+v", out.Attrs)
+	}
+	var bad SpanData
+	for _, raw := range []string{
+		`{"trace":"xyz","span":"0000000000000001","name":"a"}`,
+		`{"trace":"0000000000000000","span":"0000000000000001","name":"a"}`,
+		`{"trace":"0000000000000001","span":"nope","name":"a"}`,
+		`{"trace":"0000000000000001","span":"0000000000000002","parent":"bad","name":"a"}`,
+	} {
+		if err := json.Unmarshal([]byte(raw), &bad); err == nil {
+			t.Fatalf("malformed span decoded: %s", raw)
+		}
+	}
+}
+
+// TestHandlerJSONAndPerfetto: the debug endpoints render the recorder.
+func TestHandlerJSONAndPerfetto(t *testing.T) {
+	tr := newTest(nil)
+	root := tr.StartRoot("serve.request")
+	q := root.StartChild("serve.queue")
+	q.End()
+	root.End()
+	h := tr.Recorder().Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/traces: %d", rec.Code)
+	}
+	var body struct {
+		Traces []struct {
+			Trace string     `json:"trace"`
+			Spans []SpanData `json:"spans"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Traces) != 1 || len(body.Traces[0].Spans) != 2 {
+		t.Fatalf("body %+v", body)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?trace="+FormatID(root.TraceID()), nil))
+	if rec.Code != 200 {
+		t.Fatalf("single-trace fetch: %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?trace=0000000000000099", nil))
+	if rec.Code != 404 {
+		t.Fatalf("unknown trace: %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?trace=zz", nil))
+	if rec.Code != 400 {
+		t.Fatalf("malformed trace id: %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces/perfetto", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/traces/perfetto: %d", rec.Code)
+	}
+	var pf struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &pf); err != nil {
+		t.Fatal(err)
+	}
+	var x, meta int
+	for _, e := range pf.TraceEvents {
+		switch e.Ph {
+		case "X":
+			x++
+			if e.Args["trace"] != FormatID(root.TraceID()) {
+				t.Fatalf("event args %+v", e.Args)
+			}
+		case "M":
+			meta++
+		}
+	}
+	if x != 2 || meta != 1 {
+		t.Fatalf("perfetto events: %d X, %d M", x, meta)
+	}
+}
+
+// TestConcurrentTreeIntegrity is the package-level half of the span-tree
+// property test: under concurrent children ending on both sides of the
+// root, every recorded trace holds a well-formed tree — parents exist,
+// intervals nest.
+func TestConcurrentTreeIntegrity(t *testing.T) {
+	tr := newTest(func(o *Options) { o.Capacity = 128; o.MaxSpansPerTrace = 4096 })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				root := tr.StartRoot("root", Int("g", g))
+				var cwg sync.WaitGroup
+				for c := 0; c < 4; c++ {
+					child := root.StartChild("child")
+					cwg.Add(1)
+					go func() {
+						defer cwg.Done()
+						child.StartChild("leaf").End()
+						child.End()
+					}()
+				}
+				cwg.Wait()
+				root.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	traces := tr.Recorder().Traces()
+	if len(traces) == 0 {
+		t.Fatal("no traces retained")
+	}
+	for _, td := range traces {
+		if err := VerifyTree(td); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestVerifyTree sanity-checks the oracle's own failure detection.
+func TestVerifyTreeViolations(t *testing.T) {
+	root := SpanData{Trace: 1, ID: 1, Name: "root", Start: time.Unix(100, 0), Duration: time.Second}
+	for name, td := range map[string]TraceData{
+		"empty": {ID: 1},
+		"escaping child": {ID: 1, Spans: []SpanData{root,
+			{Trace: 1, ID: 2, Parent: 1, Name: "escapes", Start: time.Unix(100, 0), Duration: 2 * time.Second}}},
+		"early child": {ID: 1, Spans: []SpanData{root,
+			{Trace: 1, ID: 2, Parent: 1, Name: "early", Start: time.Unix(99, 0), Duration: time.Millisecond}}},
+		"duplicate id": {ID: 1, Spans: []SpanData{root,
+			{Trace: 1, ID: 1, Parent: 1, Name: "dup", Start: time.Unix(100, 0), Duration: 0}}},
+		"two roots": {ID: 1, Spans: []SpanData{root,
+			{Trace: 1, ID: 2, Name: "root2", Start: time.Unix(100, 0), Duration: 0}}},
+		"wrong trace": {ID: 1, Spans: []SpanData{
+			{Trace: 2, ID: 1, Name: "root", Start: time.Unix(100, 0), Duration: 0}}},
+	} {
+		if err := VerifyTree(td); err == nil {
+			t.Errorf("%s: VerifyTree accepted the trace", name)
+		}
+	}
+	good := TraceData{ID: 1, Spans: []SpanData{root,
+		{Trace: 1, ID: 2, Parent: 1, Name: "c", Start: time.Unix(100, 0).Add(time.Millisecond), Duration: 10 * time.Millisecond},
+		{Trace: 1, ID: 3, Parent: 99, Process: "other", Name: "remote-rooted?", Start: time.Unix(0, 0), Duration: 0}}}
+	// span 3's parent is absent → it counts as a root → two roots → reject.
+	if err := VerifyTree(good); err == nil {
+		t.Error("second root accepted")
+	}
+	good.Spans = good.Spans[:2]
+	if err := VerifyTree(good); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+}

@@ -1,0 +1,56 @@
+package trace
+
+import "fmt"
+
+// VerifyTree checks the structural invariants of one retained trace and
+// returns the first violation found, or nil. It is the shared oracle for
+// the span-tree property tests:
+//
+//   - every span carries the trace's ID and a non-zero span ID, and span
+//     IDs are unique within the trace;
+//   - exactly one span is the root (its parent is zero or absent from the
+//     trace — absent covers remote-parented roots whose parent lives in
+//     another process);
+//   - every child recorded in the same process as its parent starts no
+//     earlier than the parent and ends no later (intervals nest). Spans
+//     from different processes are exempt: their clocks are not comparable.
+func VerifyTree(td TraceData) error {
+	if len(td.Spans) == 0 {
+		return fmt.Errorf("trace %016x: no spans", td.ID)
+	}
+	byID := make(map[uint64]SpanData, len(td.Spans))
+	for _, s := range td.Spans {
+		if s.Trace != td.ID {
+			return fmt.Errorf("span %q: trace %016x, want %016x", s.Name, s.Trace, td.ID)
+		}
+		if s.ID == 0 {
+			return fmt.Errorf("span %q: zero span id", s.Name)
+		}
+		if dup, ok := byID[s.ID]; ok {
+			return fmt.Errorf("span id %016x used by both %q and %q", s.ID, dup.Name, s.Name)
+		}
+		byID[s.ID] = s
+	}
+	roots := 0
+	for _, s := range td.Spans {
+		parent, ok := byID[s.Parent]
+		if s.Parent == 0 || !ok {
+			roots++
+			continue
+		}
+		if s.Process != parent.Process {
+			continue
+		}
+		off := s.Start.Sub(parent.Start)
+		if off < 0 {
+			return fmt.Errorf("span %q starts %v before parent %q", s.Name, -off, parent.Name)
+		}
+		if over := off + s.Duration - parent.Duration; over > 0 {
+			return fmt.Errorf("span %q ends %v after parent %q", s.Name, over, parent.Name)
+		}
+	}
+	if roots != 1 {
+		return fmt.Errorf("trace %016x: %d roots, want 1", td.ID, roots)
+	}
+	return nil
+}

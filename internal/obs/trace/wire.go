@@ -1,0 +1,83 @@
+package trace
+
+// The d500-trace propagation header: `<16 hex trace ID>-<16 hex span ID>`,
+// 33 bytes, lowercase on the wire (parsing accepts either case). The same
+// two identifiers travel in the transport frame header's trace fields. A
+// zero trace ID means "untraced" and never round-trips: Parse rejects it,
+// and Format is never called with one by the propagation paths.
+
+// HeaderName is the HTTP header carrying trace context across processes
+// on the serve and jobs endpoints.
+const HeaderName = "d500-trace"
+
+// Remote is a trace context received from another process: the trace to
+// join and the remote span to parent on.
+type Remote struct {
+	// Trace is the trace identifier (non-zero).
+	Trace uint64
+	// Span is the remote parent span identifier (may be zero).
+	Span uint64
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendHex16 appends id as exactly 16 lowercase hex digits.
+func appendHex16(dst []byte, id uint64) []byte {
+	for shift := 60; shift >= 0; shift -= 4 {
+		dst = append(dst, hexDigits[(id>>uint(shift))&0xf])
+	}
+	return dst
+}
+
+// FormatID renders one identifier as 16 lowercase hex digits.
+func FormatID(id uint64) string {
+	return string(appendHex16(make([]byte, 0, 16), id))
+}
+
+// Format renders a trace context in the d500-trace header encoding.
+func Format(traceID, spanID uint64) string {
+	b := make([]byte, 0, 33)
+	b = appendHex16(b, traceID)
+	b = append(b, '-')
+	b = appendHex16(b, spanID)
+	return string(b)
+}
+
+// parseHex16 parses exactly 16 hex digits (either case).
+func parseHex16(s string) (uint64, bool) {
+	if len(s) != 16 {
+		return 0, false
+	}
+	var v uint64
+	for i := 0; i < 16; i++ {
+		c := s[i]
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return 0, false
+		}
+		v = v<<4 | d
+	}
+	return v, true
+}
+
+// Parse decodes a d500-trace header value. It is strict: exactly 33
+// bytes, a '-' at offset 16, hex digits everywhere else, and a non-zero
+// trace ID. Malformed input returns ok=false, never panics.
+func Parse(s string) (rm Remote, ok bool) {
+	if len(s) != 33 || s[16] != '-' {
+		return Remote{}, false
+	}
+	tr, ok1 := parseHex16(s[:16])
+	sp, ok2 := parseHex16(s[17:])
+	if !ok1 || !ok2 || tr == 0 {
+		return Remote{}, false
+	}
+	return Remote{Trace: tr, Span: sp}, true
+}

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	cases := []Remote{
+		{Trace: 1, Span: 0},
+		{Trace: 0xdeadbeefcafef00d, Span: 0x0123456789abcdef},
+		{Trace: ^uint64(0), Span: ^uint64(0)},
+	}
+	for _, c := range cases {
+		s := Format(c.Trace, c.Span)
+		if len(s) != 33 {
+			t.Fatalf("Format(%x,%x) = %q, len %d", c.Trace, c.Span, s, len(s))
+		}
+		got, ok := Parse(s)
+		if !ok || got != c {
+			t.Fatalf("Parse(Format(%+v)) = %+v, %v", c, got, ok)
+		}
+		up, ok := Parse(strings.ToUpper(s))
+		if !ok || up != c {
+			t.Fatalf("uppercase parse of %q failed", s)
+		}
+	}
+	if got := FormatID(0xab); got != "00000000000000ab" {
+		t.Fatalf("FormatID = %q", got)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"0000000000000001",                   // missing span half
+		"0000000000000000-0000000000000001",  // zero trace
+		"000000000000000g-0000000000000001",  // non-hex
+		"0000000000000001-000000000000000g",  // non-hex span
+		"0000000000000001_0000000000000002",  // wrong separator
+		"0000000000000001-00000000000000012", // too long
+		"0000000000000001-000000000000001",   // too short
+		"00000000000000001-000000000000002",  // separator off by one
+	} {
+		if rm, ok := Parse(s); ok {
+			t.Fatalf("Parse(%q) accepted: %+v", s, rm)
+		}
+	}
+}
+
+// FuzzParseHeader is the d500-trace decoder fuzz target: arbitrary input
+// never panics, and anything accepted must round-trip exactly through
+// Format (canonical lowercase) and carry a non-zero trace ID.
+func FuzzParseHeader(f *testing.F) {
+	f.Add("0000000000000001-0000000000000002")
+	f.Add("DEADBEEFCAFEF00D-0123456789ABCDEF")
+	f.Add("0000000000000000-0000000000000001")
+	f.Add("ffffffffffffffff-ffffffffffffffff")
+	f.Add("")
+	f.Add(strings.Repeat("-", 33))
+	f.Fuzz(func(t *testing.T, s string) {
+		rm, ok := Parse(s)
+		if !ok {
+			if rm != (Remote{}) {
+				t.Fatalf("rejected input returned non-zero remote %+v", rm)
+			}
+			return
+		}
+		if rm.Trace == 0 {
+			t.Fatalf("accepted zero trace id from %q", s)
+		}
+		canon := Format(rm.Trace, rm.Span)
+		if !strings.EqualFold(canon, s) {
+			t.Fatalf("Parse(%q) = %+v but Format renders %q", s, rm, canon)
+		}
+		again, ok := Parse(canon)
+		if !ok || again != rm {
+			t.Fatalf("canonical form %q did not round-trip: %+v %v", canon, again, ok)
+		}
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"deep500/internal/obs/trace"
 	"deep500/internal/tensor"
 )
 
@@ -71,12 +72,37 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	outs, err := s.Infer(r.Context(), feeds)
+	ctx, capture := traceContext(r)
+	outs, err := s.Infer(ctx, feeds)
+	echoTrace(w, capture)
 	if err != nil {
 		writeError(w, statusFor(err), err.Error())
 		return
 	}
 	writeOutputs(w, outs)
+}
+
+// traceContext wires trace propagation into one inference request: an
+// inbound d500-trace header joins the caller's trace, and a capture slot
+// lets Server.Infer report the root span it started for the request.
+// Shared by the single-model handler and the registry front end.
+func traceContext(r *http.Request) (context.Context, *trace.Capture) {
+	ctx := r.Context()
+	if rm, ok := trace.Parse(r.Header.Get(trace.HeaderName)); ok {
+		ctx = trace.ContextWithRemote(ctx, rm)
+	}
+	capture := &trace.Capture{}
+	return trace.ContextWithCapture(ctx, capture), capture
+}
+
+// echoTrace sets the d500-trace response header from a filled capture
+// slot. It must run before the response body is written; the access-log
+// middleware lifts the header into its trace field, giving the
+// p95-triage funnel its log→trace exemplar hop.
+func echoTrace(w http.ResponseWriter, capture *trace.Capture) {
+	if capture.Trace != 0 {
+		w.Header().Set(trace.HeaderName, trace.Format(capture.Trace, capture.Span))
+	}
 }
 
 // decodeFeeds parses and validates an InferRequest body, writing the 400

@@ -151,7 +151,9 @@ func (r *Registry) serveInfer(w http.ResponseWriter, req *http.Request, name str
 	if !ok {
 		return
 	}
-	outs, err := r.Infer(req.Context(), name, feeds)
+	ctx, capture := traceContext(req)
+	outs, err := r.Infer(ctx, name, feeds)
+	echoTrace(w, capture)
 	if err != nil {
 		writeError(w, statusFor(err), err.Error())
 		return

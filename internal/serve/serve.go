@@ -46,6 +46,7 @@ import (
 
 	"deep500/internal/executor"
 	"deep500/internal/graph"
+	"deep500/internal/obs/trace"
 	"deep500/internal/tensor"
 )
 
@@ -158,6 +159,12 @@ type Options struct {
 	// with the pool size the decision targets and the direction (up=true
 	// for scale-up). Calls are serialized with Observe.
 	OnScale func(replicas int, up bool)
+	// Tracer, when non-nil, spans every request's lifetime — admit, queue
+	// wait, batch assembly, replica execution (with per-op executor spans),
+	// split/respond — into its flight recorder. A batch span links the
+	// traces of every request it coalesced. Nil disables tracing at the
+	// cost of a few nil checks per request.
+	Tracer *trace.Tracer
 }
 
 // Sample is the per-batch observation emitted through Options.Observe:
@@ -181,6 +188,9 @@ type request struct {
 	rows     int
 	enqueued time.Time
 	done     chan result
+	// span is the request's root trace span; queueSpan the admit→dispatch
+	// child. Both nil on untraced requests.
+	span, queueSpan *trace.Span
 	// answered is set by finish. It is only touched by the single worker
 	// goroutine that owns the request's batch, so crash recovery can tell
 	// which requests of an interrupted batch still need an answer.
@@ -194,6 +204,12 @@ type result struct {
 
 func (r *request) finish(outs map[string]*tensor.Tensor, err error) {
 	r.answered = true
+	// The trace root ends exactly when the request is answered, on every
+	// path (served, expired, failed, crashed). Batch and execute spans were
+	// already ended by then, so they are never dropped as late children.
+	r.queueSpan.End() // idempotent; normally already ended at dispatch
+	r.span.SetError(err)
+	r.span.End()
 	r.done <- result{outs: outs, err: err} // buffered(1), single sender
 }
 
@@ -331,9 +347,21 @@ func (s *Server) Infer(ctx context.Context, feeds map[string]*tensor.Tensor) (ma
 		enqueued: time.Now(),
 		done:     make(chan result, 1),
 	}
+	if tr := s.opts.Tracer; tr.Enabled() {
+		if rm, ok := trace.RemoteFromContext(ctx); ok {
+			req.span = tr.StartRemote(rm, "serve.request", trace.Int("rows", rows))
+		} else {
+			req.span = tr.StartRoot("serve.request", trace.Int("rows", rows))
+		}
+		if c := trace.CaptureFromContext(ctx); c != nil && req.span != nil {
+			c.Trace, c.Span = req.span.TraceID(), req.span.SpanID()
+		}
+		req.queueSpan = req.span.StartChild("serve.queue")
+	}
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
+		s.endRejected(req, ErrClosed)
 		return nil, ErrClosed
 	}
 	select {
@@ -344,6 +372,7 @@ func (s *Server) Infer(ctx context.Context, feeds map[string]*tensor.Tensor) (ma
 		s.statsMu.Lock()
 		s.stats.rejected++
 		s.statsMu.Unlock()
+		s.endRejected(req, ErrQueueFull)
 		return nil, ErrQueueFull
 	}
 	select {
@@ -352,6 +381,17 @@ func (s *Server) Infer(ctx context.Context, feeds map[string]*tensor.Tensor) (ma
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+}
+
+// endRejected closes a rejected (never enqueued) request's spans with the
+// rejection error, so admission failures are tail-sampled as error traces.
+func (s *Server) endRejected(req *request, err error) {
+	if req.span == nil {
+		return
+	}
+	req.queueSpan.End()
+	req.span.SetError(err)
+	req.span.End()
 }
 
 // validateFeeds checks the request against the model's declared inputs
@@ -681,24 +721,60 @@ func (s *Server) execute(id int, e executor.GraphExecutor, batch []*request) {
 	}
 
 	rows := 0
-	oldest := live[0].enqueued
+	host := live[0] // oldest live request: its trace hosts the batch span
 	for _, r := range live {
 		rows += r.rows
-		if r.enqueued.Before(oldest) {
-			oldest = r.enqueued
+		if r.enqueued.Before(host.enqueued) {
+			host = r
 		}
 	}
+	oldest := host.enqueued
+
+	// The queue wait ends at dispatch; the batch span lives in the oldest
+	// request's trace and links every coalesced request's trace (and each
+	// non-host request links back), so the coalescing is navigable from
+	// any of the N request traces.
+	batchSpan := host.span.StartChild("serve.batch",
+		trace.Int("requests", len(live)), trace.Int("rows", rows), trace.Int("replica", id))
+	for _, r := range live {
+		r.queueSpan.End()
+		batchSpan.Link(r.span.TraceID())
+		if r != host {
+			r.span.Link(batchSpan.TraceID())
+		}
+	}
+	execSpan := batchSpan.StartChild("serve.execute")
+	// Crash safety: a panicking pass unwinds through here before runBatch
+	// recovers; End is idempotent, so the normal-path explicit ends below
+	// make these defers no-ops.
+	defer batchSpan.End()
+	defer execSpan.End()
+
 	feeds, err := s.assembleFeeds(live)
 	var outs map[string]*tensor.Tensor
 	start := time.Now()
 	if err == nil {
 		// The pass runs under the server's lifetime context: per-request
 		// deadlines stop applying once the batch is dispatched (documented
-		// on Infer), while Close-with-deadline can still abort it.
-		outs, err = e.Inference(s.ctx, feeds)
+		// on Infer), while Close-with-deadline can still abort it. A traced
+		// batch threads its execute span down so the executor parents its
+		// per-op spans on it.
+		passCtx := s.ctx
+		if execSpan != nil {
+			passCtx = trace.NewContext(passCtx, execSpan)
+		}
+		outs, err = e.Inference(passCtx, feeds)
 	}
 	execTime := time.Since(start)
 	wait := start.Sub(oldest)
+
+	// End order matters for the tail-sampling state machine: execute, then
+	// batch, then (via finish) the request roots — children never outlive
+	// the root that records them.
+	execSpan.SetError(err)
+	execSpan.End()
+	batchSpan.AddAttrs(trace.Duration("queue_wait", wait))
+	batchSpan.End()
 
 	if err != nil {
 		for _, r := range live {

@@ -7,8 +7,15 @@ import (
 
 	"deep500/internal/executor"
 	"deep500/internal/metrics"
+	"deep500/internal/obs/trace"
 	"deep500/internal/tensor"
 )
+
+// traceStepEvery samples one optimization step per this many for per-op
+// tracing: step spans are cheap, but wiring the executor's op spans under
+// every step of a long run would blow the per-trace span budget, so only
+// the first step and every traceStepEvery-th get the full subtree.
+const traceStepEvery = 100
 
 // Runner is the training-and-testing loop manager of Deep500's design
 // (Fig. 3, Level 2): it drives an Optimizer over a training sampler, runs
@@ -70,9 +77,25 @@ func NewRunner(opt Optimizer, train, test Sampler) *Runner {
 }
 
 // Step runs a single optimization step on one batch and returns the loss.
+// Under a traced context (trace.NewContext upstream) it emits a
+// "train.step" span; the first step and every traceStepEvery-th also
+// parent the executor's forward/backward op spans.
 func (r *Runner) Step(ctx context.Context, b *Batch) (float64, error) {
+	var span *trace.Span
+	if parent := trace.FromContext(ctx); parent != nil {
+		sampled := r.step%traceStepEvery == 0
+		span = parent.StartChild("train.step",
+			trace.Int("step", r.step+1), trace.Bool("ops", sampled))
+		if sampled {
+			ctx = trace.NewContext(ctx, span)
+		} else {
+			ctx = trace.WithoutSpan(ctx)
+		}
+	}
 	out, err := r.Opt.Train(ctx, b.Feeds())
 	if err != nil {
+		span.SetError(err)
+		span.End()
 		return 0, err
 	}
 	r.step++
@@ -92,6 +115,8 @@ func (r *Runner) Step(ctx context.Context, b *Batch) (float64, error) {
 	if r.AfterStep != nil {
 		r.AfterStep(r.step, loss, acc)
 	}
+	span.AddAttrs(trace.Float("loss", loss), trace.Float("acc", acc))
+	span.End()
 	if r.StopOnNaN && (loss != loss || loss > 1e30) {
 		return loss, fmt.Errorf("training: loss diverged at step %d (%v)", r.step, loss)
 	}
@@ -110,11 +135,27 @@ func (r *Runner) RunEpoch(ctx context.Context) (float64, error) {
 	if !resumed {
 		r.TrainSet.Reset()
 	}
+	var span *trace.Span
+	if parent := trace.FromContext(ctx); parent != nil {
+		span = parent.StartChild("train.epoch",
+			trace.Int("epoch", r.epochsDone+1), trace.Bool("resumed", resumed))
+		ctx = trace.NewContext(ctx, span)
+	}
+	mean, n, err := r.runEpochSteps(ctx, resumed)
+	span.AddAttrs(trace.Int("steps", n))
+	span.SetError(err)
+	span.End()
+	return mean, err
+}
+
+// runEpochSteps is RunEpoch's step loop, split out so the epoch span can
+// observe the outcome on every return path.
+func (r *Runner) runEpochSteps(ctx context.Context, resumed bool) (float64, int, error) {
 	var total float64
 	var n int
 	for {
 		if err := ctx.Err(); err != nil {
-			return 0, err
+			return 0, n, err
 		}
 		b := r.TrainSet.Next()
 		if b == nil {
@@ -122,7 +163,7 @@ func (r *Runner) RunEpoch(ctx context.Context) (float64, error) {
 		}
 		loss, err := r.Step(ctx, b)
 		if err != nil {
-			return 0, err
+			return 0, n, err
 		}
 		total += loss
 		n++
@@ -131,11 +172,11 @@ func (r *Runner) RunEpoch(ctx context.Context) (float64, error) {
 		if resumed {
 			// The checkpoint fell exactly on the epoch boundary; nothing
 			// of this epoch remains.
-			return 0, nil
+			return 0, 0, nil
 		}
-		return 0, fmt.Errorf("training: empty epoch")
+		return 0, 0, fmt.Errorf("training: empty epoch")
 	}
-	return total / float64(n), nil
+	return total / float64(n), n, nil
 }
 
 // RunEpochs trains until n total epochs are done, with per-epoch
@@ -177,7 +218,15 @@ func (r *Runner) RunEpochs(ctx context.Context, n int) error {
 // folded into the accuracy: a broken model reports an error instead of a
 // silent 0% score.
 func (r *Runner) Evaluate(ctx context.Context, s Sampler) (float64, error) {
-	return EvaluateExecutor(ctx, r.Opt.Executor(), s, r.AccOutput)
+	span := trace.FromContext(ctx).StartChild("train.eval")
+	if span != nil {
+		ctx = trace.NewContext(ctx, span)
+	}
+	acc, err := EvaluateExecutor(ctx, r.Opt.Executor(), s, r.AccOutput)
+	span.AddAttrs(trace.Float("acc", acc))
+	span.SetError(err)
+	span.End()
+	return acc, err
 }
 
 // EvaluateExecutor runs a sampler through an executor in inference mode

@@ -1,0 +1,76 @@
+package training
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"deep500/internal/obs/trace"
+)
+
+// TestTracedEpochSpans: a traced RunEpochs run yields one tree with
+// epoch, step and eval spans under the run root, and op spans only under
+// the sampled first step.
+func TestTracedEpochSpans(t *testing.T) {
+	tr := trace.New(trace.Options{
+		Seed: 21, SampleEvery: 1, SlowThreshold: time.Hour, Process: "train-test",
+	})
+	r := cancelRunner(t)
+	ds, _ := SyntheticSplit(128, 32, 4, []int{1, 8, 8}, 0.3, 3)
+	r.TestSet = NewSequentialSampler(ds, 32)
+
+	root := tr.StartRoot("train.run")
+	ctx := trace.NewContext(context.Background(), root)
+	if err := r.RunEpochs(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	td, ok := tr.Recorder().Trace(root.TraceID())
+	if !ok {
+		t.Fatal("training trace not retained")
+	}
+	if err := trace.VerifyTree(td); err != nil {
+		t.Fatal(err)
+	}
+	spans := map[uint64]trace.SpanData{}
+	counts := map[string]int{}
+	for _, s := range td.Spans {
+		spans[s.ID] = s
+		counts[s.Name]++
+	}
+	if counts["train.epoch"] != 2 {
+		t.Fatalf("%d epoch spans, want 2", counts["train.epoch"])
+	}
+	// 256 samples / batch 32 = 8 steps per epoch.
+	if counts["train.step"] != 16 {
+		t.Fatalf("%d step spans, want 16", counts["train.step"])
+	}
+	if counts["train.eval"] != 2 {
+		t.Fatalf("%d eval spans, want 2", counts["train.eval"])
+	}
+	// Every op span chains op → exec pass → train.step or train.eval
+	// (evaluation inference is traced too), and only the sampled first
+	// step of the run carries the op subtree.
+	stepsWithOps := map[uint64]bool{}
+	for _, s := range td.Spans {
+		if !strings.HasPrefix(s.Name, "op:") && !strings.HasPrefix(s.Name, "op.bwd:") {
+			continue
+		}
+		pass, ok := spans[s.Parent]
+		if !ok || !strings.HasPrefix(pass.Name, "exec.") {
+			t.Fatalf("op span %q parented on %+v, want exec pass", s.Name, pass)
+		}
+		host, ok := spans[pass.Parent]
+		if !ok || (host.Name != "train.step" && host.Name != "train.eval") {
+			t.Fatalf("pass span %q parented on %+v, want train.step or train.eval", pass.Name, host)
+		}
+		if host.Name == "train.step" {
+			stepsWithOps[host.ID] = true
+		}
+	}
+	if len(stepsWithOps) != 1 {
+		t.Fatalf("%d steps carry op spans, want only the sampled first", len(stepsWithOps))
+	}
+}

@@ -23,12 +23,12 @@ import (
 	"deep500/internal/dist"
 )
 
-// Wire format: every message is one frame — a fixed 24-byte header
+// Wire format: every message is one frame — a fixed 40-byte header
 // followed by the payload.
 //
 //	offset  size  field
 //	0       4     magic "D5TP"
-//	4       1     version (1)
+//	4       1     version (2)
 //	5       1     type (FrameF32 | FrameQuant | FrameHello)
 //	6       1     quantization bits (FrameQuant only, 1..8; else 0)
 //	7       1     reserved (0)
@@ -36,6 +36,13 @@ import (
 //	12      4     message tag, int32 little-endian
 //	16      4     decoded float32 count, uint32 little-endian
 //	20      4     payload byte length, uint32 little-endian
+//	24      8     trace ID, uint64 little-endian (0 = untraced)
+//	32      8     parent span ID, uint64 little-endian
+//
+// Version 2 appended the two trace-context fields to the version 1
+// layout; the first 24 bytes are unchanged. The trace fields carry the
+// same identifiers as the d500-trace HTTP header, so a distributed step's
+// collectives join the launcher's trace.
 //
 // FrameF32 payloads are count little-endian float32s. FrameQuant payloads
 // are a 4-byte little-endian scale followed by the packed codes
@@ -58,9 +65,9 @@ const (
 
 const (
 	// headerLen is the fixed frame header size in bytes.
-	headerLen = 24
+	headerLen = 40
 	// frameVersion is the current wire version.
-	frameVersion = 1
+	frameVersion = 2
 	// MaxPayload bounds a frame's payload (256 MiB — far above any packed
 	// parameter vector in the zoo); declared lengths beyond it are rejected
 	// before allocation, so a corrupt header cannot OOM the receiver.
@@ -81,6 +88,11 @@ type Frame struct {
 	Tag int32
 	// Count is the decoded float32 element count.
 	Count uint32
+	// Trace is the trace ID of the step this frame belongs to (0 when the
+	// sender is untraced).
+	Trace uint64
+	// Span is the sender-side parent span ID for Trace (0 when untraced).
+	Span uint64
 	// Payload is the raw payload bytes (see the wire format above).
 	Payload []byte
 }
@@ -96,6 +108,8 @@ func AppendFrame(dst []byte, f *Frame) []byte {
 	binary.LittleEndian.PutUint32(h[12:16], uint32(f.Tag))
 	binary.LittleEndian.PutUint32(h[16:20], f.Count)
 	binary.LittleEndian.PutUint32(h[20:24], uint32(len(f.Payload)))
+	binary.LittleEndian.PutUint64(h[24:32], f.Trace)
+	binary.LittleEndian.PutUint64(h[32:40], f.Span)
 	dst = append(dst, h[:]...)
 	return append(dst, f.Payload...)
 }
@@ -151,6 +165,8 @@ func decodeHeader(h []byte) (Frame, int, error) {
 		Src:   int32(binary.LittleEndian.Uint32(h[8:12])),
 		Tag:   int32(binary.LittleEndian.Uint32(h[12:16])),
 		Count: binary.LittleEndian.Uint32(h[16:20]),
+		Trace: binary.LittleEndian.Uint64(h[24:32]),
+		Span:  binary.LittleEndian.Uint64(h[32:40]),
 	}
 	plen := binary.LittleEndian.Uint32(h[20:24])
 	if plen > MaxPayload {

@@ -31,6 +31,9 @@ func TestFrameRoundTrip(t *testing.T) {
 			if got.Src != 3 || got.Tag != 2 || got.Count != uint32(n) {
 				t.Fatalf("n=%d bits=%d: header %+v", n, bits, got)
 			}
+			if got.Trace != 0 || got.Span != 0 {
+				t.Fatalf("n=%d bits=%d: untraced frame decoded trace ctx %x/%x", n, bits, got.Trace, got.Span)
+			}
 
 			streamed, err := ReadFrame(bytes.NewReader(wire))
 			if err != nil {
@@ -142,6 +145,9 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(AppendFrame(nil, &quant))
 	hello := Frame{Type: FrameHello, Src: 4}
 	f.Add(AppendFrame(nil, &hello))
+	traced := EncodeVector(1, 3, []float32{2, 4}, 0)
+	traced.Trace, traced.Span = 0xdeadbeefcafef00d, 0x0123456789abcdef
+	f.Add(AppendFrame(nil, &traced))
 	f.Add([]byte("D5TP"))
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
 
@@ -159,7 +165,8 @@ func FuzzDecodeFrame(f *testing.F) {
 			t.Fatalf("re-encoded frame fails to decode: %v", err)
 		}
 		if fr2.Type != fr.Type || fr2.Bits != fr.Bits || fr2.Src != fr.Src ||
-			fr2.Tag != fr.Tag || fr2.Count != fr.Count || !bytes.Equal(fr2.Payload, fr.Payload) {
+			fr2.Tag != fr.Tag || fr2.Count != fr.Count ||
+			fr2.Trace != fr.Trace || fr2.Span != fr.Span || !bytes.Equal(fr2.Payload, fr.Payload) {
 			t.Fatalf("re-encode round trip mismatch: %+v vs %+v", fr, fr2)
 		}
 		if fr.Type == FrameF32 || fr.Type == FrameQuant {
@@ -168,6 +175,29 @@ func FuzzDecodeFrame(f *testing.F) {
 			}
 		}
 	})
+}
+
+// TestFrameTraceRoundTrip pins the version-2 trace fields through both
+// decode paths.
+func TestFrameTraceRoundTrip(t *testing.T) {
+	f := EncodeVector(3, 2, []float32{1, 2}, 0)
+	f.Trace, f.Span = 0xfeedface12345678, 0x1122334455667788
+	wire := AppendFrame(nil, &f)
+
+	got, _, err := DecodeFrame(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != f.Trace || got.Span != f.Span {
+		t.Fatalf("decoded trace ctx %x/%x, want %x/%x", got.Trace, got.Span, f.Trace, f.Span)
+	}
+	streamed, err := ReadFrame(bytes.NewReader(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.Trace != f.Trace || streamed.Span != f.Span {
+		t.Fatalf("streamed trace ctx %x/%x", streamed.Trace, streamed.Span)
+	}
 }
 
 // TestQuantizedFrameWireSize pins the compression claim: a b-bit frame's

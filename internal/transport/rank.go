@@ -161,6 +161,14 @@ type TCPRank struct {
 	sentBytes, recvBytes   atomic.Int64
 	sentFrames, recvFrames atomic.Int64
 	dropped, redials       atomic.Int64
+
+	// traceCtx is the outbound trace context stamped on every frame this
+	// rank sends ([trace, span]; nil = untraced). peerTrace is the most
+	// recent non-zero trace context received from any peer — how a worker
+	// that was not launched with an explicit context still learns the
+	// step's trace.
+	traceCtx  atomic.Pointer[[2]uint64]
+	peerTrace atomic.Pointer[[2]uint64]
 }
 
 var (
@@ -236,6 +244,28 @@ func (t *TCPRank) Stats() Stats {
 		Dropped:    t.dropped.Load(),
 		Redials:    t.redials.Load(),
 	}
+}
+
+// SetTraceContext sets (or, with a zero traceID, clears) the trace
+// context stamped on every subsequently sent frame. Safe to call
+// concurrently with sends; typically set once per traced step.
+func (t *TCPRank) SetTraceContext(traceID, spanID uint64) {
+	if traceID == 0 {
+		t.traceCtx.Store(nil)
+		return
+	}
+	t.traceCtx.Store(&[2]uint64{traceID, spanID})
+}
+
+// PeerTraceContext returns the most recent non-zero trace context seen on
+// an inbound frame, if any — a receiver-side rank joins the sender's
+// trace through it.
+func (t *TCPRank) PeerTraceContext() (traceID, spanID uint64, ok bool) {
+	p := t.peerTrace.Load()
+	if p == nil {
+		return 0, 0, false
+	}
+	return p[0], p[1], true
 }
 
 // Close tears the rank down: listener, every connection, and all reader
@@ -349,6 +379,9 @@ func (t *TCPRank) reader(src int, c net.Conn, gen int) {
 		}
 		t.recvBytes.Add(int64(headerLen + len(f.Payload)))
 		t.recvFrames.Add(1)
+		if f.Trace != 0 {
+			t.peerTrace.Store(&[2]uint64{f.Trace, f.Span})
+		}
 		t.push(src, message{data: data, tag: int(f.Tag)})
 	}
 }
@@ -491,6 +524,9 @@ func (t *TCPRank) Send(dst int, data []float32, simBytes int64) {
 // simulator concept and ignored: the wire bytes here are real.
 func (t *TCPRank) SendTagged(dst int, data []float32, tag int, _ int64) {
 	f := EncodeVector(t.opt.ID, tag, data, t.opt.QuantizeBits)
+	if tc := t.traceCtx.Load(); tc != nil {
+		f.Trace, f.Span = tc[0], tc[1]
+	}
 	t.sendFrame(dst, AppendFrame(make([]byte, 0, headerLen+len(f.Payload)), &f))
 }
 

@@ -406,3 +406,41 @@ func TestTCPRankImplementsDistRank(t *testing.T) {
 		t.Fatal("TCPRank lost the cancelable receive surface")
 	}
 }
+
+// TestTraceContextPropagation: a sender's trace context stamps its frames
+// and surfaces at the receiver via PeerTraceContext; clearing it stops
+// the stamping.
+func TestTraceContextPropagation(t *testing.T) {
+	ranks := world(t, 2, nil)
+	if _, _, ok := ranks[1].PeerTraceContext(); ok {
+		t.Fatal("fresh rank reports a peer trace context")
+	}
+
+	ranks[0].SetTraceContext(0xabc, 0xdef)
+	run(t, ranks, func(r *TCPRank) error {
+		if r.ID() == 0 {
+			r.Send(1, []float32{1, 2}, 0)
+			return nil
+		}
+		r.Recv(0)
+		return nil
+	})
+	tr, sp, ok := ranks[1].PeerTraceContext()
+	if !ok || tr != 0xabc || sp != 0xdef {
+		t.Fatalf("peer trace ctx %x/%x ok=%v, want abc/def", tr, sp, ok)
+	}
+	// Sender side never learns its own context from inbound frames of an
+	// untraced peer, and clearing stops stamping.
+	ranks[0].SetTraceContext(0, 0)
+	run(t, ranks, func(r *TCPRank) error {
+		if r.ID() == 1 {
+			r.Send(0, []float32{3}, 0)
+			return nil
+		}
+		r.Recv(1)
+		return nil
+	})
+	if _, _, ok := ranks[0].PeerTraceContext(); ok {
+		t.Fatal("untraced frame installed a peer trace context")
+	}
+}

@@ -1,0 +1,182 @@
+// Command tracecheck validates a Chrome trace-event JSON dump — the body
+// of GET /debug/traces/perfetto — the way CI consumes it: the document
+// must be well-formed (every span event carries ids, non-negative
+// timestamps and a process), and it must hold at least one complete
+// serving span chain
+//
+//	serve.request → serve.queue
+//	serve.request → serve.batch → serve.execute → exec.forward → op:*
+//
+// with the batch span linking the coalesced request traces. Reads the
+// file named by its argument (or stdin with none), prints a one-line
+// summary, and exits 1 with a diagnostic when validation fails.
+//
+// Usage:
+//
+//	curl -s localhost:8500/debug/traces/perfetto | go run ./tools/tracecheck
+//	go run ./tools/tracecheck perfetto.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// event is one trace-event record; pointers distinguish absent fields
+// from zero values during well-formedness checks.
+type event struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   *float64       `json:"ts"`
+	Dur  *float64       `json:"dur"`
+	Pid  *int           `json:"pid"`
+	Tid  *int           `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// str reads a string arg ("" when absent or mistyped).
+func (e event) str(key string) string {
+	s, _ := e.Args[key].(string)
+	return s
+}
+
+func main() {
+	chain := flag.String("chain", "serve", "span chain to require: serve, none")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err.Error())
+		}
+		defer f.Close()
+		in = f
+	}
+	var doc struct {
+		TraceEvents     []event `json:"traceEvents"`
+		DisplayTimeUnit string  `json:"displayTimeUnit"`
+	}
+	dec := json.NewDecoder(in)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		fatal("malformed trace-event JSON: " + err.Error())
+	}
+
+	// Well-formedness: every span ("X") event needs ids and sane timing;
+	// metadata ("M") events need a pid. Index spans for the chain walk.
+	spans := map[string]event{} // span id (16 hex) → event
+	children := map[string][]event{}
+	nSpans := 0
+	for i, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Pid == nil {
+				fatal(fmt.Sprintf("event %d: metadata event without pid", i))
+			}
+		case "X":
+			nSpans++
+			id := e.str("span")
+			switch {
+			case e.Name == "":
+				fatal(fmt.Sprintf("event %d: span without a name", i))
+			case len(id) != 16 || len(e.str("trace")) != 16:
+				fatal(fmt.Sprintf("event %d (%s): span/trace id not 16 hex digits", i, e.Name))
+			case e.Ts == nil || e.Dur == nil || *e.Dur < 0:
+				fatal(fmt.Sprintf("event %d (%s): missing ts/dur or negative dur", i, e.Name))
+			case e.Pid == nil || e.Tid == nil:
+				fatal(fmt.Sprintf("event %d (%s): missing pid/tid lane", i, e.Name))
+			case spans[id].Name != "":
+				fatal(fmt.Sprintf("event %d (%s): duplicate span id %s", i, e.Name, id))
+			}
+			spans[id] = e
+			if p := e.str("parent"); p != "" {
+				children[p] = append(children[p], e)
+			}
+		default:
+			fatal(fmt.Sprintf("event %d: unsupported phase %q", i, e.Ph))
+		}
+	}
+	if nSpans == 0 {
+		fatal("no span events (is tracing on and a trace retained?)")
+	}
+
+	if *chain == "serve" {
+		if err := findServeChain(spans, children); err != "" {
+			fatal(err)
+		}
+	}
+	fmt.Printf("tracecheck: OK — %d event(s), %d span(s)", len(doc.TraceEvents), nSpans)
+	if *chain != "none" {
+		fmt.Printf(", complete %s chain found", *chain)
+	}
+	fmt.Println()
+}
+
+// findServeChain looks for one fully-linked serving chain and returns a
+// diagnostic naming the deepest stage reached when there is none.
+func findServeChain(spans map[string]event, children map[string][]event) string {
+	deepest := "no op:* span found"
+	for id, op := range spans {
+		if !strings.HasPrefix(op.Name, "op:") {
+			continue
+		}
+		fwd, ok := spans[op.str("parent")]
+		if !ok || fwd.Name != "exec.forward" {
+			deepest = fmt.Sprintf("op span %s not parented on exec.forward", id)
+			continue
+		}
+		exec, ok := spans[fwd.str("parent")]
+		if !ok || exec.Name != "serve.execute" {
+			deepest = "exec.forward not parented on serve.execute"
+			continue
+		}
+		batch, ok := spans[exec.str("parent")]
+		if !ok || batch.Name != "serve.batch" {
+			deepest = "serve.execute not parented on serve.batch"
+			continue
+		}
+		req, ok := spans[batch.str("parent")]
+		if !ok || req.Name != "serve.request" {
+			deepest = "serve.batch not parented on serve.request"
+			continue
+		}
+		links, _ := batch.Args["links"].([]any)
+		if len(links) == 0 {
+			deepest = "serve.batch links no request traces"
+			continue
+		}
+		hostLinked := false
+		for _, l := range links {
+			if s, _ := l.(string); s == req.str("trace") {
+				hostLinked = true
+			}
+		}
+		if !hostLinked {
+			deepest = "serve.batch does not link its host request's trace"
+			continue
+		}
+		queued := false
+		for _, c := range children[req.str("span")] {
+			if c.Name == "serve.queue" {
+				queued = true
+			}
+		}
+		if !queued {
+			deepest = "serve.request has no serve.queue child"
+			continue
+		}
+		return ""
+	}
+	return "no complete serve.request→serve.queue + serve.batch→serve.execute→exec.forward→op chain: " + deepest
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "tracecheck:", msg)
+	os.Exit(1)
+}
